@@ -1,0 +1,131 @@
+// Scalability study (paper §V: "Our evaluation lacks scalability tests,
+// but the proposed mechanism is essentially scalable. ... The migration
+// time may significantly increase as the number of hosts increases due to
+// network congestion").
+//
+// Sweeps:
+//   1. episode total vs number of VMs (fallback IB -> Eth, 1:1 hosts) —
+//      migrations run concurrently over disjoint host pairs, so the wall
+//      time should be ~flat (the mechanism scales);
+//   2. episode total vs ranks per VM — coordination is the only part that
+//      can grow, and it is noise;
+//   3. consolidation ratio (destination hosts < VMs) — incast onto fewer
+//      receivers is where congestion actually shows up;
+//   4. wide-area sweep: Ethernet fabric latency 30 us -> 50 ms (the §II
+//      disaster-recovery / intercloud use case).
+#include <iostream>
+#include <memory>
+
+#include "bench/common.h"
+#include "core/job.h"
+#include "core/ninja.h"
+#include "core/testbed.h"
+#include "util/table.h"
+#include "workloads/bcast_reduce.h"
+
+namespace {
+
+using namespace nm;
+
+struct RunConfig {
+  int vms = 4;
+  std::size_t ranks_per_vm = 1;
+  int dst_hosts = 4;
+  Duration eth_latency = Duration::micros(30);
+  bool rdma = false;
+};
+
+core::NinjaStats run_fallback(const RunConfig& rc) {
+  core::TestbedConfig tcfg;
+  tcfg.eth.latency = rc.eth_latency;
+  tcfg.migration.use_rdma = rc.rdma;
+  core::Testbed tb(tcfg);
+  core::JobConfig cfg;
+  cfg.vm_count = rc.vms;
+  cfg.ranks_per_vm = rc.ranks_per_vm;
+  cfg.vm_template.memory = Bytes::gib(8);
+  cfg.vm_template.base_os_footprint = Bytes::gib(1);
+  core::MpiJob job(tb, cfg);
+  job.init();
+
+  workloads::BcastReduceConfig wcfg;
+  wcfg.per_node_bytes = Bytes::mib(512);
+  wcfg.iterations = 200;
+  auto bench = std::make_shared<workloads::BcastReduceBench>(job, wcfg);
+  job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+
+  core::NinjaStats stats;
+  tb.sim().spawn([](core::MpiJob& j, std::shared_ptr<workloads::BcastReduceBench> b,
+                    int hosts, core::NinjaStats& st) -> sim::Task {
+    co_await b->wait_step(2);
+    co_await j.fallback_migration(hosts, &st);
+  }(job, bench, rc.dst_hosts, stats));
+  tb.sim().run_until(TimePoint::origin() + Duration::minutes(60));
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Scalability", "episode cost sweeps (paper SS V discussion)");
+
+  std::cout << "\n1. VM count (1 VM per destination host, 8 GiB guests):\n";
+  TextTable t1({"VMs", "episode total [s]", "migration [s]"});
+  for (const int vms : {2, 4, 6, 8}) {
+    RunConfig rc;
+    rc.vms = vms;
+    rc.dst_hosts = vms;
+    const auto st = run_fallback(rc);
+    t1.add_row({std::to_string(vms), TextTable::num(st.total.to_seconds()),
+                TextTable::num(st.migration.to_seconds())});
+  }
+  t1.render(std::cout);
+  std::cout << "Concurrent migrations over disjoint pairs: wall time ~flat — the\n"
+               "mechanism itself scales, as the paper argues.\n";
+
+  std::cout << "\n2. Ranks per VM (4 VMs):\n";
+  TextTable t2({"ranks/VM", "total ranks", "episode total [s]", "coordination [s]"});
+  for (const std::size_t rpv : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+    RunConfig rc;
+    rc.ranks_per_vm = rpv;
+    const auto st = run_fallback(rc);
+    t2.add_row({std::to_string(rpv), std::to_string(4 * rpv),
+                TextTable::num(st.total.to_seconds()),
+                TextTable::num(st.coordination.to_seconds())});
+  }
+  t2.render(std::cout);
+
+  std::cout << "\n3. Consolidation ratio (8 VMs onto fewer hosts — incast):\n";
+  TextTable t3({"dst hosts", "VMs/host", "migration TCP [s]", "migration RDMA [s]"});
+  for (const int hosts : {8, 4, 2, 1}) {
+    RunConfig rc;
+    rc.vms = 8;
+    rc.dst_hosts = hosts;
+    const auto tcp = run_fallback(rc);
+    rc.rdma = true;
+    const auto rdma = run_fallback(rc);
+    t3.add_row({std::to_string(hosts), std::to_string(8 / hosts),
+                TextTable::num(tcp.migration.to_seconds()),
+                TextTable::num(rdma.migration.to_seconds())});
+  }
+  t3.render(std::cout);
+  std::cout << "With the CPU-bound TCP sender (1.3 Gb/s each) the receivers never\n"
+               "saturate; remove that cap (RDMA migration) and receiver-side\n"
+               "congestion appears as VMs pile onto fewer hosts — the congestion\n"
+               "effect the paper flags as the open scalability issue.\n";
+
+  std::cout << "\n4. Wide-area latency sweep (4 VMs, disaster-recovery use case):\n";
+  TextTable t4({"eth one-way latency", "episode total [s]", "migration [s]"});
+  for (const double ms : {0.03, 2.0, 10.0, 50.0}) {
+    RunConfig rc;
+    rc.eth_latency = Duration::seconds(ms / 1000.0);
+    const auto st = run_fallback(rc);
+    t4.add_row({TextTable::num(ms, 2) + " ms", TextTable::num(st.total.to_seconds()),
+                TextTable::num(st.migration.to_seconds())});
+  }
+  t4.render(std::cout);
+  std::cout << "Bulk pre-copy is bandwidth-bound, so WAN latency barely moves the\n"
+               "episode; the job's own traffic pays for it instead.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) of the simulator substrate itself:
+// event-loop throughput, fluid rebalancing cost, interval-map updates, and
+// a full small Ninja episode. These guard the simulator's own performance,
+// so the Fig 7/8 reproductions stay fast enough to iterate on.
+#include <benchmark/benchmark.h>
+
+#include "core/job.h"
+#include "core/testbed.h"
+#include "sim/fluid.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "util/interval_map.h"
+#include "workloads/bcast_reduce.h"
+
+namespace {
+
+using namespace nm;
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.post(Duration::nanos(i), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventLoopThroughput);
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim.spawn([](sim::Simulation& s) -> sim::Task {
+      for (int i = 0; i < 5'000; ++i) {
+        co_await s.delay(Duration::micros(1));
+      }
+    }(sim));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 5'000);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+void BM_FluidRebalance(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::FluidScheduler sched(sim);
+    sim::FluidResource nic("nic", 1e9);
+    std::vector<sim::FlowPtr> live;
+    live.reserve(static_cast<std::size_t>(flows));
+    for (int i = 0; i < flows; ++i) {
+      live.push_back(sched.start(1e6 * (i + 1), std::vector<sim::FluidResource*>{&nic}));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidRebalance)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_IntervalMapDirtyTracking(benchmark::State& state) {
+  for (auto _ : state) {
+    IntervalMap<int> map(5'242'880, 0);  // 20 GiB of 4 KiB pages
+    for (std::uint64_t i = 0; i < 1'000; ++i) {
+      const auto lo = (i * 37) % 5'000'000;
+      map.assign(lo, lo + 4'096, static_cast<int>(i % 3));
+    }
+    benchmark::DoNotOptimize(map.run_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_IntervalMapDirtyTracking);
+
+void BM_FullNinjaEpisode(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Testbed tb;
+    core::JobConfig cfg;
+    cfg.vm_count = 2;
+    cfg.ranks_per_vm = 1;
+    cfg.vm_template.memory = Bytes::gib(4);
+    cfg.vm_template.base_os_footprint = Bytes::mib(512);
+    core::MpiJob job(tb, cfg);
+    job.init();
+    workloads::BcastReduceConfig wcfg;
+    wcfg.per_node_bytes = Bytes::mib(256);
+    wcfg.iterations = 10;
+    auto bench = std::make_shared<workloads::BcastReduceBench>(job, wcfg);
+    job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+    tb.sim().spawn([](core::MpiJob& j, std::shared_ptr<workloads::BcastReduceBench> b)
+                       -> sim::Task {
+      co_await b->wait_step(2);
+      co_await j.fallback_migration(2);
+    }(job, bench));
+    tb.sim().run();
+    benchmark::DoNotOptimize(bench->iteration_seconds().size());
+  }
+}
+BENCHMARK(BM_FullNinjaEpisode)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

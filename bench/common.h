@@ -1,0 +1,41 @@
+// Shared helpers for the reproduction benches: headers, paper-vs-measured
+// tables, and stacked-bar rendering of overhead breakdowns.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "util/table.h"
+
+namespace nm::bench {
+
+inline void print_header(const std::string& experiment_id, const std::string& description) {
+  std::cout << "\n=================================================================\n"
+            << experiment_id << " — " << description << "\n"
+            << "Testbed: modelled AIST AGC cluster (Table I): 16 blades, 8-core\n"
+            << "Xeon E5540, 48 GiB; QDR InfiniBand (8 nodes) + 10 GbE (16 nodes);\n"
+            << "QEMU/KVM-model VMs, NFS-model shared storage. Deterministic\n"
+            << "simulation — no error bars; the paper reports best-of-3.\n"
+            << "=================================================================\n";
+}
+
+/// One paper-vs-measured row.
+struct CompareRow {
+  std::string label;
+  double paper = 0.0;
+  double measured = 0.0;
+};
+
+inline void print_compare(const std::string& metric, const std::vector<CompareRow>& rows) {
+  TextTable table({"case", metric + " (paper)", metric + " (this repro)", "ratio"});
+  for (const auto& row : rows) {
+    const double ratio = row.paper > 0 ? row.measured / row.paper : 0.0;
+    table.add_row({row.label, TextTable::num(row.paper), TextTable::num(row.measured),
+                   row.paper > 0 ? TextTable::num(ratio) : "-"});
+  }
+  table.render(std::cout);
+}
+
+}  // namespace nm::bench

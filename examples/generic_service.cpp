@@ -1,0 +1,110 @@
+// The §VII future-work layer in action: a *non-MPI* distributed service
+// (a telemetry pipeline streaming readings over InfiniBand verbs) made
+// migratable with symvirt::GenericCoordinator. The service registers
+// quiesce/resume callbacks — drop the cached peer LID, wait for the new
+// link, re-resolve — and calls service_point() in its main loop; Ninja
+// then migrates it exactly like an MPI job.
+//
+//   $ ./examples/generic_service
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/ninja.h"
+#include "core/testbed.h"
+#include "guestos/drivers.h"
+#include "guestos/guest_os.h"
+#include "symvirt/generic.h"
+#include "util/table.h"
+
+using namespace nm;
+
+namespace {
+
+struct ServiceNode {
+  std::shared_ptr<vmm::Vm> vm;
+  std::unique_ptr<guest::GuestOs> os;
+  std::unique_ptr<guest::IbVerbsDriver> ib;
+  std::shared_ptr<symvirt::GenericCoordinator> coordinator;
+  net::FabricAddress peer_lid = net::kInvalidAddress;
+  long readings_shipped = 0;
+  bool stop = false;
+};
+
+sim::Task pipeline_loop(ServiceNode& self, ServiceNode& peer) {
+  auto& sim = self.vm->simulation();
+  while (!self.stop) {
+    co_await self.coordinator->service_point();
+    if (self.peer_lid == net::kInvalidAddress) {
+      self.peer_lid = peer.ib->address();  // registry lookup
+    }
+    co_await self.ib->send(self.peer_lid, Bytes::mib(1));  // a batch of readings
+    ++self.readings_shipped;
+    co_await sim.delay(Duration::millis(250));
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::Testbed testbed;
+  std::vector<std::unique_ptr<ServiceNode>> nodes;
+  for (int i = 0; i < 2; ++i) {
+    auto node = std::make_unique<ServiceNode>();
+    vmm::VmSpec spec;
+    spec.name = "telemetry" + std::to_string(i);
+    spec.memory = Bytes::gib(4);
+    node->vm = testbed.boot_vm(testbed.ib_host(i), spec, /*with_hca=*/true);
+    node->os = std::make_unique<guest::GuestOs>(node->vm);
+    node->ib = std::make_unique<guest::IbVerbsDriver>(*node->os);
+    node->coordinator = std::make_shared<symvirt::GenericCoordinator>(node->vm);
+
+    ServiceNode* self = node.get();
+    symvirt::GenericCoordinator::Callbacks callbacks;
+    callbacks.quiesce = [self]() -> sim::Task {
+      self->peer_lid = net::kInvalidAddress;  // connections will be stale
+      co_return;
+    };
+    callbacks.resume = [self]() -> sim::Task {
+      co_await self->ib->wait_ready();  // ride out the ~30 s link training
+    };
+    node->coordinator->set_callbacks(std::move(callbacks));
+    nodes.push_back(std::move(node));
+  }
+  testbed.settle();
+  testbed.sim().spawn(pipeline_loop(*nodes[0], *nodes[1]), "svc0");
+  testbed.sim().spawn(pipeline_loop(*nodes[1], *nodes[0]), "svc1");
+
+  // Migrate the pair to two other InfiniBand blades (hardware refresh).
+  core::NinjaStats stats;
+  testbed.sim().spawn([](core::Testbed& t, std::vector<ServiceNode*> ns,
+                         core::NinjaStats& st) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(10));
+    core::MigrationPlan plan;
+    plan.vms = {ns[0]->vm, ns[1]->vm};
+    plan.destinations = {t.ib_host(2).name(), t.ib_host(3).name()};
+    plan.attach_host_pci = core::Testbed::kHcaPciAddr;
+    plan.ranks_per_vm = 1;
+    std::vector<std::shared_ptr<symvirt::GenericCoordinator>> coords{ns[0]->coordinator,
+                                                                     ns[1]->coordinator};
+    co_await core::run_generic_episode(
+        t.sim(), coords, std::move(plan),
+        [&t](const std::string& n) { return t.find_host(n); }, &st);
+  }(testbed, {nodes[0].get(), nodes[1].get()}, stats));
+
+  testbed.sim().post(Duration::minutes(2), [&] {
+    nodes[0]->stop = true;
+    nodes[1]->stop = true;
+  });
+  testbed.sim().run_for(Duration::minutes(3));
+
+  std::cout << "telemetry pipeline survived the episode (total " << stats.total << ", link-up "
+            << stats.linkup << ")\n";
+  for (const auto& node : nodes) {
+    std::cout << "  " << node->vm->name() << " on " << node->vm->host().name() << ", shipped "
+              << node->readings_shipped << " reading batches\n";
+  }
+  std::cout << "no MPI anywhere in this program — the generic SymVirt layer (§VII\n"
+            << "future work) carried an ordinary distributed service across hosts.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Proactive fault tolerance (paper §II): "using proactive and reactive
+// fault tolerant systems, we can restart VMs on an Ethernet cluster from
+// checkpointed VM images on an Infiniband cluster."
+//
+// An MPI job runs on InfiniBand blades. A predicted failure forces the
+// whole job into checkpointed images on the NFS store; the blades "die";
+// later the job is restored on the Ethernet cluster and keeps computing —
+// no process was ever restarted, it just slept inside its parked VMs.
+//
+//   $ ./examples/proactive_ft
+#include <iostream>
+
+#include "core/job.h"
+#include "core/ninja.h"
+#include "core/testbed.h"
+#include "util/table.h"
+#include "workloads/bcast_reduce.h"
+
+using namespace nm;
+
+int main() {
+  core::Testbed testbed;
+
+  core::JobConfig config;
+  config.name = "ft";
+  config.vm_count = 2;
+  config.ranks_per_vm = 4;
+  config.vm_template.memory = Bytes::gib(8);
+  core::MpiJob job(testbed, config);
+  job.init();
+
+  workloads::BcastReduceConfig wcfg;
+  wcfg.per_node_bytes = Bytes::gib(1);
+  wcfg.iterations = 30;
+  auto bench = std::make_shared<workloads::BcastReduceBench>(job, wcfg);
+  job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+
+  core::NinjaStats stats;
+  testbed.sim().spawn([](core::Testbed& t, core::MpiJob& j,
+                         std::shared_ptr<workloads::BcastReduceBench> b,
+                         core::NinjaStats& st) -> sim::Task {
+    co_await b->wait_step(5);
+    std::cout << "[t=" << TextTable::num(t.sim().now().to_seconds())
+              << "s] failure predicted on the IB blades: checkpointing the job to "
+              << t.storage().name() << "\n";
+    // via_storage: window B checkpoints each VM's image to NFS and
+    // restores it on the Ethernet side instead of a live pre-copy.
+    core::MigrationPlan plan =
+        j.scheduler().fallback_plan(j.vms(), /*host_count=*/2, j.config().ranks_per_vm);
+    plan.via_storage = true;
+    co_await j.ninja().execute(std::move(plan), &st);
+    std::cout << "[t=" << TextTable::num(t.sim().now().to_seconds())
+              << "s] job restored on the Ethernet cluster ("
+              << TextTable::num(st.migration.to_seconds())
+              << "s through storage); computing again\n";
+  }(testbed, job, bench, stats));
+
+  testbed.sim().run();
+
+  std::cout << "\ncompleted " << bench->iteration_seconds().size()
+            << "/30 iterations; final transport: " << job.current_transport() << "\n";
+  for (const auto& vm : job.vms()) {
+    std::cout << "  " << vm->name() << " now on " << vm->host().name() << "\n";
+  }
+  std::cout << "episode: coordination " << stats.coordination << ", detach " << stats.detach
+            << ", storage relocation " << stats.migration << ", total " << stats.total
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "core/job.h"
+
+#include "util/error.h"
+
+namespace nm::core {
+
+MpiJob::MpiJob(Testbed& testbed, JobConfig config)
+    : testbed_(&testbed), config_(std::move(config)), scheduler_(testbed) {
+  NM_CHECK(config_.vm_count > 0, "job needs at least one VM");
+  NM_CHECK(config_.ranks_per_vm > 0, "job needs at least one rank per VM");
+  const int host_count =
+      config_.on_ib_cluster ? testbed.ib_host_count() : testbed.eth_host_count();
+  NM_CHECK(config_.vm_count <= host_count,
+           "not enough hosts for " << config_.vm_count << " VMs");
+
+  runtime_ = std::make_unique<mpi::MpiRuntime>(testbed.sim(), config_.mpi);
+  for (int i = 0; i < config_.vm_count; ++i) {
+    auto& host = config_.on_ib_cluster ? testbed.ib_host(i) : testbed.eth_host(i);
+    vmm::VmSpec spec = config_.vm_template;
+    spec.name = config_.name + "-vm" + std::to_string(i);
+    const bool hca = config_.with_hca && config_.on_ib_cluster;
+    vms_.push_back(testbed.boot_vm(host, spec, hca));
+    guests_.push_back(std::make_unique<guest::GuestOs>(vms_.back()));
+    for (std::size_t r = 0; r < config_.ranks_per_vm; ++r) {
+      runtime_->add_rank(*guests_.back());
+    }
+  }
+  ninja_ = std::make_unique<NinjaMigrator>(testbed.sim(), *runtime_, scheduler_.resolver());
+}
+
+guest::GuestOs& MpiJob::guest_os(int vm_index) {
+  NM_CHECK(vm_index >= 0 && static_cast<std::size_t>(vm_index) < guests_.size(),
+           "vm index out of range");
+  return *guests_[static_cast<std::size_t>(vm_index)];
+}
+
+void MpiJob::init() {
+  NM_CHECK(!initialized_, "job already initialized");
+  testbed_->settle();  // boot-time HCA links train before MPI_Init
+  runtime_->init();
+  world_ = std::make_unique<mpi::Communicator>(mpi::Communicator::world(*runtime_));
+  ninja_->install_coordinator();
+  initialized_ = true;
+}
+
+std::vector<sim::TaskRef> MpiJob::launch(std::function<sim::Task(mpi::RankId)> body) {
+  NM_CHECK(initialized_, "init() the job before launching ranks");
+  // Pin the callable: the coroutine frames reference the closure object.
+  bodies_.push_back(
+      std::make_unique<std::function<sim::Task(mpi::RankId)>>(std::move(body)));
+  auto& pinned = *bodies_.back();
+  std::vector<sim::TaskRef> refs;
+  refs.reserve(runtime_->size());
+  for (std::size_t r = 0; r < runtime_->size(); ++r) {
+    refs.push_back(testbed_->sim().spawn(pinned(static_cast<mpi::RankId>(r)),
+                                         config_.name + ":rank" + std::to_string(r)));
+  }
+  return refs;
+}
+
+sim::Task MpiJob::fallback_migration(int host_count, NinjaStats* stats) {
+  co_await ninja_->execute(scheduler_.fallback_plan(vms_, host_count, config_.ranks_per_vm),
+                           stats);
+}
+
+sim::Task MpiJob::recovery_migration(int host_count, NinjaStats* stats) {
+  co_await ninja_->execute(scheduler_.recovery_plan(vms_, host_count, config_.ranks_per_vm),
+                           stats);
+}
+
+sim::Task MpiJob::tcp_migration(std::vector<std::string> destinations, NinjaStats* stats) {
+  co_await ninja_->execute(
+      scheduler_.tcp_plan(vms_, std::move(destinations), config_.ranks_per_vm), stats);
+}
+
+std::string MpiJob::current_transport() {
+  NM_CHECK(initialized_, "job not initialized");
+  if (runtime_->size() <= config_.ranks_per_vm) {
+    return "sm";  // single-VM job: everything is shared memory
+  }
+  // First rank of VM 0 towards first rank of VM 1.
+  return runtime_->rank(0).transport_to(static_cast<mpi::RankId>(config_.ranks_per_vm));
+}
+
+}  // namespace nm::core

@@ -1,0 +1,91 @@
+// MpiJob: the high-level composition a user of the library works with —
+// "an MPI job on VMs of the modelled testbed, migratable with Ninja".
+// It assembles VMs (+ guest OSes), an nMPI runtime with one rank per
+// requested slot, the SymVirt coordinator, and a cloud scheduler, and
+// exposes the Fig 1 operations: run the job, fall back to the Ethernet
+// cluster, recover to the InfiniBand cluster.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ninja.h"
+#include "core/testbed.h"
+#include "guestos/guest_os.h"
+#include "mpi/collectives.h"
+#include "mpi/runtime.h"
+
+namespace nm::core {
+
+struct JobConfig {
+  std::string name = "job";
+  int vm_count = 4;
+  std::size_t ranks_per_vm = 1;
+  /// Launch on the InfiniBand cluster with passthrough HCAs?
+  bool on_ib_cluster = true;
+  bool with_hca = true;
+  vmm::VmSpec vm_template;  // `name` is overwritten per VM
+  mpi::MpiOptions mpi;
+
+  JobConfig() {
+    vm_template.vcpus = 8.0;
+    vm_template.memory = Bytes::gib(20);
+    mpi.ft_enable_cr = true;
+    mpi.continue_like_restart = true;
+  }
+};
+
+class MpiJob {
+ public:
+  MpiJob(Testbed& testbed, JobConfig config);
+  MpiJob(const MpiJob&) = delete;
+  MpiJob& operator=(const MpiJob&) = delete;
+
+  [[nodiscard]] Testbed& testbed() { return *testbed_; }
+  [[nodiscard]] const JobConfig& config() const { return config_; }
+  [[nodiscard]] mpi::MpiRuntime& runtime() { return *runtime_; }
+  [[nodiscard]] mpi::Communicator& world() { return *world_; }
+  [[nodiscard]] NinjaMigrator& ninja() { return *ninja_; }
+  [[nodiscard]] CloudScheduler& scheduler() { return scheduler_; }
+
+  [[nodiscard]] std::size_t rank_count() const { return runtime_->size(); }
+  [[nodiscard]] std::vector<std::shared_ptr<vmm::Vm>> vms() const { return vms_; }
+  [[nodiscard]] guest::GuestOs& guest_os(int vm_index);
+
+  /// Lets boot-time HCA links train and initializes the MPI runtime.
+  void init();
+
+  /// Spawns one task per rank running `body(rank_id)`; returns the refs.
+  /// The callable is kept alive for the job's lifetime, so capturing
+  /// lambdas are safe (a lambda coroutine's captures live in the closure
+  /// object, not the coroutine frame — C++ Core Guidelines CP.51).
+  std::vector<sim::TaskRef> launch(std::function<sim::Task(mpi::RankId)> body);
+
+  /// Fig 1 operations. `host_count` destinations; fewer hosts than VMs is
+  /// a consolidation. Run these from a spawned task.
+  [[nodiscard]] sim::Task fallback_migration(int host_count, NinjaStats* stats = nullptr);
+  [[nodiscard]] sim::Task recovery_migration(int host_count, NinjaStats* stats = nullptr);
+  /// Migration onto the IB cluster without HCA re-attach ("4 hosts (TCP)").
+  [[nodiscard]] sim::Task tcp_migration(std::vector<std::string> destinations,
+                                        NinjaStats* stats = nullptr);
+
+  /// Transport rank 0 would use towards the first rank on another VM
+  /// ("which interconnect is the job on right now?").
+  [[nodiscard]] std::string current_transport();
+
+ private:
+  Testbed* testbed_;
+  JobConfig config_;
+  std::vector<std::shared_ptr<vmm::Vm>> vms_;
+  std::vector<std::unique_ptr<guest::GuestOs>> guests_;
+  std::unique_ptr<mpi::MpiRuntime> runtime_;
+  std::unique_ptr<mpi::Communicator> world_;
+  CloudScheduler scheduler_;
+  std::unique_ptr<NinjaMigrator> ninja_;
+  std::vector<std::unique_ptr<std::function<sim::Task(mpi::RankId)>>> bodies_;
+  bool initialized_ = false;
+};
+
+}  // namespace nm::core

@@ -1,0 +1,210 @@
+#include "core/ninja.h"
+
+#include "mpi/cr.h"
+#include "util/log.h"
+
+namespace nm::core {
+
+NinjaMigrator::NinjaMigrator(sim::Simulation& sim, mpi::MpiRuntime& runtime,
+                             vmm::Monitor::HostResolver resolver,
+                             symvirt::CoordinatorTiming timing)
+    : sim_(&sim), runtime_(&runtime), resolver_(std::move(resolver)), coordinator_(timing) {}
+
+void NinjaMigrator::install_coordinator() { coordinator_.install(*runtime_); }
+
+sim::Task NinjaMigrator::execute(MigrationPlan plan, NinjaStats* stats_out) {
+  NM_CHECK(!plan.vms.empty(), "empty migration plan");
+  NM_CHECK(!plan.destinations.empty(), "migration plan has no destinations");
+
+  NinjaStats stats;
+  const TimePoint t0 = sim_->now();
+  NM_LOG_INFO("ninja") << "episode start: " << plan.vms.size() << " VMs -> {"
+                       << [&] {
+                            std::string s;
+                            for (const auto& d : plan.destinations) {
+                              s += d + " ";
+                            }
+                            return s;
+                          }()
+                       << "}" << (plan.attach_host_pci.empty() ? " (fallback)" : " (recovery)");
+
+  // 1) The cloud scheduler delivers the trigger to the MPI runtime: the
+  //    CRCP quiesces the job and every rank's SymVirt coordinator parks
+  //    the VM in window A.
+  const auto generation = runtime_->cr().request();
+
+  symvirt::Controller ctl(*sim_, plan.vms, plan.ranks_per_vm, resolver_);
+  co_await ctl.wait_all();
+  stats.coordination = sim_->now() - t0;
+  stats.timeline.add_span("coordination", t0, sim_->now());
+
+  // 2) Window A: detach VMM-bypass devices where present.
+  const TimePoint detach_start = sim_->now();
+  const bool any_hca = [&] {
+    for (const auto& vm : plan.vms) {
+      if (vm->has_vmm_bypass_device()) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  if (any_hca) {
+    co_await ctl.device_detach(plan.hca_tag);
+  }
+  stats.detach = sim_->now() - detach_start;
+  stats.timeline.add_span("detach (window A)", detach_start, sim_->now());
+  ctl.signal();
+
+  // 3) Window B: move every VM (concurrently) to its destination — live
+  //    pre-copy through the monitors, or checkpoint/restore through the
+  //    shared store for the proactive-FT mode.
+  co_await ctl.wait_all();
+  const TimePoint mig_start = sim_->now();
+  if (plan.via_storage) {
+    std::vector<sim::TaskRef> refs;
+    for (std::size_t i = 0; i < plan.vms.size(); ++i) {
+      auto& vm = plan.vms[i];
+      vmm::Host* dst = resolver_(plan.destinations[i % plan.destinations.size()]);
+      NM_CHECK(dst != nullptr, "unknown destination " << plan.destinations[i %
+                                                             plan.destinations.size()]);
+      refs.push_back(sim_->spawn(
+          [](std::shared_ptr<vmm::Vm> v, vmm::Host* destination) -> sim::Task {
+            auto& engine = v->host().migration_engine();
+            vmm::Host& src = v->host();
+            co_await engine.checkpoint_to_storage(v, src);
+            co_await engine.restore_from_storage(v, *destination);
+          }(vm, dst),
+          "ckpt:" + vm->name()));
+    }
+    co_await sim::join_all(std::move(refs));
+    ctl.signal();
+  } else {
+    co_await ctl.migration(plan.destinations);  // signals the VMs itself
+    for (std::size_t i = 0; i < plan.vms.size(); ++i) {
+      stats.per_vm.push_back(ctl.agent(i).monitor().last_migration());
+    }
+  }
+  stats.migration = sim_->now() - mig_start;
+  stats.timeline.add_span(plan.via_storage ? "ckpt/restore (window B)" : "migration (window B)",
+                          mig_start, sim_->now());
+
+  // 4) Window C: re-attach HCAs for a recovery migration.
+  co_await ctl.wait_all();
+  const TimePoint attach_start = sim_->now();
+  if (!plan.attach_host_pci.empty()) {
+    co_await ctl.device_attach(plan.attach_host_pci, plan.hca_tag);
+  }
+  stats.attach = sim_->now() - attach_start;
+  stats.timeline.add_span("re-attach (window C)", attach_start, sim_->now());
+  ctl.signal();
+  ctl.quit();
+
+  // 5) Guest side finishes: confirm, link-up wait, BTL reconstruction.
+  const TimePoint linkup_start = sim_->now();
+  co_await runtime_->cr().wait_complete(generation);
+  stats.linkup = sim_->now() - linkup_start;
+  stats.timeline.add_span("confirm+linkup+BTL rebuild", linkup_start, sim_->now());
+  stats.total = sim_->now() - t0;
+
+  NM_LOG_INFO("ninja") << "episode done in " << stats.total << " (coord " << stats.coordination
+                       << ", detach " << stats.detach << ", migrate " << stats.migration
+                       << ", attach " << stats.attach << ", linkup " << stats.linkup << ")";
+  if (stats_out != nullptr) {
+    *stats_out = stats;
+  }
+}
+
+sim::Task run_generic_episode(
+    sim::Simulation& sim,
+    const std::vector<std::shared_ptr<symvirt::GenericCoordinator>>& coordinators,
+    MigrationPlan plan, vmm::Monitor::HostResolver resolver, NinjaStats* stats_out) {
+  NM_CHECK(!coordinators.empty(), "no coordinators");
+  NM_CHECK(coordinators.size() == plan.vms.size(),
+           "one GenericCoordinator per VM is required");
+  NinjaStats stats;
+  const TimePoint t0 = sim.now();
+  std::vector<std::uint64_t> generations;
+  generations.reserve(coordinators.size());
+  for (const auto& coord : coordinators) {
+    coord->request();
+    generations.push_back(coord->generation());
+  }
+
+  symvirt::Controller ctl(sim, plan.vms, plan.ranks_per_vm, resolver);
+  co_await ctl.wait_all();
+  stats.coordination = sim.now() - t0;
+
+  const TimePoint detach_start = sim.now();
+  bool any_hca = false;
+  for (const auto& vm : plan.vms) {
+    any_hca = any_hca || vm->has_vmm_bypass_device();
+  }
+  if (any_hca) {
+    co_await ctl.device_detach(plan.hca_tag);
+  }
+  stats.detach = sim.now() - detach_start;
+  ctl.signal();
+
+  co_await ctl.wait_all();
+  const TimePoint mig_start = sim.now();
+  co_await ctl.migration(plan.destinations);
+  stats.migration = sim.now() - mig_start;
+
+  co_await ctl.wait_all();
+  const TimePoint attach_start = sim.now();
+  if (!plan.attach_host_pci.empty()) {
+    co_await ctl.device_attach(plan.attach_host_pci, plan.hca_tag);
+  }
+  stats.attach = sim.now() - attach_start;
+  ctl.signal();
+
+  const TimePoint linkup_start = sim.now();
+  for (std::size_t i = 0; i < coordinators.size(); ++i) {
+    co_await coordinators[i]->wait_complete(generations[i]);
+  }
+  stats.linkup = sim.now() - linkup_start;
+  stats.total = sim.now() - t0;
+  if (stats_out != nullptr) {
+    *stats_out = stats;
+  }
+}
+
+MigrationPlan CloudScheduler::fallback_plan(std::vector<std::shared_ptr<vmm::Vm>> vms,
+                                            int host_count, std::size_t ranks_per_vm) const {
+  MigrationPlan plan;
+  plan.vms = std::move(vms);
+  for (int i = 0; i < host_count; ++i) {
+    plan.destinations.push_back(testbed_->eth_host(i).name());
+  }
+  plan.ranks_per_vm = ranks_per_vm;
+  return plan;
+}
+
+MigrationPlan CloudScheduler::recovery_plan(std::vector<std::shared_ptr<vmm::Vm>> vms,
+                                            int host_count, std::size_t ranks_per_vm) const {
+  MigrationPlan plan;
+  plan.vms = std::move(vms);
+  for (int i = 0; i < host_count; ++i) {
+    plan.destinations.push_back(testbed_->ib_host(i).name());
+  }
+  plan.attach_host_pci = Testbed::kHcaPciAddr;
+  plan.ranks_per_vm = ranks_per_vm;
+  return plan;
+}
+
+MigrationPlan CloudScheduler::tcp_plan(std::vector<std::shared_ptr<vmm::Vm>> vms,
+                                       std::vector<std::string> destinations,
+                                       std::size_t ranks_per_vm) const {
+  MigrationPlan plan;
+  plan.vms = std::move(vms);
+  plan.destinations = std::move(destinations);
+  plan.ranks_per_vm = ranks_per_vm;
+  return plan;
+}
+
+vmm::Monitor::HostResolver CloudScheduler::resolver() const {
+  Testbed* tb = testbed_;
+  return [tb](const std::string& name) { return tb->find_host(name); };
+}
+
+}  // namespace nm::core

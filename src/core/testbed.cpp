@@ -1,0 +1,88 @@
+#include "core/testbed.h"
+
+#include "util/error.h"
+
+namespace nm::core {
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      scheduler_(sim_),
+      storage_(scheduler_, "agc"),
+      ib_cluster_("agc-ib"),
+      eth_cluster_("agc-eth") {
+  ib_fabric_ = std::make_unique<net::IbFabric>(scheduler_, "ib:m3601q", config_.ib);
+  eth_fabric_ = std::make_unique<net::EthFabric>(scheduler_, "eth:m8024", config_.eth);
+
+  auto make_host = [&](hw::Cluster& cluster, const std::string& name, bool with_hca) {
+    hw::NodeSpec spec = config_.blade_spec;
+    spec.name = name;
+    auto& node = cluster.add_node(scheduler_, spec);
+    auto host = std::make_unique<vmm::Host>(sim_, scheduler_, node, storage_, config_.hotplug,
+                                            config_.migration);
+    // 10 GbE uplink on every blade.
+    ports_.push_back(
+        std::make_unique<net::NicPort>(node, name + ":eth", config_.eth.line_rate));
+    host->connect_eth(*eth_fabric_, *ports_.back());
+    if (with_hca) {
+      ports_.push_back(
+          std::make_unique<net::NicPort>(node, name + ":hca", config_.ib.data_rate));
+      host->register_hca(kHcaPciAddr, *ib_fabric_, *ports_.back(), config_.hca_vfs);
+    }
+    hosts_.push_back(std::move(host));
+  };
+
+  for (int i = 0; i < config_.ib_nodes; ++i) {
+    make_host(ib_cluster_, "ib" + std::to_string(i), /*with_hca=*/true);
+  }
+  for (int i = 0; i < config_.eth_nodes; ++i) {
+    make_host(eth_cluster_, "eth" + std::to_string(i), /*with_hca=*/false);
+  }
+}
+
+vmm::Host& Testbed::ib_host(int i) {
+  NM_CHECK(i >= 0 && i < config_.ib_nodes, "ib host index " << i << " out of range");
+  return *hosts_[static_cast<std::size_t>(i)];
+}
+
+vmm::Host& Testbed::eth_host(int i) {
+  NM_CHECK(i >= 0 && i < config_.eth_nodes, "eth host index " << i << " out of range");
+  return *hosts_[static_cast<std::size_t>(config_.ib_nodes + i)];
+}
+
+vmm::Host* Testbed::find_host(const std::string& name) {
+  for (auto& host : hosts_) {
+    if (host->name() == name) {
+      return host.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<vmm::Host*> Testbed::all_hosts() {
+  std::vector<vmm::Host*> out;
+  out.reserve(hosts_.size());
+  for (auto& host : hosts_) {
+    out.push_back(host.get());
+  }
+  return out;
+}
+
+std::shared_ptr<vmm::Vm> Testbed::boot_vm(vmm::Host& host, vmm::VmSpec spec, bool with_hca) {
+  auto vm = host.launch(std::move(spec));
+  host.add_virtio_net(*vm, "vnet0");
+  if (with_hca) {
+    NM_CHECK(host.hca_available(kHcaPciAddr),
+             host.name() << " has no free HCA for " << vm->name());
+    // Boot-time assignment (qemu -device on the command line): no hotplug
+    // handshake, but the port still trains.
+    sim_.spawn(host.device_add(*vm, kHcaPciAddr, "vf0"), "boot-hca:" + vm->name());
+  }
+  return vm;
+}
+
+void Testbed::settle() {
+  sim_.run_for(config_.ib.linkup_time + config_.hotplug.attach_ib + Duration::seconds(1.0));
+}
+
+}  // namespace nm::core

@@ -1,0 +1,90 @@
+// The modelled AGC testbed (paper Table I): 16 Dell M610 blades in one
+// enclosure — 8 on the QDR InfiniBand switch (M3601Q) + all 16 on the
+// 10 GbE switch (M8024) — NFS shared storage, one QEMU/KVM host per blade.
+//
+// Testbed is the composition root: it owns the simulation, the fluid
+// scheduler, fabrics, nodes, ports, and hosts, and provides the host-name
+// resolver used by monitors and the cloud scheduler.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "net/eth_fabric.h"
+#include "net/ib_fabric.h"
+#include "net/port.h"
+#include "sim/fluid.h"
+#include "sim/simulation.h"
+#include "vmm/host.h"
+#include "vmm/storage.h"
+
+namespace nm::core {
+
+struct TestbedConfig {
+  int ib_nodes = 8;   // blades with both IB HCA and 10 GbE
+  int eth_nodes = 8;  // blades with 10 GbE only
+  hw::NodeSpec blade_spec;  // name is per-node; other fields are defaults
+  net::IbFabricConfig ib;
+  net::EthFabricConfig eth;
+  vmm::HotplugTiming hotplug;
+  vmm::MigrationConfig migration;
+  /// SR-IOV virtual functions per HCA (1 = plain PCI passthrough).
+  int hca_vfs = 1;
+  std::uint64_t seed = 1;
+
+  TestbedConfig() {
+    blade_spec.cores = 8.0;                       // 2x quad-core Xeon E5540
+    blade_spec.memory = Bytes::gib(48);           // DDR3-1066
+    blade_spec.mem_write_bw = Bandwidth::gib_per_sec(3.0);
+  }
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] sim::FluidScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] net::IbFabric& ib_fabric() { return *ib_fabric_; }
+  [[nodiscard]] net::EthFabric& eth_fabric() { return *eth_fabric_; }
+  [[nodiscard]] vmm::SharedStorage& storage() { return storage_; }
+
+  [[nodiscard]] int ib_host_count() const { return config_.ib_nodes; }
+  [[nodiscard]] int eth_host_count() const { return config_.eth_nodes; }
+  /// Host on the InfiniBand cluster ("ib0".."ib7").
+  [[nodiscard]] vmm::Host& ib_host(int i);
+  /// Host on the Ethernet-only cluster ("eth0".."eth7").
+  [[nodiscard]] vmm::Host& eth_host(int i);
+  [[nodiscard]] vmm::Host* find_host(const std::string& name);
+  [[nodiscard]] std::vector<vmm::Host*> all_hosts();
+
+  /// The PCI address every blade's HCA sits at (paper Fig 5).
+  static constexpr const char* kHcaPciAddr = "04:00.0";
+
+  /// Boots a VM on `host` with a virtio NIC; when `with_hca` is true the
+  /// host's HCA is assigned at boot (no hotplug latency; link training
+  /// still applies, so allow ~30 s of simulated time before traffic).
+  std::shared_ptr<vmm::Vm> boot_vm(vmm::Host& host, vmm::VmSpec spec, bool with_hca);
+
+  /// Lets every boot-time link finish training.
+  void settle();
+
+ private:
+  TestbedConfig config_;
+  sim::Simulation sim_;
+  sim::FluidScheduler scheduler_;
+  vmm::SharedStorage storage_;
+  std::unique_ptr<net::IbFabric> ib_fabric_;
+  std::unique_ptr<net::EthFabric> eth_fabric_;
+  hw::Cluster ib_cluster_;
+  hw::Cluster eth_cluster_;
+  std::vector<std::unique_ptr<net::NicPort>> ports_;
+  std::vector<std::unique_ptr<vmm::Host>> hosts_;
+};
+
+}  // namespace nm::core

@@ -1,0 +1,104 @@
+#include "guestos/drivers.h"
+
+#include "util/error.h"
+
+namespace nm::guest {
+
+namespace {
+/// Link watcher poll period. The guest really does poll the port state
+/// (the paper observes the HCA stuck in "polling" during training).
+constexpr Duration kLinkPoll = Duration::millis(100);
+}  // namespace
+
+sim::Task NetworkDriver::wait_ready() {
+  while (!ready()) {
+    co_await os_->simulation().delay(kLinkPoll);
+  }
+}
+
+// --- IbVerbsDriver ---------------------------------------------------------
+
+vmm::IbHcaPassthroughDevice* IbVerbsDriver::device() const {
+  auto* dev = const_cast<GuestOs&>(os()).ib_device();
+  return static_cast<vmm::IbHcaPassthroughDevice*>(dev);
+}
+
+bool IbVerbsDriver::present() const { return device() != nullptr; }
+
+bool IbVerbsDriver::ready() const {
+  auto* dev = device();
+  return dev != nullptr && dev->attachment() != nullptr &&
+         dev->attachment()->state() == net::LinkState::kActive;
+}
+
+net::FabricAddress IbVerbsDriver::address() const {
+  auto* dev = device();
+  if (dev == nullptr || dev->attachment() == nullptr) {
+    return net::kInvalidAddress;
+  }
+  return dev->attachment()->address();
+}
+
+net::IbFabric::QueuePair IbVerbsDriver::create_queue_pair() {
+  auto* dev = device();
+  if (dev == nullptr) {
+    throw OperationError("verbs: no HCA present in " + os().vm().name());
+  }
+  return dev->ib_fabric().create_queue_pair(dev->attachment());
+}
+
+void IbVerbsDriver::release_resources() {
+  auto* dev = device();
+  if (dev != nullptr && dev->attachment() != nullptr) {
+    dev->ib_fabric().destroy_queue_pairs(dev->attachment());
+  }
+}
+
+std::size_t IbVerbsDriver::queue_pair_count() const {
+  auto* dev = device();
+  if (dev == nullptr || dev->attachment() == nullptr) {
+    return 0;
+  }
+  return dev->ib_fabric().queue_pair_count(dev->attachment());
+}
+
+sim::Task IbVerbsDriver::send(net::FabricAddress dst, Bytes bytes) {
+  auto* dev = device();
+  if (dev == nullptr) {
+    throw OperationError("verbs send: no HCA present in " + os().vm().name());
+  }
+  co_await dev->ib_fabric().rdma_transfer(dev->attachment(), dst, bytes);
+}
+
+// --- VirtioNetDriver ---------------------------------------------------------
+
+vmm::VirtioNetDevice* VirtioNetDriver::device() const {
+  auto* dev = const_cast<GuestOs&>(os()).eth_device();
+  return static_cast<vmm::VirtioNetDevice*>(dev);
+}
+
+bool VirtioNetDriver::present() const { return device() != nullptr; }
+
+bool VirtioNetDriver::ready() const {
+  auto* dev = device();
+  return dev != nullptr && dev->attachment() != nullptr &&
+         dev->attachment()->state() == net::LinkState::kActive;
+}
+
+net::FabricAddress VirtioNetDriver::address() const {
+  auto* dev = device();
+  if (dev == nullptr || dev->attachment() == nullptr) {
+    return net::kInvalidAddress;
+  }
+  return dev->attachment()->address();
+}
+
+sim::Task VirtioNetDriver::send(net::FabricAddress dst, Bytes bytes) {
+  auto* dev = device();
+  if (dev == nullptr) {
+    throw OperationError("virtio send: no NIC present in " + os().vm().name());
+  }
+  co_await dev->fabric().transfer(dev->attachment(), dst, bytes, dev->transfer_options());
+}
+
+}  // namespace nm::guest

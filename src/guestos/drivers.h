@@ -1,0 +1,84 @@
+// Guest network drivers. Both resolve their device through the guest OS at
+// every call — after a recovery migration the HCA the guest sees is a new
+// device instance (new LID, new QPN space), and resolving late is exactly
+// what lets the MPI layer rebuild its transports without restart.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "guestos/guest_os.h"
+#include "net/fabric.h"
+#include "net/ib_fabric.h"
+#include "sim/task.h"
+#include "util/units.h"
+
+namespace nm::guest {
+
+/// Common surface the MPI BTLs program against.
+class NetworkDriver {
+ public:
+  explicit NetworkDriver(GuestOs& os) : os_(&os) {}
+  virtual ~NetworkDriver() = default;
+  NetworkDriver(const NetworkDriver&) = delete;
+  NetworkDriver& operator=(const NetworkDriver&) = delete;
+
+  [[nodiscard]] virtual std::string_view transport_name() const = 0;
+  /// Device plugged in and link trained?
+  [[nodiscard]] virtual bool ready() const = 0;
+  /// Device merely present (may still be training)?
+  [[nodiscard]] virtual bool present() const = 0;
+  /// Current fabric address (LID / IP); kInvalidAddress when not attached.
+  [[nodiscard]] virtual net::FabricAddress address() const = 0;
+  /// Waits (polling, like a real link watcher) until ready().
+  [[nodiscard]] sim::Task wait_ready();
+  /// Moves `bytes` to `dst`. Requires ready().
+  [[nodiscard]] virtual sim::Task send(net::FabricAddress dst, Bytes bytes) = 0;
+
+ protected:
+  [[nodiscard]] GuestOs& os() { return *os_; }
+  [[nodiscard]] const GuestOs& os() const { return *os_; }
+
+ private:
+  GuestOs* os_;
+};
+
+/// OFED-style verbs driver for the VMM-bypass HCA.
+class IbVerbsDriver final : public NetworkDriver {
+ public:
+  explicit IbVerbsDriver(GuestOs& os) : NetworkDriver(os) {}
+
+  [[nodiscard]] std::string_view transport_name() const override { return "openib"; }
+  [[nodiscard]] bool present() const override;
+  [[nodiscard]] bool ready() const override;
+  [[nodiscard]] net::FabricAddress address() const override;
+
+  /// Allocates a queue pair on the current HCA (requires ready()).
+  [[nodiscard]] net::IbFabric::QueuePair create_queue_pair();
+  /// Releases all QPs (Open MPI CRS pre-checkpoint resource teardown).
+  void release_resources();
+  [[nodiscard]] std::size_t queue_pair_count() const;
+
+  [[nodiscard]] sim::Task send(net::FabricAddress dst, Bytes bytes) override;
+
+ private:
+  [[nodiscard]] vmm::IbHcaPassthroughDevice* device() const;
+};
+
+/// virtio_net driver: TCP/IP over the para-virtual NIC.
+class VirtioNetDriver final : public NetworkDriver {
+ public:
+  explicit VirtioNetDriver(GuestOs& os) : NetworkDriver(os) {}
+
+  [[nodiscard]] std::string_view transport_name() const override { return "tcp"; }
+  [[nodiscard]] bool present() const override;
+  [[nodiscard]] bool ready() const override;
+  [[nodiscard]] net::FabricAddress address() const override;
+
+  [[nodiscard]] sim::Task send(net::FabricAddress dst, Bytes bytes) override;
+
+ private:
+  [[nodiscard]] vmm::VirtioNetDevice* device() const;
+};
+
+}  // namespace nm::guest

@@ -1,0 +1,52 @@
+#include "guestos/guest_os.h"
+
+#include "util/log.h"
+
+namespace nm::guest {
+
+namespace {
+constexpr std::string_view kIbKind = "ib-hca-passthrough";
+constexpr std::string_view kEthKind = "virtio-net";
+}  // namespace
+
+GuestOs::GuestOs(std::shared_ptr<vmm::Vm> vm)
+    : vm_(std::move(vm)),
+      ib_present_(vm_->simulation(), /*initially_open=*/false),
+      eth_present_(vm_->simulation(), /*initially_open=*/false) {
+  refresh_gates();
+  vm_->simulation().spawn(acpiphp_loop(), "acpiphp:" + vm_->name());
+}
+
+vmm::VmDevice* GuestOs::ib_device() { return vm_->find_device_by_kind(kIbKind); }
+vmm::VmDevice* GuestOs::eth_device() { return vm_->find_device_by_kind(kEthKind); }
+
+void GuestOs::refresh_gates() {
+  if (ib_device() != nullptr) {
+    ib_present_.open();
+  } else {
+    ib_present_.close();
+  }
+  if (eth_device() != nullptr) {
+    eth_present_.open();
+  } else {
+    eth_present_.close();
+  }
+}
+
+sim::Task GuestOs::acpiphp_loop() {
+  // The guest's ACPI hotplug driver: reacts to add/remove notifications.
+  // It can only run while the VM runs (a paused VM processes nothing) —
+  // which is why SymVirt signals the VM back to life between the detach,
+  // migrate, and re-attach windows (Fig 4).
+  while (true) {
+    auto event = co_await vm_->hotplug_events().recv();
+    co_await vm_->run_gate().opened();
+    hotplug_log_.push_back(event);
+    NM_LOG_DEBUG("acpiphp") << vm_->name() << ": "
+                            << (event.kind == vmm::HotplugEvent::Kind::kAdded ? "add" : "remove")
+                            << " " << event.tag << " (" << event.device_kind << ")";
+    refresh_gates();
+  }
+}
+
+}  // namespace nm::guest

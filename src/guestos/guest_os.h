@@ -1,0 +1,58 @@
+// The guest operating system: consumes ACPI hotplug notifications
+// (acpiphp), tracks which adapters are present, and exposes the driver
+// stack (verbs for the passthrough HCA, virtio for the para-virtual NIC)
+// plus the SymVirt hypercall used by libsymvirt.so inside MPI processes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "vmm/vm.h"
+
+namespace nm::guest {
+
+class GuestOs {
+ public:
+  /// Boots the guest OS on `vm`: starts the acpiphp task and scans the
+  /// initially-present devices.
+  explicit GuestOs(std::shared_ptr<vmm::Vm> vm);
+  GuestOs(const GuestOs&) = delete;
+  GuestOs& operator=(const GuestOs&) = delete;
+
+  [[nodiscard]] vmm::Vm& vm() { return *vm_; }
+  [[nodiscard]] sim::Simulation& simulation() { return vm_->simulation(); }
+
+  // --- PCI device visibility (acpiphp-maintained) ------------------------
+  /// Gate that is open while an InfiniBand HCA is plugged in.
+  [[nodiscard]] sim::Gate& ib_present() { return ib_present_; }
+  /// Gate that is open while a virtio NIC is plugged in.
+  [[nodiscard]] sim::Gate& eth_present() { return eth_present_; }
+  [[nodiscard]] vmm::VmDevice* ib_device();
+  [[nodiscard]] vmm::VmDevice* eth_device();
+
+  /// Every hotplug event acpiphp has processed (diagnostics & tests).
+  [[nodiscard]] const std::vector<vmm::HotplugEvent>& hotplug_log() const {
+    return hotplug_log_;
+  }
+
+  // --- Guest execution ----------------------------------------------------
+  /// Runs guest work (respects VM pause and CPU contention).
+  [[nodiscard]] sim::Task compute(double core_seconds) { return vm_->compute(core_seconds); }
+
+  // --- SymVirt hypercalls -------------------------------------------------
+  [[nodiscard]] sim::Task symvirt_wait() { return vm_->symvirt_wait(); }
+
+ private:
+  [[nodiscard]] sim::Task acpiphp_loop();
+  void refresh_gates();
+
+  std::shared_ptr<vmm::Vm> vm_;
+  sim::Gate ib_present_;
+  sim::Gate eth_present_;
+  std::vector<vmm::HotplugEvent> hotplug_log_;
+};
+
+}  // namespace nm::guest

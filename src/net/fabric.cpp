@@ -1,0 +1,137 @@
+#include "net/fabric.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/log.h"
+
+namespace nm::net {
+
+std::string_view to_string(LinkState s) {
+  switch (s) {
+    case LinkState::kDown:
+      return "DOWN";
+    case LinkState::kPolling:
+      return "POLLING";
+    case LinkState::kActive:
+      return "ACTIVE";
+  }
+  return "?";
+}
+
+Fabric::Fabric(sim::FluidScheduler& scheduler, FabricSpec spec)
+    : scheduler_(&scheduler), spec_(std::move(spec)) {}
+
+AttachmentPtr Fabric::attach(NicPort& port) {
+  auto att = AttachmentPtr(new Attachment(simulation(), *this, port));
+  att->address_ = next_address_++;
+  att->state_ = LinkState::kPolling;
+  att->activation_epoch_ = ++epoch_counter_;
+  by_address_[att->address_] = att;
+  NM_LOG_DEBUG("net") << spec_.name << ": " << port.name() << " attached, addr "
+                      << att->address_ << ", training for " << spec_.linkup_time;
+  const auto epoch = att->activation_epoch_;
+  simulation().post(spec_.linkup_time, [att, epoch] {
+    // Ignore if the attachment was detached (and possibly re-attached)
+    // while training.
+    if (att->activation_epoch_ == epoch && att->state_ == LinkState::kPolling) {
+      att->state_ = LinkState::kActive;
+      att->active_gate_.open();
+    }
+  });
+  return att;
+}
+
+void Fabric::detach(const AttachmentPtr& att) {
+  NM_CHECK(att != nullptr, "detach(nullptr)");
+  NM_CHECK(att->fabric_ == this, "attachment belongs to fabric " << att->fabric_->name());
+  if (att->state_ == LinkState::kDown) {
+    return;
+  }
+  by_address_.erase(att->address_);
+  att->state_ = LinkState::kDown;
+  att->active_gate_.close();
+  ++epoch_counter_;
+  att->activation_epoch_ = epoch_counter_;  // invalidate pending training
+  if (!spec_.stable_addresses) {
+    att->address_ = kInvalidAddress;
+  }
+  NM_LOG_DEBUG("net") << spec_.name << ": " << att->port_->name() << " detached";
+}
+
+void Fabric::rebind(const AttachmentPtr& att, NicPort& new_port) {
+  NM_CHECK(att != nullptr, "rebind(nullptr)");
+  NM_CHECK(att->fabric_ == this, "attachment belongs to fabric " << att->fabric_->name());
+  NM_CHECK(spec_.stable_addresses,
+           spec_.name << " does not support rebinding (addresses are not stable)");
+  att->port_ = &new_port;
+  if (att->state_ == LinkState::kDown) {
+    // Re-joining the fabric under the same address.
+    att->state_ = LinkState::kPolling;
+    att->activation_epoch_ = ++epoch_counter_;
+    if (att->address_ == kInvalidAddress) {
+      att->address_ = next_address_++;
+    }
+    by_address_[att->address_] = att;
+    const auto epoch = att->activation_epoch_;
+    simulation().post(spec_.linkup_time, [att, epoch] {
+      if (att->activation_epoch_ == epoch && att->state_ == LinkState::kPolling) {
+        att->state_ = LinkState::kActive;
+        att->active_gate_.open();
+      }
+    });
+  }
+  NM_LOG_DEBUG("net") << spec_.name << ": addr " << att->address_ << " rebound to "
+                      << new_port.name();
+}
+
+AttachmentPtr Fabric::find(FabricAddress addr) const {
+  auto it = by_address_.find(addr);
+  if (it == by_address_.end()) {
+    return nullptr;
+  }
+  return it->second.lock();
+}
+
+sim::Task Fabric::transfer(AttachmentPtr src, FabricAddress dst_addr, Bytes bytes,
+                           TransferOptions opts) {
+  NM_CHECK(src != nullptr, "transfer from null attachment");
+  if (src->state_ != LinkState::kActive) {
+    throw OperationError(spec_.name + ": source link " + src->port_->name() +
+                         " is not active (state " + std::string(to_string(src->state_)) + ")");
+  }
+  AttachmentPtr dst = find(dst_addr);
+  if (dst == nullptr) {
+    throw OperationError(spec_.name + ": no attachment at address " +
+                         std::to_string(dst_addr) + " (stale address?)");
+  }
+  if (dst->state_ != LinkState::kActive) {
+    throw OperationError(spec_.name + ": destination link " + dst->port_->name() +
+                         " is not active");
+  }
+
+  // Propagation/switching latency, then the bandwidth phase.
+  co_await simulation().delay(spec_.latency);
+
+  if (bytes.is_zero()) {
+    co_return;
+  }
+  std::vector<sim::ResourceShare> shares;
+  shares.push_back({&src->port_->tx(), 1.0});
+  shares.push_back({&dst->port_->rx(), 1.0});
+  if (opts.src_cpu_per_byte > 0.0) {
+    shares.push_back({&src->port_->node().cpu(), opts.src_cpu_per_byte});
+  }
+  if (opts.dst_cpu_per_byte > 0.0) {
+    shares.push_back({&dst->port_->node().cpu(), opts.dst_cpu_per_byte});
+  }
+  for (const auto& extra : opts.extras) {
+    shares.push_back(extra);
+  }
+  for (const auto& rx_extra : dst->rx_shares_) {
+    shares.push_back(rx_extra);
+  }
+  co_await scheduler_->run(static_cast<double>(bytes.count()), std::move(shares), opts.max_rate);
+}
+
+}  // namespace nm::net

@@ -1,0 +1,137 @@
+// Fabric: a switched interconnect with an address space. Concrete fabrics
+// are IbFabric (LIDs reassigned on every attach; ~30 s link training) and
+// EthFabric (stable IP addresses that follow a migrating VM via rebind()).
+//
+// An Attachment is the logical presence of an adapter on the fabric — the
+// thing a transport layer holds. It carries the link state machine
+// (Down -> Polling -> Active) whose training delay is the paper's "link-up
+// time" (Table II).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/port.h"
+#include "sim/fluid.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace nm::net {
+
+class Fabric;
+
+enum class LinkState { kDown, kPolling, kActive };
+[[nodiscard]] std::string_view to_string(LinkState s);
+
+/// Fabric-scoped address (an InfiniBand LID or a modelled IPv4 host id).
+using FabricAddress = std::uint32_t;
+inline constexpr FabricAddress kInvalidAddress = 0;
+
+class Attachment {
+ public:
+  [[nodiscard]] LinkState state() const { return state_; }
+  [[nodiscard]] FabricAddress address() const { return address_; }
+  [[nodiscard]] NicPort& port() { return *port_; }
+  [[nodiscard]] Fabric& fabric() { return *fabric_; }
+
+  /// Awaitable: resumes once the link is Active (after training).
+  [[nodiscard]] auto wait_active() { return active_gate_.opened(); }
+
+  /// Receive-side resources every inbound transfer consumes (e.g. the
+  /// owning VM's vhost thread). Registered by the owning device.
+  void set_rx_shares(std::vector<sim::ResourceShare> shares) { rx_shares_ = std::move(shares); }
+  [[nodiscard]] const std::vector<sim::ResourceShare>& rx_shares() const { return rx_shares_; }
+
+ private:
+  friend class Fabric;
+  Attachment(sim::Simulation& sim, Fabric& fabric, NicPort& port)
+      : fabric_(&fabric), port_(&port), active_gate_(sim, /*initially_open=*/false) {}
+
+  Fabric* fabric_;
+  NicPort* port_;
+  LinkState state_ = LinkState::kDown;
+  FabricAddress address_ = kInvalidAddress;
+  sim::Gate active_gate_;
+  std::uint64_t activation_epoch_ = 0;
+  std::vector<sim::ResourceShare> rx_shares_;
+};
+
+using AttachmentPtr = std::shared_ptr<Attachment>;
+
+/// Per-transfer cost shaping. The transport layer (virtio/TCP vs VMM-bypass
+/// verbs vs migration thread) decides what a byte costs.
+struct TransferOptions {
+  /// Core-seconds charged to the source node's CPU per byte (TCP tx path).
+  double src_cpu_per_byte = 0.0;
+  /// Core-seconds charged to the destination node's CPU per byte.
+  double dst_cpu_per_byte = 0.0;
+  /// Hard cap on the transfer rate in bytes/s (protocol or thread limit).
+  double max_rate = std::numeric_limits<double>::infinity();
+  /// Extra sender-side resources the transfer consumes (e.g. the sending
+  /// VM's single vhost thread).
+  std::vector<sim::ResourceShare> extras;
+};
+
+struct FabricSpec {
+  std::string name;
+  /// One-way propagation + switching latency for a message.
+  Duration latency = Duration::micros(10);
+  /// Time from plug-in until the port reports Active (paper: ~29.9 s for
+  /// InfiniBand after re-attach, ~0 for Ethernet).
+  Duration linkup_time = Duration::zero();
+  /// Whether addresses survive detach/attach cycles (IP yes, LID no).
+  bool stable_addresses = false;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::FluidScheduler& scheduler, FabricSpec spec);
+  virtual ~Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] const FabricSpec& spec() const { return spec_; }
+  [[nodiscard]] Duration latency() const { return spec_.latency; }
+  [[nodiscard]] sim::Simulation& simulation() { return scheduler_->simulation(); }
+
+  /// Plugs `port` into the fabric: allocates an address and starts link
+  /// training. The returned attachment reaches Active after linkup_time.
+  AttachmentPtr attach(NicPort& port);
+
+  /// Unplugs: the address is released; in-flight lookups start failing.
+  void detach(const AttachmentPtr& att);
+
+  /// Re-binds a *stable-address* attachment to a new physical port (a VM's
+  /// virtio NIC following the VM to another host). Keeps the address.
+  void rebind(const AttachmentPtr& att, NicPort& new_port);
+
+  /// Address lookup; nullptr when the address is stale/absent.
+  [[nodiscard]] AttachmentPtr find(FabricAddress addr) const;
+
+  /// Moves `bytes` from `src` to the attachment at `dst_addr`, honouring
+  /// latency, line rates, CPU costs and caps. Throws OperationError if
+  /// either end is not Active when the transfer starts.
+  [[nodiscard]] sim::Task transfer(AttachmentPtr src, FabricAddress dst_addr, Bytes bytes,
+                                   TransferOptions opts = {});
+
+  [[nodiscard]] std::size_t attachment_count() const { return by_address_.size(); }
+
+ protected:
+  sim::FluidScheduler* scheduler_;
+  FabricSpec spec_;
+
+ private:
+  FabricAddress next_address_ = 1;
+  std::map<FabricAddress, std::weak_ptr<Attachment>> by_address_;
+  std::uint64_t epoch_counter_ = 0;
+};
+
+}  // namespace nm::net

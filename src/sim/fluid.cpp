@@ -1,0 +1,264 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nm::sim {
+
+namespace {
+// Work below this is treated as complete (work units are bytes or
+// core-seconds, so 1e-6 is far below anything observable).
+constexpr double kEpsilon = 1e-6;
+}  // namespace
+
+void FluidResource::set_capacity(double capacity) {
+  NM_CHECK(capacity >= 0.0, "negative capacity for " << name_);
+  capacity_ = capacity;
+  if (scheduler_ != nullptr) {
+    scheduler_->rebalance();
+  }
+}
+
+void Flow::set_max_rate(double max_rate) {
+  NM_CHECK(max_rate >= 0.0, "negative flow rate cap");
+  max_rate_ = max_rate;
+  if (scheduler_ != nullptr && !finished_) {
+    scheduler_->rebalance();
+  }
+}
+
+void Flow::suspend() {
+  if (suspended_ || finished_) {
+    return;
+  }
+  suspended_ = true;
+  saved_max_rate_ = max_rate_;
+  set_max_rate(0.0);
+}
+
+void Flow::resume() {
+  if (!suspended_) {
+    return;
+  }
+  suspended_ = false;
+  set_max_rate(saved_max_rate_);
+}
+
+FlowPtr FluidScheduler::start(double work, std::vector<ResourceShare> shares, double max_rate) {
+  NM_CHECK(work >= 0.0, "negative flow work");
+  NM_CHECK(!shares.empty(), "a flow must cross at least one resource");
+  for (const auto& share : shares) {
+    NM_CHECK(share.resource != nullptr, "null resource in flow");
+    NM_CHECK(share.weight > 0.0, "non-positive weight on " << share.resource->name());
+    NM_CHECK(share.resource->scheduler_ == nullptr || share.resource->scheduler_ == this,
+             "resource " << share.resource->name() << " belongs to another scheduler");
+    share.resource->scheduler_ = this;
+  }
+  auto flow = FlowPtr(new Flow(*sim_, work, std::move(shares), max_rate));
+  flow->scheduler_ = this;
+  flow->last_update_ = sim_->now();
+  if (work <= kEpsilon) {
+    flow->finished_ = true;
+    flow->remaining_ = 0.0;
+    flow->done_->set();
+    return flow;
+  }
+  for (const auto& share : flow->shares_) {
+    ++share.resource->active_flows_;
+  }
+  flows_.push_back(flow);
+  rebalance();
+  return flow;
+}
+
+FlowPtr FluidScheduler::start(double work, const std::vector<FluidResource*>& resources,
+                              double max_rate) {
+  std::vector<ResourceShare> shares;
+  shares.reserve(resources.size());
+  for (auto* r : resources) {
+    shares.push_back(ResourceShare{r, 1.0});
+  }
+  return start(work, std::move(shares), max_rate);
+}
+
+Task FluidScheduler::run(double work, std::vector<ResourceShare> shares, double max_rate) {
+  auto flow = start(work, std::move(shares), max_rate);
+  if (!flow->finished()) {
+    co_await flow->completion().wait();
+  }
+}
+
+Task FluidScheduler::run(double work, std::vector<FluidResource*> resources, double max_rate) {
+  auto flow = start(work, resources, max_rate);
+  if (!flow->finished()) {
+    co_await flow->completion().wait();
+  }
+}
+
+void FluidScheduler::rebalance() {
+  ++generation_;
+  integrate_progress();
+  assign_max_min_rates();
+  schedule_next_completion();
+}
+
+void FluidScheduler::integrate_progress() {
+  const TimePoint now = sim_->now();
+  std::vector<FlowPtr> finished;
+  for (auto& flow : flows_) {
+    const Duration elapsed = now - flow->last_update_;
+    flow->remaining_ -= flow->rate_ * elapsed.to_seconds();
+    // Utilization accounting: each crossed resource absorbed
+    // rate * weight over the elapsed window.
+    if (!elapsed.is_zero() && flow->rate_ > 0.0) {
+      for (const auto& share : flow->shares_) {
+        share.resource->consumed_ += flow->rate_ * share.weight * elapsed.to_seconds();
+      }
+    }
+    flow->last_update_ = now;
+    // A flow is done when its residual work cannot be represented on the
+    // nanosecond clock (less than half a tick at the current rate) — this
+    // avoids endless zero-delay reschedules for fast flows.
+    const double sub_tick = flow->rate_ * 0.5e-9;
+    if (flow->remaining_ <= std::max(kEpsilon, sub_tick)) {
+      flow->remaining_ = 0.0;
+      flow->finished_ = true;
+      for (const auto& share : flow->shares_) {
+        NM_CHECK(share.resource->active_flows_ > 0,
+                 "resource flow count underflow on " << share.resource->name());
+        --share.resource->active_flows_;
+      }
+      finished.push_back(flow);
+    }
+  }
+  if (!finished.empty()) {
+    std::erase_if(flows_, [](const FlowPtr& f) { return f->finished_; });
+    // Fire completions after bookkeeping so waiters observe a settled state.
+    for (auto& flow : finished) {
+      flow->done_->set();
+    }
+  }
+}
+
+void FluidScheduler::assign_max_min_rates() {
+  // Progressive filling with weighted consumption: in each round find the
+  // tightest constraint — a resource's equal-rate share
+  // (residual / Σ weights of unfrozen flows on it) or a flow's own cap —
+  // freeze the flows it binds, subtract their consumption, repeat.
+  struct ResState {
+    double residual;
+    double weight_sum;
+    std::size_t unfrozen = 0;  // flows still unfrozen on this resource
+  };
+  std::vector<FluidResource*> resources;
+  std::vector<ResState> state;
+  auto res_index = [&](FluidResource* r) -> std::size_t {
+    for (std::size_t i = 0; i < resources.size(); ++i) {
+      if (resources[i] == r) {
+        return i;
+      }
+    }
+    resources.push_back(r);
+    state.push_back(ResState{r->capacity_, 0.0, 0});
+    return resources.size() - 1;
+  };
+
+  // flow_res[f] holds (resource index, weight) pairs for flow f.
+  std::vector<std::vector<std::pair<std::size_t, double>>> flow_res(flows_.size());
+  std::vector<bool> frozen(flows_.size(), false);
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    flows_[f]->rate_ = 0.0;
+    for (const auto& share : flows_[f]->shares_) {
+      const std::size_t idx = res_index(share.resource);
+      flow_res[f].emplace_back(idx, share.weight);
+      state[idx].weight_sum += share.weight;
+      ++state[idx].unfrozen;
+    }
+  }
+
+  std::size_t remaining_flows = flows_.size();
+  while (remaining_flows > 0) {
+    // Tightest constraint this round.
+    double bound = std::numeric_limits<double>::infinity();
+    for (const auto& rs : state) {
+      // Guard on the integer count, not weight_sum: subtractive updates of
+      // tiny weights (1e-9 core-sec/byte) leave fp residue behind.
+      if (rs.unfrozen > 0 && rs.weight_sum > 0.0) {
+        bound = std::min(bound, std::max(0.0, rs.residual) / rs.weight_sum);
+      }
+    }
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+      if (!frozen[f]) {
+        bound = std::min(bound, flows_[f]->max_rate_);
+      }
+    }
+    NM_CHECK(std::isfinite(bound), "unbounded fluid rate (flow with no finite constraint)");
+
+    // Freeze every flow bound at `bound`: flows whose cap equals the bound,
+    // plus all flows on resources whose share equals the bound.
+    std::vector<bool> freeze_now(flows_.size(), false);
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+      if (!frozen[f] && flows_[f]->max_rate_ <= bound * (1.0 + 1e-12)) {
+        freeze_now[f] = true;
+      }
+    }
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      if (state[i].unfrozen == 0 || state[i].weight_sum <= 0.0) {
+        continue;
+      }
+      const double share = std::max(0.0, state[i].residual) / state[i].weight_sum;
+      if (share <= bound * (1.0 + 1e-12)) {
+        for (std::size_t f = 0; f < flows_.size(); ++f) {
+          if (!frozen[f]) {
+            for (const auto& [idx, weight] : flow_res[f]) {
+              if (idx == i) {
+                freeze_now[f] = true;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    bool froze_any = false;
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+      if (freeze_now[f] && !frozen[f]) {
+        frozen[f] = true;
+        froze_any = true;
+        flows_[f]->rate_ = std::min(bound, flows_[f]->max_rate_);
+        --remaining_flows;
+        for (const auto& [idx, weight] : flow_res[f]) {
+          state[idx].residual -= flows_[f]->rate_ * weight;
+          state[idx].weight_sum -= weight;
+          NM_CHECK(state[idx].unfrozen > 0, "fluid unfrozen-count underflow");
+          --state[idx].unfrozen;
+        }
+      }
+    }
+    NM_CHECK(froze_any, "progressive filling made no progress");
+  }
+}
+
+void FluidScheduler::schedule_next_completion() {
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& flow : flows_) {
+    if (flow->rate_ > 0.0) {
+      next = std::min(next, flow->remaining_ / flow->rate_);
+    }
+  }
+  if (!std::isfinite(next)) {
+    return;  // nothing is progressing; a future rebalance will reschedule
+  }
+  const auto gen = generation_;
+  // Round up to the next nanosecond tick so the completing rebalance runs
+  // at-or-after the true completion instant (never an instant before, which
+  // would strand sub-tick work).
+  const auto delay_ns = static_cast<std::int64_t>(std::ceil(std::max(next, 0.0) * 1e9));
+  sim_->post(Duration::nanos(std::max<std::int64_t>(delay_ns, 1)), [this, gen] {
+    if (gen == generation_) {
+      rebalance();
+    }
+  });
+}
+
+}  // namespace nm::sim

@@ -1,0 +1,158 @@
+// Fluid-flow resource model with max-min fair sharing. One mechanism
+// models every rate-limited resource in the system:
+//   - a node's CPU (capacity = cores; a vCPU flow is capped at 1.0 core),
+//   - a NIC's tx/rx bandwidth (capacity = bytes/s),
+//   - QEMU's single-threaded migration sender (capacity = its CPU-bound
+//     throughput).
+// A *flow* progresses at one rate and consumes `rate * weight` from every
+// resource it crosses. Weights convert between units: a TCP flow moving R
+// bytes/s can cross the host CPU with weight = core-seconds-per-byte, which
+// is how protocol-processing cost (virtio/TCP) is charged. The scheduler
+// continuously assigns each flow its max-min fair rate and fires a
+// completion event when its work is done. CPU over-commit contention
+// (Fig 8 "2 hosts (TCP)") and the 1.3 Gb/s migration cap fall out of this.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "util/error.h"
+
+namespace nm::sim {
+
+class FluidScheduler;
+
+/// A capacity-bearing resource. Units are caller-defined (cores, bytes/s).
+class FluidResource {
+ public:
+  FluidResource(std::string name, double capacity) : name_(std::move(name)), capacity_(capacity) {
+    NM_CHECK(capacity >= 0.0, "negative capacity for " << name_);
+  }
+  FluidResource(const FluidResource&) = delete;
+  FluidResource& operator=(const FluidResource&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double capacity() const { return capacity_; }
+  /// Changing capacity immediately re-balances all flows crossing it.
+  void set_capacity(double capacity);
+
+  /// Number of flows currently crossing this resource.
+  [[nodiscard]] std::size_t active_flows() const { return active_flows_; }
+
+  /// Integrated consumption (resource-unit-seconds, e.g. core-seconds for
+  /// a CPU): utilization accounting for experiments like the paper's
+  /// "one CPU core is saturated at 100 %" migration observation.
+  [[nodiscard]] double consumed() const { return consumed_; }
+  /// Mean utilization (fraction of capacity) over [since, until].
+  [[nodiscard]] double utilization_over(double consumed_before, Duration window) const {
+    const double window_s = window.to_seconds();
+    if (window_s <= 0.0 || capacity_ <= 0.0) {
+      return 0.0;
+    }
+    return (consumed_ - consumed_before) / (capacity_ * window_s);
+  }
+
+ private:
+  friend class FluidScheduler;
+  std::string name_;
+  double capacity_;
+  std::size_t active_flows_ = 0;
+  double consumed_ = 0.0;
+  FluidScheduler* scheduler_ = nullptr;
+};
+
+/// One resource crossed by a flow, with the flow's consumption weight on it
+/// (resource units consumed per unit of flow rate).
+struct ResourceShare {
+  FluidResource* resource = nullptr;
+  double weight = 1.0;
+};
+
+/// Handle to an in-flight flow. Shared so both the issuing task and
+/// modelling code (e.g. "pause the VM") can reach it.
+class Flow {
+ public:
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] double remaining() const { return remaining_; }
+  [[nodiscard]] double current_rate() const { return rate_; }
+  [[nodiscard]] Event& completion() { return *done_; }
+
+  /// Caps this flow's rate; 0 pauses it (e.g. its VM was paused).
+  void set_max_rate(double max_rate);
+  [[nodiscard]] double max_rate() const { return max_rate_; }
+  [[nodiscard]] const std::vector<ResourceShare>& shares() const { return shares_; }
+
+  /// Pause/resume preserving the original rate cap. Used when a VM is
+  /// paused: all its flows stall without forgetting their caps.
+  void suspend();
+  void resume();
+  [[nodiscard]] bool suspended() const { return suspended_; }
+
+ private:
+  friend class FluidScheduler;
+  Flow(Simulation& sim, double work, std::vector<ResourceShare> shares, double max_rate)
+      : remaining_(work),
+        max_rate_(max_rate),
+        shares_(std::move(shares)),
+        done_(std::make_unique<Event>(sim)) {}
+
+  double remaining_;
+  double rate_ = 0.0;
+  double max_rate_;
+  double saved_max_rate_ = 0.0;
+  bool suspended_ = false;
+  bool finished_ = false;
+  std::vector<ResourceShare> shares_;
+  std::unique_ptr<Event> done_;
+  FluidScheduler* scheduler_ = nullptr;
+  TimePoint last_update_;
+};
+
+using FlowPtr = std::shared_ptr<Flow>;
+
+class FluidScheduler {
+ public:
+  static constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
+  explicit FluidScheduler(Simulation& sim) : sim_(&sim) {}
+  FluidScheduler(const FluidScheduler&) = delete;
+  FluidScheduler& operator=(const FluidScheduler&) = delete;
+
+  [[nodiscard]] Simulation& simulation() { return *sim_; }
+
+  /// Starts a flow of `work` units across weighted `shares`. A zero-work
+  /// flow completes immediately. Every resource must outlive the flow.
+  FlowPtr start(double work, std::vector<ResourceShare> shares, double max_rate = kUncapped);
+  /// Convenience overload: unit weight on every resource.
+  FlowPtr start(double work, const std::vector<FluidResource*>& resources,
+                double max_rate = kUncapped);
+
+  /// Coroutine helpers: start a flow and wait for completion.
+  [[nodiscard]] Task run(double work, std::vector<ResourceShare> shares,
+                         double max_rate = kUncapped);
+  [[nodiscard]] Task run(double work, std::vector<FluidResource*> resources,
+                         double max_rate = kUncapped);
+
+  [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
+
+  /// Re-balances rates now. Called automatically on start/finish/changes.
+  void rebalance();
+
+ private:
+  friend class Flow;
+  friend class FluidResource;
+
+  void integrate_progress();
+  void assign_max_min_rates();
+  void schedule_next_completion();
+
+  Simulation* sim_;
+  std::vector<FlowPtr> flows_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace nm::sim

@@ -1,0 +1,150 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace nm::sim {
+
+struct TaskRef::State {
+  explicit State(Simulation& sim) : done_event(sim) {}
+  Event done_event;
+  bool finished = false;
+};
+
+bool TaskRef::done() const {
+  NM_CHECK(state_ != nullptr, "TaskRef is empty");
+  return state_->finished;
+}
+
+Event& TaskRef::completion() const {
+  NM_CHECK(state_ != nullptr, "TaskRef is empty");
+  return state_->done_event;
+}
+
+struct Simulation::Detached {
+  Task::Handle handle;
+  std::shared_ptr<TaskRef::State> state;
+  std::string name;
+};
+
+Simulation::Simulation(std::uint64_t seed) : seed_(seed) {}
+
+Simulation::~Simulation() {
+  // Destroy any still-suspended detached tasks. Their frames may hold
+  // awaiter state pointing at sim objects, so drop them before members die.
+  for (auto& [id, d] : detached_) {
+    if (d->handle) {
+      d->handle.destroy();
+    }
+  }
+  detached_.clear();
+  drain_destroy_list();
+}
+
+void Simulation::enqueue(TimePoint at, std::coroutine_handle<> h, std::function<void()> fn) {
+  NM_CHECK(at >= now_, "cannot schedule into the past");
+  queue_.push(QueueEntry{at, next_seq_++, h, std::move(fn)});
+}
+
+void Simulation::post(Duration delay, std::function<void()> fn) {
+  NM_CHECK(!delay.is_negative(), "negative delay");
+  enqueue(now_ + delay, nullptr, std::move(fn));
+}
+
+void Simulation::post_resume(Duration delay, std::coroutine_handle<> h) {
+  NM_CHECK(!delay.is_negative(), "negative delay");
+  NM_CHECK(h != nullptr, "null coroutine handle");
+  enqueue(now_ + delay, h, nullptr);
+}
+
+TaskRef Simulation::spawn(Task task, std::string name) {
+  const std::uint64_t id = next_task_id_++;
+  auto detached = std::make_unique<Detached>();
+  detached->handle = task.release();
+  detached->state = std::make_shared<TaskRef::State>(*this);
+  detached->name = std::move(name);
+  NM_CHECK(detached->handle != nullptr, "spawning an empty task");
+
+  auto& promise = detached->handle.promise();
+  promise.detached_owner = this;
+  promise.detach_id = id;
+
+  TaskRef ref{detached->state};
+  enqueue(now_, detached->handle, nullptr);
+  detached_.emplace(id, std::move(detached));
+  ++live_tasks_;
+  return ref;
+}
+
+void Simulation::on_detached_done(std::uint64_t id, std::exception_ptr exception) {
+  auto it = detached_.find(id);
+  NM_CHECK(it != detached_.end(), "unknown detached task " << id);
+  auto& d = *it->second;
+  d.state->finished = true;
+  d.state->done_event.set();
+  if (exception && !pending_exception_) {
+    pending_exception_ = exception;
+  }
+  destroy_list_.push_back(d.handle);
+  d.handle = nullptr;
+  detached_.erase(it);
+  NM_CHECK(live_tasks_ > 0, "task accounting underflow");
+  --live_tasks_;
+}
+
+void Simulation::drain_destroy_list() {
+  for (auto h : destroy_list_) {
+    h.destroy();
+  }
+  destroy_list_.clear();
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  QueueEntry entry = queue_.top();
+  queue_.pop();
+  NM_CHECK(entry.at >= now_, "event queue went backwards");
+  now_ = entry.at;
+  if (entry.handle) {
+    entry.handle.resume();
+  } else {
+    entry.callback();
+  }
+  drain_destroy_list();
+  if (pending_exception_) {
+    auto e = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+  return true;
+}
+
+TimePoint Simulation::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+TimePoint Simulation::run_until(TimePoint deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+std::coroutine_handle<> Task::FinalAwaiter::await_suspend(Task::Handle h) noexcept {
+  auto& promise = h.promise();
+  if (promise.detached_owner != nullptr) {
+    promise.detached_owner->on_detached_done(promise.detach_id, promise.exception);
+    return std::noop_coroutine();
+  }
+  if (promise.continuation) {
+    return promise.continuation;
+  }
+  return std::noop_coroutine();
+}
+
+}  // namespace nm::sim

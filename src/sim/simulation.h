@@ -1,0 +1,202 @@
+// The discrete-event simulation kernel. Single-threaded, deterministic:
+// pending resumptions are ordered by (simulated time, insertion sequence),
+// so a given program always executes identically for a given seed.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace nm::sim {
+
+class Event;
+
+/// A joinable reference to a detached (spawned) task.
+class TaskRef {
+ public:
+  TaskRef() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const;
+  /// Awaitable: suspends until the task finishes. Safe to call after
+  /// completion (returns immediately).
+  [[nodiscard]] Event& completion() const;
+
+ private:
+  friend class Simulation;
+  struct State;
+  explicit TaskRef(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  /// Derives a deterministic, consumer-private random stream.
+  [[nodiscard]] Rng make_rng(std::string_view stream_name) const {
+    return Rng::stream(seed_, stream_name);
+  }
+
+  /// Schedules a plain callback after `delay`.
+  void post(Duration delay, std::function<void()> fn);
+  /// Schedules a coroutine resumption after `delay` (used by awaitables).
+  void post_resume(Duration delay, std::coroutine_handle<> h);
+
+  /// Starts `task` as a detached activity at the current time.
+  TaskRef spawn(Task task, std::string name = {});
+
+  /// Awaitable that suspends the current task for `d` of simulated time.
+  [[nodiscard]] auto delay(Duration d) {
+    struct Awaiter {
+      Simulation& sim;
+      Duration d;
+      [[nodiscard]] bool await_ready() const noexcept { return d.is_zero(); }
+      void await_suspend(std::coroutine_handle<> h) const { sim.post_resume(d, h); }
+      void await_resume() const noexcept {}
+    };
+    NM_CHECK(!d.is_negative(), "cannot delay by negative duration " << d.count_nanos() << "ns");
+    return Awaiter{*this, d};
+  }
+
+  /// Runs until the event queue is empty. Returns the final time.
+  TimePoint run();
+  /// Runs until `deadline` (events at exactly `deadline` are executed).
+  TimePoint run_until(TimePoint deadline);
+  TimePoint run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Number of spawned tasks that have not yet finished. Tests use this to
+  /// assert that scenarios quiesce (no deadlocked activity).
+  [[nodiscard]] std::size_t live_task_count() const { return live_tasks_; }
+  /// Number of pending queue entries (timers + ready resumptions).
+  [[nodiscard]] std::size_t pending_event_count() const { return queue_.size(); }
+
+ private:
+  friend struct Task::FinalAwaiter;
+
+  struct QueueEntry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;      // either a resumption ...
+    std::function<void()> callback;      // ... or a callback
+    bool operator>(const QueueEntry& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void enqueue(TimePoint at, std::coroutine_handle<> h, std::function<void()> fn);
+  void on_detached_done(std::uint64_t id, std::exception_ptr exception);
+  bool step();  // executes one queue entry; returns false when queue empty
+  void drain_destroy_list();
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t seed_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_task_id_ = 1;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+
+  struct Detached;
+  std::map<std::uint64_t, std::unique_ptr<Detached>> detached_;
+  std::vector<std::coroutine_handle<>> destroy_list_;
+  std::size_t live_tasks_ = 0;
+  std::exception_ptr pending_exception_;
+};
+
+/// A broadcast event. `set()` wakes every waiter; waiting on an already-set
+/// event does not suspend. `reset()` re-arms it.
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(&sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  [[nodiscard]] bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) {
+      return;
+    }
+    set_ = true;
+    auto tokens = std::move(waiters_);
+    waiters_.clear();
+    for (auto& tok : tokens) {
+      if (!tok->fired) {
+        tok->fired = true;
+        tok->woken_by_event = true;
+        sim_->post_resume(Duration::zero(), tok->handle);
+      }
+    }
+  }
+
+  void reset() { set_ = false; }
+
+  /// Awaitable: suspend until set.
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Event& ev;
+      [[nodiscard]] bool await_ready() const noexcept { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        auto tok = std::make_shared<WaitToken>();
+        tok->handle = h;
+        ev.waiters_.push_back(std::move(tok));
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Awaitable: suspend until set or until `timeout` elapses; resumes with
+  /// true if the event fired, false on timeout.
+  [[nodiscard]] auto wait_for(Duration timeout) {
+    struct Awaiter {
+      Event& ev;
+      Duration timeout;
+      std::shared_ptr<WaitToken> tok;
+      [[nodiscard]] bool await_ready() const noexcept { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        tok = std::make_shared<WaitToken>();
+        tok->handle = h;
+        ev.waiters_.push_back(tok);
+        ev.sim_->post(timeout, [tok = tok, sim = ev.sim_] {
+          if (!tok->fired) {
+            tok->fired = true;
+            tok->woken_by_event = false;
+            sim->post_resume(Duration::zero(), tok->handle);
+          }
+        });
+      }
+      [[nodiscard]] bool await_resume() const noexcept {
+        return tok == nullptr || tok->woken_by_event;
+      }
+    };
+    return Awaiter{*this, timeout, nullptr};
+  }
+
+ private:
+  struct WaitToken {
+    std::coroutine_handle<> handle;
+    bool fired = false;
+    bool woken_by_event = false;
+  };
+
+  Simulation* sim_;
+  bool set_ = false;
+  std::vector<std::shared_ptr<WaitToken>> waiters_;
+};
+
+}  // namespace nm::sim

@@ -1,0 +1,73 @@
+#include "symvirt/controller.h"
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace nm::symvirt {
+
+sim::Task Agent::execute(std::string command) {
+  vmm::MonitorResult result;
+  co_await monitor_.execute(std::move(command), result);
+  if (!result.ok) {
+    throw OperationError("agent[" + vm_->name() + "]: " + result.message);
+  }
+}
+
+Controller::Controller(sim::Simulation& sim, std::vector<std::shared_ptr<vmm::Vm>> vms,
+                       std::size_t ranks_per_vm, vmm::Monitor::HostResolver resolver)
+    : sim_(&sim), ranks_per_vm_(ranks_per_vm) {
+  NM_CHECK(!vms.empty(), "controller needs at least one VM");
+  NM_CHECK(ranks_per_vm > 0, "ranks_per_vm must be positive");
+  agents_.reserve(vms.size());
+  for (auto& vm : vms) {
+    agents_.push_back(std::make_unique<Agent>(vm, resolver));
+  }
+}
+
+Agent& Controller::agent(std::size_t i) {
+  NM_CHECK(i < agents_.size(), "agent index out of range");
+  return *agents_[i];
+}
+
+sim::Task Controller::wait_all() {
+  for (auto& agent : agents_) {
+    co_await agent->vm().wait_for_symvirt_entries(ranks_per_vm_);
+  }
+  NM_LOG_DEBUG("symvirt") << "controller: all " << agents_.size() << " VMs quiescent";
+}
+
+void Controller::signal() {
+  for (auto& agent : agents_) {
+    agent->vm().symvirt_signal();
+  }
+}
+
+sim::Task Controller::run_on_all(std::function<std::string(std::size_t)> command_for) {
+  std::vector<sim::TaskRef> refs;
+  refs.reserve(agents_.size());
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    refs.push_back(sim_->spawn(agents_[i]->execute(command_for(i)),
+                               "agent:" + agents_[i]->vm().name()));
+  }
+  co_await sim::join_all(std::move(refs));
+}
+
+sim::Task Controller::device_detach(const std::string& tag) {
+  co_await run_on_all([&tag](std::size_t) { return "device_del " + tag; });
+}
+
+sim::Task Controller::device_attach(const std::string& host_pci, const std::string& tag) {
+  co_await run_on_all(
+      [&](std::size_t) { return "device_add host=" + host_pci + ",id=" + tag; });
+}
+
+sim::Task Controller::migration(const std::vector<std::string>& dst_hosts) {
+  NM_CHECK(!dst_hosts.empty(), "migration needs a destination host list");
+  co_await run_on_all(
+      [&](std::size_t i) { return "migrate " + dst_hosts[i % dst_hosts.size()]; });
+  // The Fig 5 script issues no explicit signal after migration: the VMs
+  // resume on their destinations and the controller releases them here.
+  signal();
+}
+
+}  // namespace nm::symvirt

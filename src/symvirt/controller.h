@@ -1,0 +1,77 @@
+// SymVirt controller + agents — the VMM-side half. The controller is the
+// master program driving one migration episode over a set of VMs; it
+// spawns one agent per VM, and each agent talks to that VM's QEMU monitor
+// (device_del / migrate / device_add), mirroring Fig 3 and the Fig 5
+// script API (wait_all / signal / device_detach / migration /
+// device_attach).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "vmm/host.h"
+#include "vmm/monitor.h"
+#include "vmm/vm.h"
+
+namespace nm::symvirt {
+
+/// One agent per VM: a monitor client executing commands on behalf of the
+/// controller.
+class Agent {
+ public:
+  Agent(std::shared_ptr<vmm::Vm> vm, vmm::Monitor::HostResolver resolver)
+      : vm_(std::move(vm)), monitor_(vm_, std::move(resolver)) {}
+
+  [[nodiscard]] vmm::Vm& vm() { return *vm_; }
+  [[nodiscard]] vmm::Monitor& monitor() { return monitor_; }
+
+  /// Runs one monitor command; throws OperationError on failure.
+  [[nodiscard]] sim::Task execute(std::string command);
+
+ private:
+  std::shared_ptr<vmm::Vm> vm_;
+  vmm::Monitor monitor_;
+};
+
+class Controller {
+ public:
+  /// `ranks_per_vm`: how many SymVirt coordinators (MPI processes) must
+  /// park in symvirt_wait before wait_all() considers a VM quiescent.
+  Controller(sim::Simulation& sim, std::vector<std::shared_ptr<vmm::Vm>> vms,
+             std::size_t ranks_per_vm, vmm::Monitor::HostResolver resolver);
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  [[nodiscard]] std::size_t vm_count() const { return agents_.size(); }
+  [[nodiscard]] Agent& agent(std::size_t i);
+
+  /// Blocks until every VM has all its coordinators parked in symvirt_wait.
+  [[nodiscard]] sim::Task wait_all();
+  /// Resumes every VM's parked coordinators.
+  void signal();
+
+  /// Detaches device `tag` from every VM (agents run concurrently).
+  [[nodiscard]] sim::Task device_detach(const std::string& tag);
+  /// Attaches the host device at `host_pci` to every VM as `tag`.
+  [[nodiscard]] sim::Task device_attach(const std::string& host_pci, const std::string& tag);
+  /// Migrates vm[i] to hosts[i % hosts.size()] (agents run concurrently),
+  /// then signals the VMs — matching the Fig 5 script, where migration has
+  /// no explicit signal.
+  [[nodiscard]] sim::Task migration(const std::vector<std::string>& dst_hosts);
+
+  /// Disconnects (no-op in the model; kept for script parity).
+  void quit() {}
+
+ private:
+  [[nodiscard]] sim::Task run_on_all(std::function<std::string(std::size_t)> command_for);
+
+  sim::Simulation* sim_;
+  std::size_t ranks_per_vm_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+};
+
+}  // namespace nm::symvirt

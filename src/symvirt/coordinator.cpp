@@ -1,0 +1,42 @@
+#include "symvirt/coordinator.h"
+
+#include "util/log.h"
+
+namespace nm::symvirt {
+
+void Coordinator::install(mpi::MpiRuntime& runtime) {
+  runtime.cr().register_self(
+      [this](mpi::Rank& rank) { return on_checkpoint(rank); },
+      [this](mpi::Rank& rank) { return on_continue(rank); },
+      // SELF restart callback: SymVirt does not use it (paper §III-C).
+      nullptr);
+}
+
+sim::Task Coordinator::on_checkpoint(mpi::Rank& rank) {
+  auto& vm = rank.vm();
+  NM_LOG_DEBUG("symvirt") << "rank " << rank.id() << " (" << vm.name()
+                          << "): checkpoint callback, entering window A";
+  // Window A: the controller detaches VMM-bypass devices.
+  co_await vm.symvirt_wait();
+  // Window B: the controller migrates the VM.
+  co_await vm.symvirt_wait();
+}
+
+sim::Task Coordinator::on_continue(mpi::Rank& rank) {
+  auto& vm = rank.vm();
+  NM_LOG_DEBUG("symvirt") << "rank " << rank.id() << " (" << vm.name()
+                          << "): continue callback, entering window C";
+  // Window C: the controller re-attaches devices (or no-ops).
+  co_await vm.symvirt_wait();
+  // Guest-side confirmation of the new device situation.
+  co_await vm.simulation().delay(timing_.confirm);
+  // Wait for a usable adapter: InfiniBand needs its ~30 s link training;
+  // the virtio NIC is up immediately.
+  if (rank.ib_driver().present()) {
+    co_await rank.ib_driver().wait_ready();
+  } else {
+    co_await rank.eth_driver().wait_ready();
+  }
+}
+
+}  // namespace nm::symvirt

@@ -1,0 +1,49 @@
+// SymVirt coordinator — the guest-side half of SymVirt (the paper's
+// libsymvirt.so, LD_PRELOADed into every MPI process). It registers as the
+// OPAL CRS SELF component's callbacks and turns them into SymVirt
+// wait/signal windows:
+//
+//   checkpoint callback: window A (controller detaches the HCA), then
+//                        window B (controller migrates the VM);
+//   continue callback:   window C (controller re-attaches, or no-ops),
+//                        guest-side confirm, then waiting for the NIC the
+//                        VM now has to become usable (the ~30 s InfiniBand
+//                        link-up the paper measures, or nothing for
+//                        Ethernet).
+//
+// The restart callback is intentionally unused, exactly as in the paper.
+#pragma once
+
+#include "mpi/cr.h"
+#include "mpi/runtime.h"
+#include "sim/task.h"
+#include "util/units.h"
+
+namespace nm::symvirt {
+
+struct CoordinatorTiming {
+  /// Guest-side confirmation step after the re-attach window (Table II's
+  /// Eth->Eth "hotplug" of 0.13 s is exactly this).
+  Duration confirm = Duration::seconds(0.13);
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorTiming timing = {}) : timing_(timing) {}
+
+  [[nodiscard]] const CoordinatorTiming& timing() const { return timing_; }
+
+  /// Registers the SELF callbacks with `runtime`'s CR service (what
+  /// LD_PRELOAD + the SELF component achieve in the real system).
+  void install(mpi::MpiRuntime& runtime);
+
+  /// SELF "checkpoint" callback.
+  [[nodiscard]] sim::Task on_checkpoint(mpi::Rank& rank);
+  /// SELF "continue" callback.
+  [[nodiscard]] sim::Task on_continue(mpi::Rank& rank);
+
+ private:
+  CoordinatorTiming timing_;
+};
+
+}  // namespace nm::symvirt

@@ -1,0 +1,46 @@
+#include "symvirt/generic.h"
+
+#include "util/log.h"
+
+namespace nm::symvirt {
+
+GenericCoordinator::GenericCoordinator(std::shared_ptr<vmm::Vm> vm, CoordinatorTiming timing)
+    : vm_(std::move(vm)), timing_(timing), completion_(vm_->simulation()) {
+  NM_CHECK(vm_ != nullptr, "coordinator needs a VM");
+}
+
+void GenericCoordinator::request() {
+  NM_CHECK(!pending_, "an episode is already pending on " << vm_->name());
+  pending_ = true;
+  ++requested_;
+  NM_LOG_DEBUG("symvirt") << vm_->name() << ": generic episode #" << requested_
+                          << " requested";
+}
+
+sim::Task GenericCoordinator::wait_complete(std::uint64_t generation) {
+  while (completed_ < generation) {
+    co_await completion_.wait();
+  }
+}
+
+sim::Task GenericCoordinator::service_point() {
+  if (!pending_) {
+    co_return;
+  }
+  pending_ = false;
+  if (callbacks_.quiesce) {
+    co_await callbacks_.quiesce();
+  }
+  co_await vm_->symvirt_wait();  // window A: detach
+  co_await vm_->symvirt_wait();  // window B: migrate
+  co_await vm_->symvirt_wait();  // window C: re-attach
+  co_await vm_->simulation().delay(timing_.confirm);
+  if (callbacks_.resume) {
+    co_await callbacks_.resume();
+  }
+  completed_ = requested_;
+  completion_.notify_all();
+  NM_LOG_DEBUG("symvirt") << vm_->name() << ": generic episode #" << completed_ << " done";
+}
+
+}  // namespace nm::symvirt

@@ -1,0 +1,62 @@
+// The paper's future work (§VII): "a generic communication layer to
+// support a guest OS cooperative migration based on a SymVirt mechanism,
+// which is independent on an MPI runtime."
+//
+// GenericCoordinator gives any distributed application the same
+// three-window protocol the MPI stack gets from CRCP+CRS: the app
+// registers quiesce/resume callbacks and calls service_point() from its
+// main loop; the host-side controller drives detach/migrate/re-attach
+// between the windows exactly as for MPI jobs.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "symvirt/coordinator.h"
+#include "vmm/vm.h"
+
+namespace nm::symvirt {
+
+class GenericCoordinator {
+ public:
+  struct Callbacks {
+    /// Stop traffic and release transport resources (connections will be
+    /// stale after migration — like the CRS pre-checkpoint phase).
+    std::function<sim::Task()> quiesce;
+    /// Re-resolve peers and reconnect (like BTL reconstruction).
+    std::function<sim::Task()> resume;
+  };
+
+  explicit GenericCoordinator(std::shared_ptr<vmm::Vm> vm, CoordinatorTiming timing = {});
+  GenericCoordinator(const GenericCoordinator&) = delete;
+  GenericCoordinator& operator=(const GenericCoordinator&) = delete;
+
+  [[nodiscard]] vmm::Vm& vm() { return *vm_; }
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Host side: arms an episode. The app will park at its next
+  /// service_point(); wait_all on the VM then proceeds as usual.
+  void request();
+  [[nodiscard]] bool pending() const { return pending_; }
+  /// Host side: resumes once the app has run its resume callback.
+  [[nodiscard]] sim::Task wait_complete(std::uint64_t generation);
+  [[nodiscard]] std::uint64_t generation() const { return requested_; }
+
+  /// App side: call from the main loop. Free when no episode is pending;
+  /// otherwise: quiesce -> window A -> window B -> window C -> confirm ->
+  /// resume.
+  [[nodiscard]] sim::Task service_point();
+
+ private:
+  std::shared_ptr<vmm::Vm> vm_;
+  CoordinatorTiming timing_;
+  Callbacks callbacks_;
+  bool pending_ = false;
+  std::uint64_t requested_ = 0;
+  std::uint64_t completed_ = 0;
+  sim::Notifier completion_;
+};
+
+}  // namespace nm::symvirt

@@ -1,0 +1,106 @@
+// Minimal command-line argument parser for the bench/example binaries:
+// `--key value`, `--key=value`, and boolean `--flag` forms, with typed
+// accessors, defaults, and usage text. No external dependencies.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nm {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv) {
+    NM_CHECK(argc >= 1, "argv must contain the program name");
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(token));
+        continue;
+      }
+      token.erase(0, 2);
+      const auto eq = token.find('=');
+      if (eq != std::string::npos) {
+        values_[token.substr(0, eq)] = token.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[token] = argv[++i];
+      } else {
+        values_[token] = "";  // boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    try {
+      return std::stol(it->second);
+    } catch (const std::exception&) {
+      throw LogicError("argument --" + key + " expects an integer, got '" + it->second + "'");
+    }
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw LogicError("argument --" + key + " expects a number, got '" + it->second + "'");
+    }
+  }
+
+  /// `--flag` or `--flag true|1` count as set; `--flag false|0` as unset.
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return it->second.empty() || it->second == "1" || it->second == "true";
+  }
+
+  /// Renders a usage block from (name, description, default) rows.
+  [[nodiscard]] static std::string usage(
+      const std::string& program,
+      const std::vector<std::array<std::string, 3>>& options) {
+    std::ostringstream os;
+    os << "usage: " << program << " [options]\n";
+    for (const auto& [name, description, fallback] : options) {
+      os << "  --" << name;
+      if (!fallback.empty()) {
+        os << " <" << fallback << ">";
+      }
+      os << "\n      " << description << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nm

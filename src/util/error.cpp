@@ -1,0 +1,14 @@
+#include "util/error.h"
+
+namespace nm {
+
+void throw_check_failure(const char* expr, const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw LogicError(os.str());
+}
+
+}  // namespace nm

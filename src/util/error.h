@@ -1,0 +1,60 @@
+// Error handling: exceptions for unrecoverable modelling errors and check
+// macros used at module boundaries. Simulation code is single-threaded, so
+// throwing is always safe.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nm {
+
+/// Base class for all ninjamig errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A precondition or invariant of the simulation model was violated.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// An operation failed for a modelled (in-world) reason, e.g. a monitor
+/// command was rejected or a migration precondition does not hold.
+class OperationError : public Error {
+ public:
+  explicit OperationError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& msg);
+
+namespace detail {
+/// Builds the optional trailing message for NM_CHECK from stream-style args.
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace nm
+
+/// Always-on invariant check (models are cheap; never compiled out).
+#define NM_CHECK(expr, msg_expr)                                             \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::nm::throw_check_failure(#expr, __FILE__, __LINE__,                   \
+                                (::nm::detail::CheckMessage{} << msg_expr)   \
+                                    .str());                                 \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,219 @@
+// IntervalMap: a total map from a [0, size) integer domain to values, stored
+// as maximal runs of equal values. Guest memory page classes and dirty-page
+// logs are interval maps, which keeps 20 GiB guests cheap to model: cost is
+// proportional to the number of distinct runs, not the number of pages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nm {
+
+template <typename V>
+class IntervalMap {
+ public:
+  using Key = std::uint64_t;
+
+  struct Segment {
+    Key lo;   // inclusive
+    Key hi;   // exclusive
+    V value;  // value over [lo, hi)
+    [[nodiscard]] Key length() const { return hi - lo; }
+    bool operator==(const Segment&) const = default;
+  };
+
+  IntervalMap(Key size, V initial) : size_(size) {
+    NM_CHECK(size > 0, "interval map domain must be non-empty");
+    runs_[0] = std::move(initial);
+  }
+
+  [[nodiscard]] Key size() const { return size_; }
+
+  /// Value at a single key.
+  [[nodiscard]] const V& at(Key k) const {
+    NM_CHECK(k < size_, "key " << k << " out of domain [0," << size_ << ")");
+    auto it = runs_.upper_bound(k);
+    --it;
+    return it->second;
+  }
+
+  /// Assigns `value` over [lo, hi). No-op for an empty range.
+  void assign(Key lo, Key hi, const V& value) {
+    NM_CHECK(lo <= hi && hi <= size_, "bad range [" << lo << "," << hi << ")");
+    if (lo == hi) {
+      return;
+    }
+    // Value that resumes at hi (captured before we erase anything).
+    const V resume = at_internal(hi);
+    // Ensure a run boundary exists at lo.
+    auto it_lo = runs_.upper_bound(lo);
+    --it_lo;
+    if (it_lo->first < lo) {
+      it_lo = runs_.emplace_hint(std::next(it_lo), lo, it_lo->second);
+    }
+    // Erase all run starts in [lo, hi).
+    auto it_hi = runs_.lower_bound(hi);
+    runs_.erase(it_lo, it_hi);
+    // Insert the new run and the resume boundary.
+    runs_[lo] = value;
+    if (hi < size_) {
+      runs_[hi] = resume;
+    }
+    coalesce_around(lo);
+    if (hi < size_) {
+      coalesce_around(hi);
+    }
+  }
+
+  /// Applies `fn(old) -> new` to every run overlapping [lo, hi), splitting
+  /// runs at the boundaries.
+  void transform(Key lo, Key hi, const std::function<V(const V&)>& fn) {
+    NM_CHECK(lo <= hi && hi <= size_, "bad range [" << lo << "," << hi << ")");
+    if (lo == hi) {
+      return;
+    }
+    std::vector<Segment> pieces;
+    for_each_in(lo, hi, [&](Key s_lo, Key s_hi, const V& v) {
+      pieces.push_back(Segment{s_lo, s_hi, fn(v)});
+    });
+    for (const auto& p : pieces) {
+      assign(p.lo, p.hi, p.value);
+    }
+  }
+
+  /// Visits each maximal run overlapping [lo, hi), clipped to the range.
+  template <typename Fn>
+  void for_each_in(Key lo, Key hi, Fn&& fn) const {
+    NM_CHECK(lo <= hi && hi <= size_, "bad range [" << lo << "," << hi << ")");
+    if (lo == hi) {
+      return;
+    }
+    auto it = runs_.upper_bound(lo);
+    --it;
+    while (it != runs_.end() && it->first < hi) {
+      auto next = std::next(it);
+      const Key run_hi = next == runs_.end() ? size_ : next->first;
+      fn(std::max(lo, it->first), std::min(hi, run_hi), it->second);
+      it = next;
+    }
+  }
+
+  /// Total length of keys in [lo, hi) whose value satisfies `pred`.
+  template <typename Pred>
+  [[nodiscard]] Key measure_where(Key lo, Key hi, Pred&& pred) const {
+    Key total = 0;
+    for_each_in(lo, hi, [&](Key s_lo, Key s_hi, const V& v) {
+      if (pred(v)) {
+        total += s_hi - s_lo;
+      }
+    });
+    return total;
+  }
+
+  /// All maximal runs, in order. Mostly for tests and debugging.
+  [[nodiscard]] std::vector<Segment> segments() const {
+    std::vector<Segment> out;
+    out.reserve(runs_.size());
+    for_each_in(0, size_, [&](Key lo, Key hi, const V& v) { out.push_back(Segment{lo, hi, v}); });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
+
+  /// Invariant checker (used by property tests): runs cover [0, size) and
+  /// adjacent runs hold distinct values.
+  [[nodiscard]] bool invariants_hold() const {
+    if (runs_.empty() || runs_.begin()->first != 0) {
+      return false;
+    }
+    auto it = runs_.begin();
+    for (auto next = std::next(it); next != runs_.end(); ++it, ++next) {
+      if (next->first >= size_ || it->second == next->second) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] const V& at_internal(Key k) const {
+    // Like at(), but k == size_ is allowed and maps to the last run (the
+    // value is only used when it will be re-inserted below size_).
+    auto it = runs_.upper_bound(k == size_ ? size_ - 1 : k);
+    --it;
+    return it->second;
+  }
+
+  void coalesce_around(Key boundary) {
+    auto it = runs_.find(boundary);
+    if (it == runs_.end() || it == runs_.begin()) {
+      return;
+    }
+    auto prev = std::prev(it);
+    if (prev->second == it->second) {
+      runs_.erase(it);
+    }
+  }
+
+  Key size_;
+  std::map<Key, V> runs_;
+};
+
+/// A set of integer keys in [0, size), stored as intervals. Used for dirty
+/// page tracking.
+class IntervalSet {
+ public:
+  using Key = std::uint64_t;
+  struct Range {
+    Key lo;
+    Key hi;
+    bool operator==(const Range&) const = default;
+  };
+
+  explicit IntervalSet(Key size) : map_(size, false) {}
+
+  [[nodiscard]] Key size() const { return map_.size(); }
+  void insert(Key lo, Key hi) { map_.assign(lo, hi, true); }
+  void erase(Key lo, Key hi) { map_.assign(lo, hi, false); }
+  void clear() { map_.assign(0, map_.size(), false); }
+  [[nodiscard]] bool contains(Key k) const { return map_.at(k); }
+
+  /// Number of set keys.
+  [[nodiscard]] Key count() const {
+    return map_.measure_where(0, map_.size(), [](bool b) { return b; });
+  }
+  [[nodiscard]] bool empty() const { return count() == 0; }
+
+  /// Set ranges, in order.
+  [[nodiscard]] std::vector<Range> ranges() const {
+    std::vector<Range> out;
+    map_.for_each_in(0, map_.size(), [&](Key lo, Key hi, bool v) {
+      if (v) {
+        out.push_back(Range{lo, hi});
+      }
+    });
+    return out;
+  }
+
+  /// Removes and returns the first set range of at most `max_len` keys, or
+  /// an empty range {0,0} if the set is empty. Drives migration scan loops.
+  [[nodiscard]] Range pop_front(Key max_len) {
+    const auto rs = ranges();
+    if (rs.empty()) {
+      return Range{0, 0};
+    }
+    Range r = rs.front();
+    r.hi = std::min(r.hi, r.lo + max_len);
+    map_.assign(r.lo, r.hi, false);
+    return r;
+  }
+
+ private:
+  IntervalMap<bool> map_;
+};
+
+}  // namespace nm

@@ -1,0 +1,47 @@
+#include "util/log.h"
+
+#include <iomanip>
+#include <iostream>
+
+namespace nm {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component, const std::string& message) {
+  if (!enabled(level)) {
+    return;
+  }
+  std::ostringstream os;
+  if (time_provider_) {
+    os << "[" << std::fixed << std::setprecision(6) << time_provider_().to_seconds() << "s] ";
+  }
+  os << to_string(level) << " " << component << ": " << message;
+  if (sink_) {
+    sink_(level, os.str());
+  } else {
+    std::cerr << os.str() << "\n";
+  }
+}
+
+}  // namespace nm

@@ -1,0 +1,81 @@
+// Minimal leveled logger. The simulation installs a time provider so every
+// record is stamped with simulated (not wall-clock) time. Logging is off by
+// default in tests and benches; examples turn it on for narration.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/units.h"
+
+namespace nm {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Process-wide logging configuration. Single-threaded by design (the whole
+/// simulator runs on one thread), so no synchronization is needed.
+class Logger {
+ public:
+  using TimeProvider = std::function<TimePoint()>;
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  [[nodiscard]] static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// The active simulation registers itself here so records carry sim time.
+  void set_time_provider(TimeProvider provider) { time_provider_ = std::move(provider); }
+  void clear_time_provider() { time_provider_ = nullptr; }
+
+  /// Redirect output (default: stderr). Used by tests to capture records.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void clear_sink() { sink_ = nullptr; }
+
+  void write(LogLevel level, std::string_view component, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+  TimeProvider time_provider_;
+  Sink sink_;
+};
+
+namespace detail {
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+  ~LogStatement() { Logger::instance().write(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace nm
+
+#define NM_LOG(level, component)                      \
+  if (!::nm::Logger::instance().enabled(level)) {     \
+  } else                                              \
+    ::nm::detail::LogStatement((level), (component))
+
+#define NM_LOG_TRACE(component) NM_LOG(::nm::LogLevel::kTrace, component)
+#define NM_LOG_DEBUG(component) NM_LOG(::nm::LogLevel::kDebug, component)
+#define NM_LOG_INFO(component) NM_LOG(::nm::LogLevel::kInfo, component)
+#define NM_LOG_WARN(component) NM_LOG(::nm::LogLevel::kWarn, component)
+#define NM_LOG_ERROR(component) NM_LOG(::nm::LogLevel::kError, component)

@@ -1,0 +1,72 @@
+// Small statistics helpers for the benchmark harness. The paper reports
+// "measured three times and the best is taken"; BestOf mirrors that.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nm {
+
+/// Streaming accumulator: min / max / mean / population stddev.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sum_sq_ += x * x;
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double min() const {
+    NM_CHECK(n_ > 0, "min of empty accumulator");
+    return min_;
+  }
+  [[nodiscard]] double max() const {
+    NM_CHECK(n_ > 0, "max of empty accumulator");
+    return max_;
+  }
+  [[nodiscard]] double mean() const {
+    NM_CHECK(n_ > 0, "mean of empty accumulator");
+    return sum_ / static_cast<double>(n_);
+  }
+  [[nodiscard]] double stddev() const {
+    NM_CHECK(n_ > 0, "stddev of empty accumulator");
+    const double m = mean();
+    const double var = std::max(0.0, sum_sq_ / static_cast<double>(n_) - m * m);
+    return std::sqrt(var);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// "Each value is measured N times and the best is taken" (paper §IV).
+class BestOf {
+ public:
+  void add(double x) { values_.push_back(x); }
+  [[nodiscard]] double best() const {
+    NM_CHECK(!values_.empty(), "best of zero runs");
+    return *std::min_element(values_.begin(), values_.end());
+  }
+  [[nodiscard]] double spread() const {
+    NM_CHECK(!values_.empty(), "spread of zero runs");
+    const auto [lo, hi] = std::minmax_element(values_.begin(), values_.end());
+    return *hi - *lo;
+  }
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace nm

@@ -1,0 +1,43 @@
+// Timeline: records named spans on the simulated clock and renders an
+// ASCII Gantt chart — the observability surface for migration episodes
+// (which phase ran when, what overlapped with what).
+#pragma once
+
+#include <algorithm>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace nm {
+
+class Timeline {
+ public:
+  struct Span {
+    std::string name;
+    TimePoint begin;
+    TimePoint end;
+    [[nodiscard]] Duration length() const { return end - begin; }
+  };
+
+  /// Opens a span; close it with end_span (LIFO not required).
+  void begin_span(std::string name, TimePoint at);
+  /// Closes the most recent open span with this name.
+  void end_span(const std::string& name, TimePoint at);
+  /// Records an already-measured span.
+  void add_span(std::string name, TimePoint begin, TimePoint end);
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t open_count() const { return open_.size(); }
+
+  /// ASCII Gantt: one row per span, proportional bars on a shared axis.
+  void render(std::ostream& os, std::size_t width = 60) const;
+  [[nodiscard]] std::string to_string(std::size_t width = 60) const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<Span> open_;
+};
+
+}  // namespace nm

@@ -1,0 +1,41 @@
+#include "util/units.h"
+
+#include <iomanip>
+
+namespace nm {
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  const auto flags = os.flags();
+  os << std::fixed << std::setprecision(3) << d.to_seconds() << "s";
+  os.flags(flags);
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  const auto flags = os.flags();
+  os << "t=" << std::fixed << std::setprecision(3) << t.to_seconds() << "s";
+  os.flags(flags);
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b) {
+  const auto flags = os.flags();
+  if (b.count() >= 1024ull * 1024 * 1024) {
+    os << std::fixed << std::setprecision(2) << b.to_gib() << "GiB";
+  } else if (b.count() >= 1024ull * 1024) {
+    os << std::fixed << std::setprecision(2) << b.to_mib() << "MiB";
+  } else {
+    os << b.count() << "B";
+  }
+  os.flags(flags);
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, Bandwidth bw) {
+  const auto flags = os.flags();
+  os << std::fixed << std::setprecision(2) << bw.to_gbps() << "Gbps";
+  os.flags(flags);
+  return os;
+}
+
+}  // namespace nm

@@ -1,0 +1,179 @@
+// Strong unit types used throughout the simulator: simulated time, byte
+// counts, and bandwidths. All simulated time is integral nanoseconds so
+// that event ordering is exact and runs are bit-reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace nm {
+
+/// A span of simulated time. Integral nanoseconds internally.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t v) { return Duration{v}; }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t v) { return Duration{v * 1'000}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t v) { return Duration{v * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e9)};
+  }
+  [[nodiscard]] static constexpr Duration minutes(double v) { return seconds(v * 60.0); }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration infinite() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) / k)};
+  }
+  [[nodiscard]] constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute point on the simulated clock (nanoseconds since t=0).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  [[nodiscard]] static constexpr TimePoint from_nanos(std::int64_t ns) { return TimePoint{ns}; }
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.count_nanos()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.count_nanos()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::nanos(ns_ - o.ns_); }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// A byte count. Strong type so API signatures are self-describing.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t b) : b_(b) {}
+
+  [[nodiscard]] static constexpr Bytes kib(std::uint64_t v) { return Bytes{v * 1024ull}; }
+  [[nodiscard]] static constexpr Bytes mib(std::uint64_t v) { return Bytes{v * 1024ull * 1024}; }
+  [[nodiscard]] static constexpr Bytes gib(std::uint64_t v) {
+    return Bytes{v * 1024ull * 1024 * 1024};
+  }
+  [[nodiscard]] static constexpr Bytes zero() { return Bytes{0}; }
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return b_; }
+  [[nodiscard]] constexpr double to_gib() const {
+    return static_cast<double>(b_) / (1024.0 * 1024.0 * 1024.0);
+  }
+  [[nodiscard]] constexpr double to_mib() const {
+    return static_cast<double>(b_) / (1024.0 * 1024.0);
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return b_ == 0; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes operator+(Bytes o) const { return Bytes{b_ + o.b_}; }
+  constexpr Bytes operator-(Bytes o) const { return Bytes{b_ >= o.b_ ? b_ - o.b_ : 0}; }
+  constexpr Bytes& operator+=(Bytes o) {
+    b_ += o.b_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    b_ = b_ >= o.b_ ? b_ - o.b_ : 0;
+    return *this;
+  }
+  constexpr Bytes operator*(std::uint64_t k) const { return Bytes{b_ * k}; }
+  constexpr Bytes operator/(std::uint64_t k) const { return Bytes{b_ / k}; }
+  [[nodiscard]] constexpr double ratio(Bytes o) const {
+    return static_cast<double>(b_) / static_cast<double>(o.b_);
+  }
+
+ private:
+  std::uint64_t b_ = 0;
+};
+
+/// A data rate in bytes per second (floating point: rates are model
+/// parameters, not event-ordering inputs).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bytes_per_sec(double v) { return Bandwidth{v}; }
+  [[nodiscard]] static constexpr Bandwidth mib_per_sec(double v) {
+    return Bandwidth{v * 1024.0 * 1024.0};
+  }
+  [[nodiscard]] static constexpr Bandwidth gib_per_sec(double v) {
+    return Bandwidth{v * 1024.0 * 1024.0 * 1024.0};
+  }
+  /// Network-style gigabits per second (10^9 bits).
+  [[nodiscard]] static constexpr Bandwidth gbps(double v) { return Bandwidth{v * 1e9 / 8.0}; }
+  [[nodiscard]] static constexpr Bandwidth zero() { return Bandwidth{0.0}; }
+
+  [[nodiscard]] constexpr double bytes_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double to_gbps() const { return bps_ * 8.0 / 1e9; }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ <= 0.0; }
+
+  /// Time to move `n` bytes at this rate.
+  [[nodiscard]] constexpr Duration transfer_time(Bytes n) const {
+    return Duration::seconds(static_cast<double>(n.count()) / bps_);
+  }
+  /// Bytes moved in `d` at this rate.
+  [[nodiscard]] constexpr Bytes bytes_in(Duration d) const {
+    const double b = bps_ * d.to_seconds();
+    return Bytes{b <= 0.0 ? 0ull : static_cast<std::uint64_t>(b)};
+  }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+  constexpr Bandwidth operator*(double k) const { return Bandwidth{bps_ * k}; }
+  constexpr Bandwidth operator/(double k) const { return Bandwidth{bps_ / k}; }
+
+ private:
+  constexpr explicit Bandwidth(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+[[nodiscard]] constexpr Bandwidth min(Bandwidth a, Bandwidth b) { return a < b ? a : b; }
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+std::ostream& operator<<(std::ostream& os, Bytes b);
+std::ostream& operator<<(std::ostream& os, Bandwidth bw);
+
+}  // namespace nm

@@ -1,0 +1,162 @@
+// Virtual PCI devices as seen by a guest. Two kinds matter for the paper:
+//   - IbHcaPassthroughDevice: a VMM-bypass InfiniBand HCA handed to the VM
+//     (zero virtualization overhead; pins the VM to its host until
+//     detached; fresh LID + ~30 s link training on every attach);
+//   - VirtioNetDevice: a para-virtual Ethernet NIC (per-byte CPU cost;
+//     stable IP that follows the VM across hosts via fabric rebind).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/eth_fabric.h"
+#include "net/fabric.h"
+#include "net/ib_fabric.h"
+#include "net/port.h"
+
+namespace nm::vmm {
+
+class VmDevice {
+ public:
+  VmDevice(std::string tag, std::string guest_pci_addr)
+      : tag_(std::move(tag)), guest_pci_addr_(std::move(guest_pci_addr)) {}
+  virtual ~VmDevice() = default;
+  VmDevice(const VmDevice&) = delete;
+  VmDevice& operator=(const VmDevice&) = delete;
+
+  [[nodiscard]] const std::string& tag() const { return tag_; }
+  [[nodiscard]] const std::string& guest_pci_addr() const { return guest_pci_addr_; }
+
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+  /// True when the device bypasses the VMM (cannot migrate while attached).
+  [[nodiscard]] virtual bool vmm_bypass() const = 0;
+  [[nodiscard]] virtual net::Fabric& fabric() = 0;
+  [[nodiscard]] virtual net::AttachmentPtr attachment() const = 0;
+  /// Per-transfer cost shaping for traffic through this device.
+  [[nodiscard]] virtual net::TransferOptions transfer_options() const = 0;
+
+  /// Called when the device is unplugged from the VM.
+  virtual void unplug() = 0;
+  /// Called after the owning VM switched hosts (virtio re-binds; a
+  /// passthrough device must never see this — it is detached first).
+  virtual void host_changed(net::NicPort& new_uplink) = 0;
+
+ private:
+  std::string tag_;
+  std::string guest_pci_addr_;
+};
+
+/// VMM-bypass InfiniBand HCA (Mellanox ConnectX model).
+class IbHcaPassthroughDevice final : public VmDevice {
+ public:
+  IbHcaPassthroughDevice(std::string tag, std::string guest_pci_addr, std::string host_pci_addr,
+                         net::IbFabric& fabric, net::NicPort& host_port)
+      : VmDevice(std::move(tag), std::move(guest_pci_addr)),
+        host_pci_addr_(std::move(host_pci_addr)),
+        fabric_(&fabric),
+        host_port_(&host_port) {
+    attachment_ = fabric_->attach(*host_port_);  // link training starts now
+  }
+
+  [[nodiscard]] std::string_view kind() const override { return "ib-hca-passthrough"; }
+  [[nodiscard]] bool vmm_bypass() const override { return true; }
+  [[nodiscard]] net::Fabric& fabric() override { return *fabric_; }
+  [[nodiscard]] net::IbFabric& ib_fabric() { return *fabric_; }
+  [[nodiscard]] net::AttachmentPtr attachment() const override { return attachment_; }
+  [[nodiscard]] const std::string& host_pci_addr() const { return host_pci_addr_; }
+
+  [[nodiscard]] net::TransferOptions transfer_options() const override {
+    return net::TransferOptions{};  // VMM-bypass: zero CPU cost
+  }
+
+  void unplug() override {
+    if (attachment_ != nullptr) {
+      fabric_->detach(attachment_);
+      attachment_ = nullptr;
+    }
+  }
+
+  void host_changed(net::NicPort& /*new_uplink*/) override {
+    throw LogicError("a VMM-bypass HCA cannot follow a VM across hosts; detach it first");
+  }
+
+ private:
+  std::string host_pci_addr_;
+  net::IbFabric* fabric_;
+  net::NicPort* host_port_;
+  net::AttachmentPtr attachment_;
+};
+
+/// Costs of the para-virtual network path. Two distinct bottlenecks:
+///   - the guest's TCP stack: one vCPU per stream, so a single connection
+///     tops out near `single_stream_rate`;
+///   - the VM's single vhost/virtio-queue thread: all of a VM's network
+///     traffic is serialized through one host thread, capping the VM's
+///     aggregate throughput regardless of how many ranks send (this is why
+///     Fig 8's consolidated "2 hosts (TCP)" phase does not profit from 8
+///     processes per VM).
+struct VirtioNetCosts {
+  /// Single TCP stream ceiling (guest-side processing), bytes/s.
+  double single_stream_rate = 4.2e9 / 8.0;  // ~4.2 Gb/s
+  /// Guest-side core-seconds per byte, charged to the host's cores.
+  double guest_cpu_per_byte = 1.0 / (4.2e9 / 8.0);
+  /// vhost-thread core-seconds per byte; the thread is a 1-core resource
+  /// per device, so the VM aggregate tops out near 8 Gb/s.
+  double vhost_cpu_per_byte = 1.0 / (8.0e9 / 8.0);
+};
+
+/// Para-virtual Ethernet NIC (virtio_net model).
+class VirtioNetDevice final : public VmDevice {
+ public:
+  VirtioNetDevice(std::string tag, std::string guest_pci_addr, net::EthFabric& fabric,
+                  net::NicPort& host_uplink, VirtioNetCosts costs = {})
+      : VmDevice(std::move(tag), std::move(guest_pci_addr)),
+        fabric_(&fabric),
+        costs_(costs),
+        vhost_("vhost:" + this->tag(), 1.0) {
+    attachment_ = fabric_->attach(host_uplink);  // IP assigned, stable
+    // Inbound traffic also funnels through this VM's vhost thread.
+    std::vector<sim::ResourceShare> rx{{&vhost_, costs_.vhost_cpu_per_byte}};
+    attachment_->set_rx_shares(std::move(rx));
+  }
+
+  [[nodiscard]] std::string_view kind() const override { return "virtio-net"; }
+  [[nodiscard]] bool vmm_bypass() const override { return false; }
+  [[nodiscard]] net::Fabric& fabric() override { return *fabric_; }
+  [[nodiscard]] net::AttachmentPtr attachment() const override { return attachment_; }
+  [[nodiscard]] const VirtioNetCosts& costs() const { return costs_; }
+
+  [[nodiscard]] net::TransferOptions transfer_options() const override {
+    net::TransferOptions opts;
+    // Guest TCP stack + vhost work both burn host cores ...
+    opts.src_cpu_per_byte = costs_.guest_cpu_per_byte + costs_.vhost_cpu_per_byte;
+    opts.dst_cpu_per_byte = costs_.guest_cpu_per_byte;
+    // ... one stream is limited by one guest vCPU ...
+    opts.max_rate = costs_.single_stream_rate;
+    // ... and every stream of this VM shares the single vhost thread.
+    opts.extras.push_back({const_cast<sim::FluidResource*>(&vhost_),
+                           costs_.vhost_cpu_per_byte});
+    return opts;
+  }
+
+  void unplug() override {
+    if (attachment_ != nullptr) {
+      fabric_->detach(attachment_);
+    }
+  }
+
+  void host_changed(net::NicPort& new_uplink) override {
+    fabric_->rebind(attachment_, new_uplink);
+  }
+
+  [[nodiscard]] sim::FluidResource& vhost() { return vhost_; }
+
+ private:
+  net::EthFabric* fabric_;
+  VirtioNetCosts costs_;
+  sim::FluidResource vhost_;
+  net::AttachmentPtr attachment_;
+};
+
+}  // namespace nm::vmm

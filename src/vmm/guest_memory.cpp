@@ -1,0 +1,129 @@
+#include "vmm/guest_memory.h"
+
+#include "util/error.h"
+
+namespace nm::vmm {
+
+GuestMemory::GuestMemory(Bytes size)
+    : size_(size),
+      pages_(size.count() / kPageSize),
+      content_(pages_ == 0 ? 1 : pages_, PageContent{}),
+      dirty_(pages_ == 0 ? 1 : pages_) {
+  NM_CHECK(size.count() % kPageSize == 0, "guest memory must be page-aligned, got " << size);
+  NM_CHECK(pages_ > 0, "guest memory must be non-empty");
+}
+
+std::uint64_t GuestMemory::page_of(Bytes offset) const { return offset.count() / kPageSize; }
+
+void GuestMemory::mark_dirty(Bytes offset, Bytes len) {
+  if (!logging_ || len.is_zero()) {
+    return;
+  }
+  const auto first = page_of(offset);
+  const auto last = (offset.count() + len.count() + kPageSize - 1) / kPageSize;
+  dirty_.insert(first, last);
+}
+
+void GuestMemory::write_data(Bytes offset, Bytes len) {
+  NM_CHECK(offset.count() + len.count() <= size_.count(),
+           "write beyond guest memory: " << offset << "+" << len << " > " << size_);
+  if (len.is_zero()) {
+    return;
+  }
+  // Page-granular classification: any page touched by a data write becomes
+  // incompressible.
+  const auto first = page_of(offset);
+  const auto last = (offset.count() + len.count() + kPageSize - 1) / kPageSize;
+  content_.assign(first, last, PageContent{PageClass::kData, 0});
+  mark_dirty(offset, len);
+}
+
+void GuestMemory::write_uniform(Bytes offset, Bytes len, std::uint8_t fill) {
+  NM_CHECK(offset.count() + len.count() <= size_.count(),
+           "write beyond guest memory: " << offset << "+" << len << " > " << size_);
+  NM_CHECK(offset.count() % kPageSize == 0 && len.count() % kPageSize == 0,
+           "uniform fills must be page-aligned to stay compressible");
+  if (len.is_zero()) {
+    return;
+  }
+  const auto first = page_of(offset);
+  const auto last = page_of(offset + len);
+  const PageClass cls = (fill == 0) ? PageClass::kZero : PageClass::kUniform;
+  content_.assign(first, last, PageContent{cls, fill});
+  mark_dirty(offset, len);
+}
+
+void GuestMemory::write_zero(Bytes offset, Bytes len) { write_uniform(offset, len, 0); }
+
+PageContent GuestMemory::page_at(std::uint64_t page_index) const {
+  return content_.at(page_index);
+}
+
+Bytes GuestMemory::data_bytes() const {
+  const auto pages = content_.measure_where(
+      0, pages_, [](const PageContent& c) { return c.cls == PageClass::kData; });
+  return Bytes(pages * kPageSize);
+}
+
+void GuestMemory::start_dirty_logging() {
+  logging_ = true;
+  dirty_.insert(0, pages_);
+}
+
+void GuestMemory::stop_dirty_logging() {
+  logging_ = false;
+  dirty_.clear();
+}
+
+Bytes GuestMemory::dirty_bytes() const { return Bytes(dirty_.count() * kPageSize); }
+
+GuestMemory::PageRange GuestMemory::pop_dirty(std::uint64_t max_pages) {
+  const auto r = dirty_.pop_front(max_pages);
+  return PageRange{r.lo, r.hi};
+}
+
+IntervalSet GuestMemory::take_dirty_snapshot() {
+  IntervalSet snapshot(pages_);
+  for (const auto& r : dirty_.ranges()) {
+    snapshot.insert(r.lo, r.hi);
+  }
+  dirty_.clear();
+  return snapshot;
+}
+
+Bytes GuestMemory::wire_size(const PageRange& range, bool compress_dup) const {
+  if (range.empty()) {
+    return Bytes::zero();
+  }
+  if (!compress_dup) {
+    return Bytes(range.pages() * kPageWireBytes);
+  }
+  std::uint64_t wire = 0;
+  content_.for_each_in(range.first_page, range.last_page,
+                       [&](std::uint64_t lo, std::uint64_t hi, const PageContent& c) {
+                         const auto n = hi - lo;
+                         wire += (c.cls == PageClass::kData) ? n * kPageWireBytes
+                                                             : n * kDupPageWireBytes;
+                       });
+  return Bytes(wire);
+}
+
+Bytes GuestMemory::dirty_wire_size(bool compress_dup) const {
+  Bytes total = Bytes::zero();
+  for (const auto& r : dirty_.ranges()) {
+    total += wire_size(PageRange{r.lo, r.hi}, compress_dup);
+  }
+  return total;
+}
+
+Bytes GuestMemory::data_bytes_in(const PageRange& range) const {
+  if (range.empty()) {
+    return Bytes::zero();
+  }
+  const auto pages = content_.measure_where(
+      range.first_page, range.last_page,
+      [](const PageContent& c) { return c.cls == PageClass::kData; });
+  return Bytes(pages * kPageSize);
+}
+
+}  // namespace nm::vmm

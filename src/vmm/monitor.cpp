@@ -1,0 +1,140 @@
+#include "vmm/monitor.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace nm::vmm {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) {
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+/// Parses "key=value,key=value" argument syntax.
+std::map<std::string, std::string> parse_kv(const std::string& s) {
+  std::map<std::string, std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      out[item] = "";
+    } else {
+      out[item.substr(0, eq)] = item.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Monitor::Monitor(std::shared_ptr<Vm> vm, HostResolver resolver)
+    : vm_(std::move(vm)), resolver_(std::move(resolver)) {
+  NM_CHECK(vm_ != nullptr, "monitor needs a VM");
+}
+
+sim::Task Monitor::execute(std::string command, MonitorResult& result) {
+  NM_LOG_DEBUG("monitor") << vm_->name() << " <- '" << command << "'";
+  try {
+    co_await dispatch(std::move(command), result);
+  } catch (const OperationError& e) {
+    result.ok = false;
+    result.message = e.what();
+  }
+  NM_LOG_DEBUG("monitor") << vm_->name() << " -> " << (result.ok ? "OK" : "ERR") << " "
+                          << result.message;
+}
+
+sim::Task Monitor::dispatch(std::string command, MonitorResult& result) {
+  const auto tokens = tokenize(command);
+  if (tokens.empty()) {
+    result = {false, "empty command"};
+    co_return;
+  }
+  const std::string& cmd = tokens[0];
+  auto& host = vm_->host();
+
+  if (cmd == "device_add") {
+    if (tokens.size() != 2) {
+      result = {false, "usage: device_add host=<pci>,id=<tag>"};
+      co_return;
+    }
+    auto kv = parse_kv(tokens[1]);
+    if (!kv.contains("host") || !kv.contains("id")) {
+      result = {false, "device_add needs host= and id="};
+      co_return;
+    }
+    co_await host.device_add(*vm_, kv["host"], kv["id"]);
+    result = {true, "device " + kv["id"] + " added"};
+  } else if (cmd == "device_del") {
+    if (tokens.size() != 2) {
+      result = {false, "usage: device_del <tag>"};
+      co_return;
+    }
+    co_await host.device_del(*vm_, tokens[1]);
+    result = {true, "device " + tokens[1] + " deleted"};
+  } else if (cmd == "migrate") {
+    if (tokens.size() != 2) {
+      result = {false, "usage: migrate <dst-host>"};
+      co_return;
+    }
+    if (!resolver_) {
+      result = {false, "no host resolver configured"};
+      co_return;
+    }
+    Host* dst = resolver_(tokens[1]);
+    if (dst == nullptr) {
+      result = {false, "unknown destination host '" + tokens[1] + "'"};
+      co_return;
+    }
+    co_await host.migrate(*vm_, *dst, &last_migration_);
+    result = {true, "migration to " + tokens[1] + " completed"};
+  } else if (cmd == "stop") {
+    vm_->pause();
+    result = {true, "paused"};
+  } else if (cmd == "cont") {
+    vm_->resume();
+    result = {true, "running"};
+  } else if (cmd == "info" && tokens.size() == 2 && tokens[1] == "status") {
+    result = {true, std::string("VM status: ") + (vm_->running() ? "running" : "paused")};
+  } else if (cmd == "migrate_set_speed") {
+    if (tokens.size() != 2) {
+      result = {false, "usage: migrate_set_speed <bytes_per_second>"};
+      co_return;
+    }
+    const double limit = std::stod(tokens[1]);
+    if (limit <= 0.0) {
+      result = {false, "speed must be positive"};
+      co_return;
+    }
+    auto config = host.migration_engine().config();
+    config.max_bandwidth = limit;
+    host.migration_engine().set_config(config);
+    result = {true, "migration speed limited to " + tokens[1] + " B/s"};
+  } else if (cmd == "info" && tokens.size() == 2 && tokens[1] == "migrate") {
+    std::ostringstream os;
+    if (last_migration_.in_progress) {
+      os << "Migration status: active, round " << last_migration_.rounds << ", transferred "
+         << last_migration_.wire_bytes;
+    } else {
+      os << "rounds " << last_migration_.rounds << ", transferred "
+         << last_migration_.wire_bytes << ", downtime " << last_migration_.downtime
+         << ", total " << last_migration_.total;
+    }
+    result = {true, os.str()};
+  } else {
+    result = {false, "unknown command '" + cmd + "'"};
+  }
+}
+
+}  // namespace nm::vmm

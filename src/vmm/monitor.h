@@ -1,0 +1,52 @@
+// The per-VM monitor: the QEMU Monitor Protocol surface that SymVirt
+// agents connect to. Commands are HMP-style text lines, mirroring the
+// paper's use of `migrate`, `device_add` and `device_del` via QMP/telnet.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/task.h"
+#include "vmm/host.h"
+#include "vmm/migration.h"
+#include "vmm/vm.h"
+
+namespace nm::vmm {
+
+struct MonitorResult {
+  bool ok = false;
+  std::string message;
+};
+
+class Monitor {
+ public:
+  /// Resolves a migration destination host by name (the cloud scheduler
+  /// provides the mapping in a real deployment).
+  using HostResolver = std::function<Host*(const std::string&)>;
+
+  Monitor(std::shared_ptr<Vm> vm, HostResolver resolver);
+
+  [[nodiscard]] Vm& vm() { return *vm_; }
+
+  /// Executes one command line; supported commands:
+  ///   device_add host=<pci>,id=<tag>
+  ///   device_del <tag>
+  ///   migrate <dst-host-name>
+  ///   stop | cont
+  ///   info status | info migrate
+  /// Returns the command's result; errors are reported in-band (ok=false),
+  /// never thrown, like a real monitor session.
+  [[nodiscard]] sim::Task execute(std::string command, MonitorResult& result);
+
+  [[nodiscard]] const MigrationStats& last_migration() const { return last_migration_; }
+
+ private:
+  [[nodiscard]] sim::Task dispatch(std::string command, MonitorResult& result);
+
+  std::shared_ptr<Vm> vm_;
+  HostResolver resolver_;
+  MigrationStats last_migration_;
+};
+
+}  // namespace nm::vmm

@@ -1,0 +1,47 @@
+#include "workloads/bcast_reduce.h"
+
+namespace nm::workloads {
+
+BcastReduceBench::BcastReduceBench(core::MpiJob& job, BcastReduceConfig config)
+    : job_(&job),
+      config_(config),
+      per_rank_(Bytes(config.per_node_bytes.count() / job.config().ranks_per_vm)),
+      step_done_(job.testbed().sim()) {
+  iter_seconds_.reserve(static_cast<std::size_t>(config_.iterations));
+}
+
+sim::Task BcastReduceBench::run_rank(mpi::RankId me) {
+  auto& sim = job_->testbed().sim();
+  auto& rank = job_->runtime().rank(me);
+  auto& vm = rank.vm();
+
+  if (config_.touch_memory) {
+    // Stage the payload buffers (incompressible application data).
+    const auto local =
+        static_cast<std::uint64_t>(me) % static_cast<std::uint64_t>(job_->config().ranks_per_vm);
+    const Bytes base = vm.spec().base_os_footprint + Bytes(local * per_rank_.count());
+    if (base + per_rank_ <= vm.spec().memory) {
+      vm.memory().write_data(base, per_rank_);
+    }
+  }
+
+  for (int i = 0; i < config_.iterations; ++i) {
+    const TimePoint t0 = sim.now();
+    co_await job_->world().bcast(me, /*root=*/0, per_rank_);
+    co_await job_->world().reduce(me, /*root=*/0, per_rank_, config_.reduce_compute_per_byte);
+    co_await job_->world().barrier(me);
+    if (me == 0) {
+      iter_seconds_.push_back((sim.now() - t0).to_seconds());
+      completed_steps_ = i + 1;
+      step_done_.notify_all();
+    }
+  }
+}
+
+sim::Task BcastReduceBench::wait_step(int step) {
+  while (completed_steps_ < step) {
+    co_await step_done_.wait();
+  }
+}
+
+}  // namespace nm::workloads

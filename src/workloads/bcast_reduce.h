@@ -1,0 +1,51 @@
+// The Fig 8 workload: "a simple MPI program that repeatedly broadcasts and
+// reduces 8 GB data per node". The per-node payload is split across the
+// ranks of each VM, so with 8 processes per VM each rank moves 1/8 of the
+// data — which is why the paper's 8-proc runs are faster than 1-proc runs.
+// Rank 0 records per-iteration wall times; an optional trigger lets the
+// caller launch Ninja episodes at given step boundaries.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/job.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "util/units.h"
+
+namespace nm::workloads {
+
+struct BcastReduceConfig {
+  Bytes per_node_bytes = Bytes::gib(8);
+  int iterations = 40;
+  /// Reduction combine cost (core-seconds per byte at each tree step).
+  double reduce_compute_per_byte = 2.0e-10;
+  /// The payload is staged in guest memory (incompressible) once at start.
+  bool touch_memory = true;
+};
+
+class BcastReduceBench {
+ public:
+  BcastReduceBench(core::MpiJob& job, BcastReduceConfig config);
+
+  /// Rank body; launch via MpiJob::launch with a capture of *this.
+  [[nodiscard]] sim::Task run_rank(mpi::RankId me);
+
+  /// Completion of iteration `step` (1-based) on rank 0 — the hook the
+  /// Fig 8 harness uses to fire Ninja at steps 10, 20, 30.
+  [[nodiscard]] sim::Task wait_step(int step);
+
+  [[nodiscard]] const std::vector<double>& iteration_seconds() const { return iter_seconds_; }
+  [[nodiscard]] int completed_steps() const { return completed_steps_; }
+
+ private:
+  core::MpiJob* job_;
+  BcastReduceConfig config_;
+  Bytes per_rank_;
+  std::vector<double> iter_seconds_;
+  int completed_steps_ = 0;
+  sim::Notifier step_done_;
+};
+
+}  // namespace nm::workloads

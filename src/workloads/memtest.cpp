@@ -1,0 +1,43 @@
+#include "workloads/memtest.h"
+
+#include "util/error.h"
+
+namespace nm::workloads {
+
+sim::Task run_memtest_rank(core::MpiJob& job, mpi::RankId me, MemtestConfig config,
+                           MemtestResult* result) {
+  auto& runtime = job.runtime();
+  auto& rank = runtime.rank(me);
+  auto& vm = rank.vm();
+  auto& sim = job.testbed().sim();
+
+  const auto local_rank =
+      static_cast<std::uint64_t>(me) % static_cast<std::uint64_t>(job.config().ranks_per_vm);
+  const Bytes base = vm.spec().base_os_footprint + Bytes(local_rank * config.array_size.count());
+  NM_CHECK(base + config.array_size <= vm.spec().memory,
+           "memtest array does not fit in " << vm.name() << " guest memory");
+
+  const TimePoint t0 = sim.now();
+  MemtestResult local;
+  for (int pass = 0; pass < config.passes; ++pass) {
+    Bytes offset = Bytes::zero();
+    while (offset < config.array_size) {
+      const Bytes len =
+          std::min(config.chunk, config.array_size - offset);
+      // The store stream costs CPU (respecting VM pause + contention) ...
+      co_await vm.compute(vm.host().node().mem_write_cost(len));
+      // ... and classifies the pages as uniform (compressible).
+      vm.memory().write_uniform(base + offset, len, config.pattern);
+      local.written += len;
+      offset += len;
+      // MPI progress point: a pending checkpoint is serviced here.
+      co_await runtime.progress(me);
+    }
+  }
+  local.elapsed = sim.now() - t0;
+  if (result != nullptr) {
+    *result = local;
+  }
+}
+
+}  // namespace nm::workloads

@@ -1,0 +1,34 @@
+// The paper's `memtest` micro-benchmark: each MPI process sequentially
+// writes a fixed byte pattern over an in-guest array of configurable size,
+// for a configurable number of passes. Pattern writes make the pages
+// *uniform* (compressible by the migration engine's is_dup_page), which is
+// the key to Figure 6's weak dependence of migration time on footprint.
+#pragma once
+
+#include <vector>
+
+#include "core/job.h"
+#include "sim/task.h"
+#include "util/units.h"
+
+namespace nm::workloads {
+
+struct MemtestConfig {
+  Bytes array_size = Bytes::gib(2);
+  int passes = 8;
+  std::uint8_t pattern = 0x5A;
+  /// Progress-point / write granularity.
+  Bytes chunk = Bytes::mib(64);
+};
+
+struct MemtestResult {
+  Duration elapsed = Duration::zero();
+  Bytes written = Bytes::zero();
+};
+
+/// Rank body. Ranks on the same VM write disjoint array slices (offset by
+/// local rank), all beyond the guest OS footprint.
+[[nodiscard]] sim::Task run_memtest_rank(core::MpiJob& job, mpi::RankId me,
+                                         MemtestConfig config, MemtestResult* result);
+
+}  // namespace nm::workloads

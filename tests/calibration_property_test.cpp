@@ -1,0 +1,93 @@
+// Property tests over the calibration space: the Table II decomposition
+// identity (measured hotplug == detach + attach + confirm; measured
+// link-up == configured training time) must hold for *any* timing
+// configuration, not just the paper's constants — i.e. the episode's
+// phase accounting is structural, not tuned.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/job.h"
+#include "core/ninja.h"
+#include "core/testbed.h"
+#include "util/rng.h"
+#include "workloads/bcast_reduce.h"
+
+namespace nm::core {
+namespace {
+
+struct TimingCase {
+  double detach_ib;
+  double attach_ib;
+  double confirm;
+  double linkup;
+};
+
+class CalibrationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CalibrationProperty, PhaseAccountingIdentityHoldsForAnyTiming) {
+  Rng rng(GetParam());
+  const TimingCase timing{rng.uniform(0.1, 10.0), rng.uniform(0.1, 5.0),
+                          rng.uniform(0.05, 1.0), rng.uniform(0.5, 40.0)};
+
+  TestbedConfig tcfg;
+  tcfg.hotplug.detach_ib = Duration::seconds(timing.detach_ib);
+  tcfg.hotplug.attach_ib = Duration::seconds(timing.attach_ib);
+  tcfg.ib.linkup_time = Duration::seconds(timing.linkup);
+  Testbed tb(tcfg);
+
+  JobConfig cfg;
+  cfg.vm_count = 2;
+  cfg.ranks_per_vm = 1;
+  cfg.vm_template.memory = Bytes::gib(4);
+  cfg.vm_template.base_os_footprint = Bytes::mib(512);
+  MpiJob job(tb, cfg);
+  // Override the coordinator's confirm constant through a custom migrator.
+  NinjaMigrator migrator(tb.sim(), job.runtime(), job.scheduler().resolver(),
+                         symvirt::CoordinatorTiming{Duration::seconds(timing.confirm)});
+  job.init();  // installs the default coordinator ...
+  migrator.install_coordinator();  // ... which this one replaces
+
+  workloads::BcastReduceConfig wcfg;
+  wcfg.per_node_bytes = Bytes::mib(256);
+  wcfg.iterations = 100;
+  auto bench = std::make_shared<workloads::BcastReduceBench>(job, wcfg);
+  job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+
+  // IB -> IB swap with re-attach: every phase is on the critical path.
+  NinjaStats stats;
+  tb.sim().spawn([](Testbed& t, MpiJob& j, NinjaMigrator& nm_,
+                    std::shared_ptr<workloads::BcastReduceBench> b,
+                    NinjaStats& st) -> sim::Task {
+    co_await b->wait_step(2);
+    MigrationPlan plan;
+    plan.vms = j.vms();
+    plan.destinations = {t.ib_host(1).name(), t.ib_host(0).name()};
+    plan.attach_host_pci = Testbed::kHcaPciAddr;
+    plan.ranks_per_vm = 1;
+    co_await nm_.execute(std::move(plan), &st);
+  }(tb, job, migrator, bench, stats));
+  tb.sim().run_until(TimePoint::origin() + Duration::minutes(60));
+
+  // The identities (to within the 100 ms link-watch poll period). Note
+  // the guest's confirm step overlaps the port training (training starts
+  // when the VF attaches), so the link-up phase is max(confirm, training),
+  // not their sum.
+  EXPECT_NEAR(stats.detach.to_seconds(), timing.detach_ib, 1e-6) << "seed " << GetParam();
+  EXPECT_NEAR(stats.attach.to_seconds(), timing.attach_ib, 1e-6);
+  EXPECT_NEAR(stats.linkup.to_seconds(), std::max(timing.confirm, timing.linkup), 0.15);
+  const Duration confirm = Duration::seconds(timing.confirm);
+  EXPECT_NEAR(stats.hotplug(confirm).to_seconds(),
+              timing.detach_ib + timing.attach_ib + timing.confirm, 1e-6);
+  // And the episode is internally consistent.
+  EXPECT_GE(stats.total.to_seconds(),
+            stats.coordination.to_seconds() + stats.detach.to_seconds() +
+                stats.migration.to_seconds() + stats.attach.to_seconds() +
+                stats.linkup.to_seconds() - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalibrationProperty,
+                         ::testing::Values(11, 23, 37, 53, 71, 97));
+
+}  // namespace
+}  // namespace nm::core

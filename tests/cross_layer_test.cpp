@@ -1,0 +1,193 @@
+// Cross-layer behaviours that no single module owns:
+//   - guest compute re-targets the destination host's cores after a
+//     migration (contention follows the VM);
+//   - a live (non-Ninja) migration of a busy guest converges through
+//     multiple pre-copy rounds and the guest keeps computing throughout;
+//   - the virtio vhost thread serializes a VM's aggregate TCP throughput
+//     while distinct VMs scale independently;
+//   - back-to-back Ninja episodes reuse every mechanism cleanly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/job.h"
+#include "core/testbed.h"
+#include "guestos/drivers.h"
+#include "guestos/guest_os.h"
+#include "workloads/bcast_reduce.h"
+
+namespace nm::core {
+namespace {
+
+vmm::VmSpec vm_spec(const std::string& name, Bytes mem = Bytes::gib(4)) {
+  vmm::VmSpec spec;
+  spec.name = name;
+  spec.memory = mem;
+  spec.base_os_footprint = Bytes::mib(512);
+  return spec;
+}
+
+TEST(CrossLayer, ComputeContendsOnDestinationAfterMigration) {
+  // A VM computing in 0.1-core-second chunks migrates to a host already
+  // saturated by 8 compute-bound jobs: its throughput halves after the
+  // move because chunks now run on the contended destination cores.
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), vm_spec("mover"), false);
+  tb.settle();
+  // Saturate eth0 with 8 native jobs (one per core) for a long time.
+  for (int i = 0; i < 8; ++i) {
+    tb.sim().spawn([](Testbed& t) -> sim::Task {
+      co_await t.eth_host(0).node().compute(10'000.0);
+    }(tb));
+  }
+  double before_rate = 0;
+  double after_rate = 0;
+  bool migrated = false;
+  tb.sim().spawn([](Testbed& t, vmm::Vm& v, double& before, double& after,
+                    bool& moved) -> sim::Task {
+    // 100 chunks on the idle source host.
+    TimePoint t0 = t.sim().now();
+    for (int i = 0; i < 100; ++i) {
+      co_await v.compute(0.1);
+    }
+    before = 10.0 / (t.sim().now() - t0).to_seconds();
+    co_await t.ib_host(0).migrate(v, t.eth_host(0));
+    moved = true;
+    t0 = t.sim().now();
+    for (int i = 0; i < 100; ++i) {
+      co_await v.compute(0.1);
+    }
+    after = 10.0 / (t.sim().now() - t0).to_seconds();
+  }(tb, *vm, before_rate, after_rate, migrated));
+  tb.sim().run_for(Duration::minutes(10));
+  ASSERT_TRUE(migrated);
+  EXPECT_NEAR(before_rate, 1.0, 0.05);  // full core on the idle source
+  EXPECT_NEAR(after_rate, 8.0 / 9.0, 0.05);  // fair share among 9 jobs
+}
+
+TEST(CrossLayer, LiveMigrationOfBusyGuestConvergesInRounds) {
+  // Unlike Ninja (ranks parked), a plain live migration races the guest's
+  // dirty rate: moderate dirtying costs extra rounds but still converges
+  // to a sub-max_downtime stop-and-copy.
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), vm_spec("busy", Bytes::gib(4)), false);
+  vm->memory().write_data(Bytes::zero(), Bytes::gib(2));
+  tb.settle();
+  bool stop = false;
+  int chunks_done = 0;
+  tb.sim().spawn([](Testbed&, vmm::Vm& v, bool& stop_flag, int& done) -> sim::Task {
+    while (!stop_flag) {
+      co_await v.compute(0.8);
+      // Rewrites 64 MiB per 0.8 s: ~80 MiB/s dirty rate, comfortably
+      // below the ~160 MiB/s drain rate -> geometric convergence.
+      v.memory().write_data(Bytes::zero(), Bytes::mib(64));
+      ++done;
+    }
+  }(tb, *vm, stop, chunks_done));
+  vmm::MigrationStats stats;
+  tb.sim().spawn([](Testbed& t, vmm::Vm& v, vmm::MigrationStats& st, bool& stop_flag)
+                     -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(1.0));
+    co_await t.ib_host(0).migrate(v, t.eth_host(1), &st);
+    stop_flag = true;
+  }(tb, *vm, stats, stop));
+  tb.sim().run();
+  EXPECT_GT(stats.rounds, 1);
+  EXPECT_LT(stats.rounds, 30);  // converged, not round-capped
+  EXPECT_LE(stats.downtime, Duration::millis(100));
+  EXPECT_TRUE(tb.eth_host(1).resident(*vm));
+  EXPECT_GT(chunks_done, 10);  // the guest kept computing during pre-copy
+}
+
+TEST(CrossLayer, VhostSerializesOneVmButNotTwo) {
+  // Two concurrent streams from ONE VM share its vhost thread; the same
+  // two streams from TWO VMs on the same host run at full stream rate.
+  Testbed tb;
+  auto one = tb.boot_vm(tb.eth_host(0), vm_spec("one"), false);
+  auto left = tb.boot_vm(tb.eth_host(1), vm_spec("left"), false);
+  auto right = tb.boot_vm(tb.eth_host(1), vm_spec("right"), false);
+  auto sink_a = tb.boot_vm(tb.eth_host(2), vm_spec("sink-a"), false);
+  auto sink_b = tb.boot_vm(tb.eth_host(3), vm_spec("sink-b"), false);
+  guest::GuestOs os_one(one);
+  guest::GuestOs os_left(left);
+  guest::GuestOs os_right(right);
+  guest::GuestOs os_a(sink_a);
+  guest::GuestOs os_b(sink_b);
+  guest::VirtioNetDriver d_one(os_one);
+  guest::VirtioNetDriver d_left(os_left);
+  guest::VirtioNetDriver d_right(os_right);
+  guest::VirtioNetDriver d_a(os_a);
+  guest::VirtioNetDriver d_b(os_b);
+  tb.settle();
+
+  auto timed_pair = [&](guest::VirtioNetDriver& s1, guest::VirtioNetDriver& s2) {
+    const double t0 = tb.sim().now().to_seconds();
+    double done = 0;
+    auto sender = [](sim::Simulation& sim, guest::VirtioNetDriver& src,
+                     net::FabricAddress dst, double& out) -> sim::Task {
+      co_await src.send(dst, Bytes::gib(1));
+      out = std::max(out, sim.now().to_seconds());
+    };
+    tb.sim().spawn(sender(tb.sim(), s1, d_a.address(), done));
+    tb.sim().spawn(sender(tb.sim(), s2, d_b.address(), done));
+    tb.sim().run();
+    return done - t0;
+  };
+
+  const double one_vm = timed_pair(d_one, d_one);
+  const double two_vms = timed_pair(d_left, d_right);
+  // One VM: 2 streams through an 8 Gb/s vhost -> ~2.15 s for 2 GiB.
+  // Two VMs: each stream at its 4.2 Gb/s cap -> ~2.05 s... distinguish by
+  // per-stream rate instead: with one VM the pair is vhost-bound (8 Gb/s
+  // aggregate), with two VMs it is stream-bound (4.2 Gb/s each).
+  const double vhost_bound = 2.0 * 1073741824.0 / (8e9 / 8.0);
+  const double stream_bound = 1073741824.0 / (4.2e9 / 8.0);
+  EXPECT_NEAR(one_vm, vhost_bound, 0.2);
+  EXPECT_NEAR(two_vms, stream_bound, 0.2);
+  EXPECT_GT(one_vm, two_vms * 1.04);
+}
+
+TEST(CrossLayer, RepeatedEpisodesStayConsistent) {
+  // Four consecutive episodes (fallback/recovery alternating): transports
+  // flip every time, VM placement is exact, queues stay clean.
+  Testbed tb;
+  JobConfig cfg;
+  cfg.vm_count = 2;
+  cfg.ranks_per_vm = 2;
+  cfg.vm_template.memory = Bytes::gib(4);
+  cfg.vm_template.base_os_footprint = Bytes::mib(512);
+  MpiJob job(tb, cfg);
+  job.init();
+  workloads::BcastReduceConfig wcfg;
+  wcfg.per_node_bytes = Bytes::mib(256);
+  wcfg.iterations = 60;
+  auto bench = std::make_shared<workloads::BcastReduceBench>(job, wcfg);
+  job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+
+  std::vector<std::string> transports;
+  tb.sim().spawn([](MpiJob& j, std::shared_ptr<workloads::BcastReduceBench> b,
+                    std::vector<std::string>& out) -> sim::Task {
+    for (int episode = 0; episode < 4; ++episode) {
+      co_await b->wait_step(5 + episode * 10);
+      if (episode % 2 == 0) {
+        co_await j.fallback_migration(2);
+      } else {
+        co_await j.recovery_migration(2);
+      }
+      out.push_back(j.current_transport());
+    }
+  }(job, bench, transports));
+  tb.sim().run();
+
+  ASSERT_EQ(transports.size(), 4u);
+  EXPECT_EQ(transports[0], "tcp");
+  EXPECT_EQ(transports[1], "openib");
+  EXPECT_EQ(transports[2], "tcp");
+  EXPECT_EQ(transports[3], "openib");
+  EXPECT_EQ(bench->completed_steps(), 60);
+  EXPECT_EQ(job.runtime().unexpected_count(), 0u);
+  EXPECT_TRUE(tb.ib_host(0).resident(*job.vms()[0]));
+}
+
+}  // namespace
+}  // namespace nm::core

@@ -1,0 +1,270 @@
+// Tests for the extension features beyond the paper's evaluation:
+//   - the generic (MPI-independent) SymVirt coordination layer (§VII
+//     future work), including LID re-resolution after re-attach;
+//   - checkpoint/restore of VM images through shared storage (§II
+//     proactive fault tolerance), standalone and as a Ninja plan mode.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/job.h"
+#include "core/ninja.h"
+#include "core/testbed.h"
+#include "guestos/drivers.h"
+#include "guestos/guest_os.h"
+#include "symvirt/generic.h"
+#include "workloads/bcast_reduce.h"
+
+namespace nm::core {
+namespace {
+
+// --- A tiny non-MPI distributed service used by the generic-layer tests --
+
+struct TelemetryNode {
+  std::shared_ptr<vmm::Vm> vm;
+  std::unique_ptr<guest::GuestOs> os;
+  std::unique_ptr<guest::IbVerbsDriver> ib;
+  std::shared_ptr<symvirt::GenericCoordinator> coordinator;
+  net::FabricAddress cached_peer_lid = net::kInvalidAddress;
+  int heartbeats_sent = 0;
+  int send_failures = 0;
+  bool stop = false;
+};
+
+sim::Task telemetry_loop(TelemetryNode& self, TelemetryNode& peer) {
+  auto& sim = self.vm->simulation();
+  while (!self.stop) {
+    co_await self.coordinator->service_point();
+    if (self.cached_peer_lid == net::kInvalidAddress) {
+      self.cached_peer_lid = peer.ib->address();  // service discovery
+    }
+    bool failed = false;
+    try {
+      co_await self.ib->send(self.cached_peer_lid, Bytes::kib(4));
+      ++self.heartbeats_sent;
+    } catch (const OperationError&) {
+      failed = true;
+    }
+    if (failed) {
+      ++self.send_failures;
+      co_await sim.delay(Duration::millis(500));
+    }
+    co_await sim.delay(Duration::millis(200));
+  }
+}
+
+struct TelemetryFixture {
+  explicit TelemetryFixture(Testbed& tb, bool install_callbacks) {
+    for (int i = 0; i < 2; ++i) {
+      auto node = std::make_unique<TelemetryNode>();
+      vmm::VmSpec spec;
+      spec.name = "svc" + std::to_string(i);
+      spec.memory = Bytes::gib(4);
+      spec.base_os_footprint = Bytes::mib(512);
+      node->vm = tb.boot_vm(tb.ib_host(i), spec, /*with_hca=*/true);
+      node->os = std::make_unique<guest::GuestOs>(node->vm);
+      node->ib = std::make_unique<guest::IbVerbsDriver>(*node->os);
+      node->coordinator = std::make_shared<symvirt::GenericCoordinator>(node->vm);
+      nodes.push_back(std::move(node));
+    }
+    if (install_callbacks) {
+      for (auto& node : nodes) {
+        TelemetryNode* self = node.get();
+        symvirt::GenericCoordinator::Callbacks cbs;
+        cbs.quiesce = [self]() -> sim::Task {
+          self->cached_peer_lid = net::kInvalidAddress;  // drop connection
+          co_return;
+        };
+        cbs.resume = [self]() -> sim::Task {
+          co_await self->ib->wait_ready();  // link training after re-attach
+        };
+        node->coordinator->set_callbacks(std::move(cbs));
+      }
+    }
+  }
+  std::vector<std::unique_ptr<TelemetryNode>> nodes;
+};
+
+MigrationPlan rotation_plan(Testbed& tb, const TelemetryFixture& fx) {
+  MigrationPlan plan;
+  plan.vms = {fx.nodes[0]->vm, fx.nodes[1]->vm};
+  plan.destinations = {tb.ib_host(1).name(), tb.ib_host(0).name()};  // swap
+  plan.attach_host_pci = Testbed::kHcaPciAddr;
+  plan.ranks_per_vm = 1;
+  return plan;
+}
+
+TEST(GenericCoordinator, NonMpiServiceSurvivesEpisodeWithCallbacks) {
+  Testbed tb;
+  TelemetryFixture fx(tb, /*install_callbacks=*/true);
+  tb.settle();
+  tb.sim().spawn(telemetry_loop(*fx.nodes[0], *fx.nodes[1]), "svc0");
+  tb.sim().spawn(telemetry_loop(*fx.nodes[1], *fx.nodes[0]), "svc1");
+
+  CloudScheduler scheduler(tb);
+  NinjaStats stats;
+  tb.sim().spawn([](Testbed& t, MigrationPlan plan,
+                    std::vector<std::shared_ptr<symvirt::GenericCoordinator>> coords,
+                    NinjaStats& st) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(3.0));
+    co_await run_generic_episode(t.sim(), coords, std::move(plan),
+                                 [&t](const std::string& n) { return t.find_host(n); }, &st);
+  }(tb, rotation_plan(tb, fx), {fx.nodes[0]->coordinator, fx.nodes[1]->coordinator}, stats));
+
+  tb.sim().post(Duration::minutes(3), [&] {
+    fx.nodes[0]->stop = true;
+    fx.nodes[1]->stop = true;
+  });
+  tb.sim().run_for(Duration::minutes(4));
+
+  // The episode completed and the service never hit a stale-LID failure.
+  EXPECT_GT(stats.total.to_seconds(), 30.0);  // includes IB link training
+  for (const auto& node : fx.nodes) {
+    EXPECT_GT(node->heartbeats_sent, 10);
+    EXPECT_EQ(node->send_failures, 0);
+  }
+  // VMs really swapped hosts.
+  EXPECT_TRUE(tb.ib_host(1).resident(*fx.nodes[0]->vm));
+  EXPECT_TRUE(tb.ib_host(0).resident(*fx.nodes[1]->vm));
+}
+
+TEST(GenericCoordinator, StaleLidFailuresWithoutResumeCallbacks) {
+  // Without quiesce/resume callbacks the service keeps its cached LID —
+  // exactly the failure interconnect transparency must handle.
+  Testbed tb;
+  TelemetryFixture fx(tb, /*install_callbacks=*/false);
+  tb.settle();
+  tb.sim().spawn(telemetry_loop(*fx.nodes[0], *fx.nodes[1]), "svc0");
+  tb.sim().spawn(telemetry_loop(*fx.nodes[1], *fx.nodes[0]), "svc1");
+  tb.sim().spawn([](Testbed& t, MigrationPlan plan,
+                    std::vector<std::shared_ptr<symvirt::GenericCoordinator>> coords)
+                     -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(3.0));
+    co_await run_generic_episode(t.sim(), coords, std::move(plan),
+                                 [&t](const std::string& n) { return t.find_host(n); });
+  }(tb, rotation_plan(tb, fx), {fx.nodes[0]->coordinator, fx.nodes[1]->coordinator}));
+  tb.sim().post(Duration::minutes(3), [&] {
+    fx.nodes[0]->stop = true;
+    fx.nodes[1]->stop = true;
+  });
+  tb.sim().run_for(Duration::minutes(4));
+  EXPECT_GT(fx.nodes[0]->send_failures + fx.nodes[1]->send_failures, 0);
+}
+
+TEST(GenericCoordinator, DoubleRequestRejected) {
+  Testbed tb;
+  vmm::VmSpec spec;
+  spec.name = "vm0";
+  spec.memory = Bytes::gib(2);
+  spec.base_os_footprint = Bytes::mib(256);
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, false);
+  symvirt::GenericCoordinator coord(vm);
+  coord.request();
+  EXPECT_THROW(coord.request(), LogicError);
+}
+
+// --- Checkpoint/restore through shared storage ---------------------------
+
+TEST(CheckpointRestore, RoundTripPreservesVmAndCostsStorageTime) {
+  Testbed tb;
+  vmm::VmSpec spec;
+  spec.name = "ckpt";
+  spec.memory = Bytes::gib(4);
+  spec.base_os_footprint = Bytes::zero();
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, false);
+  vm->memory().write_data(Bytes::zero(), Bytes::gib(1));
+  tb.settle();
+
+  vmm::CheckpointStats ck;
+  vmm::CheckpointStats rs;
+  tb.sim().spawn([](Testbed& t, std::shared_ptr<vmm::Vm> v, vmm::CheckpointStats& a,
+                    vmm::CheckpointStats& b) -> sim::Task {
+    auto& engine = t.ib_host(0).migration_engine();
+    co_await engine.checkpoint_to_storage(v, t.ib_host(0), &a);
+    // While off: resident nowhere, image registered.
+    co_await t.sim().delay(Duration::minutes(2));
+    co_await engine.restore_from_storage(v, t.eth_host(0), &b);
+  }(tb, vm, ck, rs));
+  tb.sim().run();
+
+  EXPECT_TRUE(tb.eth_host(0).resident(*vm));
+  EXPECT_FALSE(tb.ib_host(0).resident(*vm));
+  EXPECT_TRUE(vm->running());
+  EXPECT_EQ(vm->memory().data_bytes(), Bytes::gib(1));  // data survived
+  // Image ~ 1 GiB of data pages + markers for the 3 GiB of zero pages.
+  EXPECT_GT(ck.image_bytes, Bytes::gib(1));
+  EXPECT_LT(ck.image_bytes, Bytes((5ull * Bytes::gib(1).count()) / 4));
+  // Write at ~300 MiB/s NFS throughput dominates checkpoint time.
+  EXPECT_GT(ck.total.to_seconds(), ck.image_bytes.to_gib() * 1024.0 / 300.0 * 0.9);
+  EXPECT_GT(rs.total.to_seconds(), 1.0);
+}
+
+TEST(CheckpointRestore, RefusesBypassDeviceAndMissingImage) {
+  Testbed tb;
+  vmm::VmSpec spec;
+  spec.name = "ckpt";
+  spec.memory = Bytes::gib(2);
+  spec.base_os_footprint = Bytes::mib(256);
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, /*with_hca=*/true);
+  tb.settle();
+  bool ckpt_failed = false;
+  bool restore_failed = false;
+  tb.sim().spawn([](Testbed& t, std::shared_ptr<vmm::Vm> v, bool& a, bool& b) -> sim::Task {
+    auto& engine = t.ib_host(0).migration_engine();
+    try {
+      co_await engine.checkpoint_to_storage(v, t.ib_host(0));
+    } catch (const OperationError&) {
+      a = true;
+    }
+    try {
+      co_await engine.restore_from_storage(v, t.eth_host(0));
+    } catch (const OperationError&) {
+      b = true;
+    }
+  }(tb, vm, ckpt_failed, restore_failed));
+  tb.sim().run();
+  EXPECT_TRUE(ckpt_failed);
+  EXPECT_TRUE(restore_failed);
+  EXPECT_FALSE(tb.ib_host(0).migration_engine().has_image(*vm));
+}
+
+TEST(CheckpointRestore, NinjaViaStorageMovesMpiJob) {
+  // Proactive FT end-to-end: the whole MPI job relocates IB -> Eth through
+  // checkpointed images instead of live pre-copy, and keeps running.
+  Testbed tb;
+  JobConfig cfg;
+  cfg.vm_count = 2;
+  cfg.ranks_per_vm = 1;
+  cfg.vm_template.memory = Bytes::gib(4);
+  cfg.vm_template.base_os_footprint = Bytes::mib(512);
+  MpiJob job(tb, cfg);
+  job.init();
+
+  workloads::BcastReduceConfig wcfg;
+  wcfg.per_node_bytes = Bytes::mib(512);
+  wcfg.iterations = 20;
+  auto bench = std::make_shared<workloads::BcastReduceBench>(job, wcfg);
+  job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+
+  NinjaStats stats;
+  tb.sim().spawn([](MpiJob& j, std::shared_ptr<workloads::BcastReduceBench> b,
+                    NinjaStats& st) -> sim::Task {
+    co_await b->wait_step(4);
+    MigrationPlan plan = j.scheduler().fallback_plan(j.vms(), 2, j.config().ranks_per_vm);
+    plan.via_storage = true;
+    co_await j.ninja().execute(std::move(plan), &st);
+  }(job, bench, stats));
+  tb.sim().run();
+
+  EXPECT_EQ(bench->iteration_seconds().size(), 20u);
+  EXPECT_EQ(job.current_transport(), "tcp");
+  EXPECT_TRUE(tb.eth_host(0).resident(*job.vms()[0]));
+  EXPECT_TRUE(tb.eth_host(1).resident(*job.vms()[1]));
+  // Storage relocation is slower than live migration would be (two 300
+  // MiB/s passes over each image), and both images contend on the store.
+  EXPECT_GT(stats.migration.to_seconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace nm::core

@@ -1,0 +1,181 @@
+// Failure injection: what happens when the world misbehaves mid-protocol.
+// These pin down the library's error contract:
+//   - modelled (in-world) failures surface as OperationError from the
+//     operation that hit them;
+//   - an episode that cannot proceed leaves the system inspectable (VMs
+//     parked, not corrupted);
+//   - API misuse surfaces as LogicError.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/job.h"
+#include "core/ninja.h"
+#include "core/testbed.h"
+#include "mpi/cr.h"
+#include "workloads/bcast_reduce.h"
+
+namespace nm::core {
+namespace {
+
+JobConfig small_cfg(int vms, std::size_t rpv) {
+  JobConfig cfg;
+  cfg.vm_count = vms;
+  cfg.ranks_per_vm = rpv;
+  cfg.vm_template.memory = Bytes::gib(4);
+  cfg.vm_template.base_os_footprint = Bytes::mib(512);
+  return cfg;
+}
+
+std::shared_ptr<workloads::BcastReduceBench> start_workload(Testbed& tb, MpiJob& job,
+                                                            int iters) {
+  workloads::BcastReduceConfig wcfg;
+  wcfg.per_node_bytes = Bytes::mib(256);
+  wcfg.iterations = iters;
+  auto bench = std::make_shared<workloads::BcastReduceBench>(job, wcfg);
+  job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+  (void)tb;
+  return bench;
+}
+
+TEST(FailureInjection, UnknownDestinationHostAbortsEpisode) {
+  Testbed tb;
+  MpiJob job(tb, small_cfg(2, 1));
+  job.init();
+  auto bench = start_workload(tb, job, 30);
+
+  MigrationPlan plan = job.scheduler().fallback_plan(job.vms(), 2, 1);
+  plan.destinations = {"no-such-host", "eth1"};
+  tb.sim().spawn([](MpiJob& j, std::shared_ptr<workloads::BcastReduceBench> b,
+                    MigrationPlan p) -> sim::Task {
+    co_await b->wait_step(2);
+    co_await j.ninja().execute(std::move(p));
+  }(job, bench, plan));
+  // The failing agent's exception surfaces from the simulation run.
+  EXPECT_THROW(tb.sim().run(), OperationError);
+}
+
+TEST(FailureInjection, MigrationToHostWithoutSharedStorageRefused) {
+  // Hand-build a 17th host on separate storage: live migration must refuse.
+  Testbed tb;
+  vmm::SharedStorage other_storage(tb.scheduler(), "other-site");
+  hw::Cluster other_cluster("other");
+  auto& node = other_cluster.add_node(tb.scheduler(), [] {
+    hw::NodeSpec spec;
+    spec.name = "alien0";
+    return spec;
+  }());
+  vmm::Host alien(tb.sim(), tb.scheduler(), node, other_storage);
+  net::NicPort alien_eth(node, "alien0:eth", Bandwidth::gbps(10));
+  alien.connect_eth(tb.eth_fabric(), alien_eth);
+
+  vmm::VmSpec spec;
+  spec.name = "vm0";
+  spec.memory = Bytes::gib(2);
+  spec.base_os_footprint = Bytes::mib(256);
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, false);
+  tb.settle();
+  bool refused = false;
+  std::string msg;
+  tb.sim().spawn([](Testbed& t, vmm::Host& dst, vmm::Vm& v, bool& r,
+                    std::string& m) -> sim::Task {
+    try {
+      co_await t.ib_host(0).migrate(v, dst);
+    } catch (const OperationError& e) {
+      r = true;
+      m = e.what();
+    }
+  }(tb, alien, *vm, refused, msg));
+  tb.sim().run();
+  EXPECT_TRUE(refused);
+  EXPECT_NE(msg.find("share storage"), std::string::npos);
+  EXPECT_TRUE(tb.ib_host(0).resident(*vm));  // nothing moved
+}
+
+TEST(FailureInjection, SecondCheckpointRequestWhilePendingRejected) {
+  Testbed tb;
+  MpiJob job(tb, small_cfg(2, 1));
+  job.init();
+  (void)start_workload(tb, job, 30);
+  (void)job.runtime().cr().request();
+  EXPECT_THROW((void)job.runtime().cr().request(), LogicError);
+}
+
+TEST(FailureInjection, LinkThatNeverTrainsLeavesJobParkedNotCorrupted) {
+  TestbedConfig tcfg;
+  tcfg.ib.linkup_time = Duration::minutes(60 * 24);  // "broken" port
+  Testbed tb(tcfg);
+  // Job starts on the Ethernet cluster (no dependence on the broken IB
+  // training at boot) and attempts a recovery migration to InfiniBand.
+  JobConfig cfg = small_cfg(2, 1);
+  cfg.on_ib_cluster = false;
+  cfg.with_hca = false;
+  MpiJob job(tb, cfg);
+  job.init();
+  auto bench = start_workload(tb, job, 30);
+  tb.sim().spawn([](MpiJob& j, std::shared_ptr<workloads::BcastReduceBench> b) -> sim::Task {
+    co_await b->wait_step(2);
+    co_await j.recovery_migration(2);
+  }(job, bench));
+  tb.sim().run_for(Duration::minutes(30));
+  // The guests sit in the continue callback waiting for a link that never
+  // comes; no crash, no progress, state still inspectable.
+  EXPECT_LT(bench->completed_steps(), 30);
+  EXPECT_TRUE(tb.ib_host(0).resident(*job.vms()[0]));  // migration happened
+  EXPECT_GT(tb.sim().live_task_count(), 0u);           // parked, not dead
+}
+
+TEST(FailureInjection, HcaStolenBeforeRecoveryAttachFailsLoudly) {
+  // Another tenant grabs the destination HCA between planning and window C.
+  Testbed tb;
+  JobConfig cfg = small_cfg(2, 1);
+  cfg.on_ib_cluster = false;
+  cfg.with_hca = false;
+  MpiJob job(tb, cfg);
+  job.init();
+  auto bench = start_workload(tb, job, 40);
+
+  // The squatter VM takes ib0's HCA.
+  vmm::VmSpec squatter_spec;
+  squatter_spec.name = "squatter";
+  squatter_spec.memory = Bytes::gib(2);
+  squatter_spec.base_os_footprint = Bytes::mib(256);
+  auto squatter = tb.boot_vm(tb.ib_host(0), squatter_spec, /*with_hca=*/true);
+
+  tb.sim().spawn([](MpiJob& j, std::shared_ptr<workloads::BcastReduceBench> b) -> sim::Task {
+    co_await b->wait_step(2);
+    co_await j.recovery_migration(2);
+  }(job, bench));
+  EXPECT_THROW(tb.sim().run(), OperationError);
+  EXPECT_FALSE(tb.ib_host(0).hca_available(Testbed::kHcaPciAddr));
+}
+
+// Property: a checkpoint requested at a random iteration boundary always
+// completes, regardless of where in the collective the ranks are.
+class RandomTriggerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTriggerProperty, EpisodeCompletesFromAnyTriggerPoint) {
+  Testbed tb;
+  MpiJob job(tb, small_cfg(4, 2));
+  job.init();
+  auto bench = start_workload(tb, job, 16);
+  const int trigger_step = GetParam();
+  NinjaStats stats;
+  tb.sim().spawn([](MpiJob& j, std::shared_ptr<workloads::BcastReduceBench> b, int step,
+                    NinjaStats& st) -> sim::Task {
+    co_await b->wait_step(step);
+    co_await j.fallback_migration(4, &st);
+  }(job, bench, trigger_step, stats));
+  tb.sim().run();
+  EXPECT_EQ(bench->completed_steps(), 16);
+  EXPECT_EQ(job.current_transport(), "tcp");
+  EXPECT_GT(stats.total.to_seconds(), 0.0);
+  EXPECT_EQ(job.runtime().unexpected_count(), 0u);
+  EXPECT_EQ(job.runtime().in_flight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TriggerSteps, RandomTriggerProperty,
+                         ::testing::Values(1, 2, 3, 5, 7, 9, 11, 13));
+
+}  // namespace
+}  // namespace nm::core

@@ -1,0 +1,178 @@
+// Tests for the guest OS layer: acpiphp hotplug processing, device-present
+// gates, and the verbs/virtio drivers (link readiness, address resolution,
+// QP lifecycle across re-attach).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/testbed.h"
+#include "guestos/drivers.h"
+#include "guestos/guest_os.h"
+
+namespace nm::guest {
+namespace {
+
+using core::Testbed;
+
+vmm::VmSpec spec(const std::string& name) {
+  vmm::VmSpec s;
+  s.name = name;
+  s.memory = Bytes::gib(1);
+  s.base_os_footprint = Bytes::mib(256);
+  return s;
+}
+
+TEST(GuestOs, SeesBootDevices) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), spec("vm0"), /*with_hca=*/true);
+  GuestOs os(vm);
+  tb.settle();
+  EXPECT_TRUE(os.eth_present().is_open());
+  EXPECT_TRUE(os.ib_present().is_open());
+  EXPECT_NE(os.ib_device(), nullptr);
+  EXPECT_NE(os.eth_device(), nullptr);
+}
+
+TEST(GuestOs, AcpiphpTracksHotplug) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), spec("vm0"), true);
+  GuestOs os(vm);
+  tb.settle();
+  tb.sim().spawn([](Testbed& t, vmm::Vm& v) -> sim::Task {
+    co_await t.ib_host(0).device_del(v, "vf0");
+    co_await t.ib_host(0).device_add(v, Testbed::kHcaPciAddr, "vf0");
+  }(tb, *vm));
+  tb.sim().run_for(Duration::seconds(5.0));
+  EXPECT_FALSE(os.hotplug_log().empty());
+  // remove then add processed.
+  const auto& log = os.hotplug_log();
+  bool saw_remove = false;
+  bool saw_add = false;
+  for (const auto& e : log) {
+    if (e.tag == "vf0" && e.kind == vmm::HotplugEvent::Kind::kRemoved) {
+      saw_remove = true;
+    }
+    if (e.tag == "vf0" && e.kind == vmm::HotplugEvent::Kind::kAdded && saw_remove) {
+      saw_add = true;
+    }
+  }
+  EXPECT_TRUE(saw_remove);
+  EXPECT_TRUE(saw_add);
+  EXPECT_TRUE(os.ib_present().is_open());
+}
+
+TEST(Drivers, VirtioReadyImmediatelyIbAfterTraining) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), spec("vm0"), true);
+  GuestOs os(vm);
+  VirtioNetDriver eth(os);
+  IbVerbsDriver ib(os);
+  tb.sim().run_for(Duration::seconds(2.0));  // HCA attached at 1.02 s, training
+  EXPECT_TRUE(eth.ready());
+  EXPECT_TRUE(ib.present());
+  EXPECT_FALSE(ib.ready());  // still POLLING
+  tb.settle();
+  EXPECT_TRUE(ib.ready());
+  EXPECT_NE(ib.address(), net::kInvalidAddress);
+  EXPECT_NE(eth.address(), net::kInvalidAddress);
+  EXPECT_EQ(ib.transport_name(), "openib");
+  EXPECT_EQ(eth.transport_name(), "tcp");
+}
+
+TEST(Drivers, WaitReadyPollsUntilLinkUp) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), spec("vm0"), true);
+  GuestOs os(vm);
+  IbVerbsDriver ib(os);
+  double ready_at = -1;
+  tb.sim().spawn([](sim::Simulation& s, IbVerbsDriver& d, double& t) -> sim::Task {
+    co_await d.wait_ready();
+    t = s.now().to_seconds();
+  }(tb.sim(), ib, ready_at));
+  tb.sim().run_for(Duration::seconds(60.0));
+  // attach at 1.02 s + 29.9 s training, plus <=100 ms poll granularity.
+  EXPECT_GE(ready_at, 30.9);
+  EXPECT_LE(ready_at, 31.1);
+}
+
+TEST(Drivers, QueuePairsResetAcrossReattach) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), spec("vm0"), true);
+  GuestOs os(vm);
+  IbVerbsDriver ib(os);
+  tb.settle();
+  auto qp1 = ib.create_queue_pair();
+  auto qp2 = ib.create_queue_pair();
+  EXPECT_EQ(qp2.qpn, qp1.qpn + 1);
+  EXPECT_EQ(ib.queue_pair_count(), 2u);
+  ib.release_resources();
+  EXPECT_EQ(ib.queue_pair_count(), 0u);
+
+  tb.sim().spawn([](Testbed& t, vmm::Vm& v) -> sim::Task {
+    co_await t.ib_host(0).device_del(v, "vf0");
+    co_await t.ib_host(0).device_add(v, Testbed::kHcaPciAddr, "vf0");
+  }(tb, *vm));
+  tb.sim().run_for(Duration::seconds(40.0));  // detach 2.67 + attach 1.02 + 29.9 training
+  EXPECT_TRUE(ib.ready());
+  auto qp3 = ib.create_queue_pair();
+  EXPECT_EQ(qp3.qpn, 1u);               // fresh QPN space
+  EXPECT_NE(qp3.local_lid, qp1.local_lid);  // fresh LID
+}
+
+TEST(Drivers, SendBetweenTwoGuests) {
+  Testbed tb;
+  auto vm0 = tb.boot_vm(tb.ib_host(0), spec("vm0"), true);
+  auto vm1 = tb.boot_vm(tb.ib_host(1), spec("vm1"), true);
+  GuestOs os0(vm0);
+  GuestOs os1(vm1);
+  IbVerbsDriver ib0(os0);
+  IbVerbsDriver ib1(os1);
+  VirtioNetDriver eth0(os0);
+  VirtioNetDriver eth1(os1);
+  tb.settle();
+
+  // RDMA is far faster than virtio TCP for the same payload.
+  double ib_done = -1;
+  double eth_done = -1;
+  const double t0 = tb.sim().now().to_seconds();
+  tb.sim().spawn([](sim::Simulation& s, IbVerbsDriver& src, IbVerbsDriver& dst,
+                    double& t) -> sim::Task {
+    co_await src.send(dst.address(), Bytes::mib(512));
+    t = s.now().to_seconds();
+  }(tb.sim(), ib0, ib1, ib_done));
+  tb.sim().run();
+  tb.sim().spawn([](sim::Simulation& s, VirtioNetDriver& src, VirtioNetDriver& dst,
+                    double& t) -> sim::Task {
+    co_await src.send(dst.address(), Bytes::mib(512));
+    t = s.now().to_seconds();
+  }(tb.sim(), eth0, eth1, eth_done));
+  tb.sim().run();
+  const double ib_time = ib_done - t0;
+  const double eth_time = eth_done - ib_done;
+  EXPECT_GT(ib_time, 0.0);
+  EXPECT_GT(eth_time, ib_time * 2);  // QDR IB vs CPU-bound virtio TCP
+}
+
+TEST(Drivers, SendWithoutDeviceFails) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), spec("vm0"), false);  // no HCA
+  GuestOs os(vm);
+  IbVerbsDriver ib(os);
+  tb.settle();
+  EXPECT_FALSE(ib.present());
+  EXPECT_EQ(ib.address(), net::kInvalidAddress);
+  bool failed = false;
+  tb.sim().spawn([](IbVerbsDriver& d, bool& f) -> sim::Task {
+    try {
+      co_await d.send(1, Bytes::mib(1));
+    } catch (const OperationError&) {
+      f = true;
+    }
+  }(ib, failed));
+  tb.sim().run();
+  EXPECT_TRUE(failed);
+  EXPECT_THROW((void)ib.create_queue_pair(), OperationError);
+}
+
+}  // namespace
+}  // namespace nm::guest

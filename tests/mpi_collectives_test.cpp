@@ -1,0 +1,189 @@
+// Tests for the collective algorithms: correctness (everyone finishes,
+// synchronization holds) and cost ordering across transports and scales.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/job.h"
+#include "core/testbed.h"
+#include "mpi/collectives.h"
+
+namespace nm::mpi {
+namespace {
+
+using core::JobConfig;
+using core::MpiJob;
+using core::Testbed;
+
+JobConfig job_cfg(int vms, std::size_t rpv, bool ib) {
+  JobConfig cfg;
+  cfg.vm_count = vms;
+  cfg.ranks_per_vm = rpv;
+  cfg.on_ib_cluster = ib;
+  cfg.with_hca = ib;
+  cfg.vm_template.memory = Bytes::gib(4);
+  cfg.vm_template.base_os_footprint = Bytes::mib(512);
+  return cfg;
+}
+
+TEST(Collectives, BarrierSynchronizes) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 1, true));
+  job.init();
+  std::vector<double> entered(4);
+  std::vector<double> left(4);
+  job.launch([&](RankId me) -> sim::Task {
+    // Stagger arrivals.
+    co_await tb.sim().delay(Duration::seconds(static_cast<double>(me)));
+    entered[static_cast<std::size_t>(me)] = tb.sim().now().to_seconds();
+    co_await job.world().barrier(me);
+    left[static_cast<std::size_t>(me)] = tb.sim().now().to_seconds();
+  });
+  tb.sim().run();
+  const double last_entry = *std::max_element(entered.begin(), entered.end());
+  for (const double t : left) {
+    EXPECT_GE(t, last_entry);  // nobody leaves before the last arrival
+    EXPECT_LT(t, last_entry + 0.1);
+  }
+}
+
+TEST(Collectives, BcastReachesEveryRank) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 2, true));
+  job.init();
+  std::vector<double> done(8, -1);
+  job.launch([&](RankId me) -> sim::Task {
+    co_await job.world().bcast(me, /*root=*/0, Bytes::mib(64));
+    done[static_cast<std::size_t>(me)] = tb.sim().now().to_seconds();
+  });
+  tb.sim().run();
+  for (const double t : done) {
+    EXPECT_GE(t, 0.0);
+  }
+  // Non-root ranks finish no earlier than the root started sending.
+  EXPECT_GT(*std::max_element(done.begin(), done.end()), done[0] - 1e-9);
+}
+
+TEST(Collectives, NonZeroRootBcast) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 1, true));
+  job.init();
+  std::vector<double> done(4, -1);
+  job.launch([&](RankId me) -> sim::Task {
+    co_await job.world().bcast(me, /*root=*/2, Bytes::mib(8));
+    done[static_cast<std::size_t>(me)] = tb.sim().now().to_seconds();
+  });
+  tb.sim().run();
+  for (const double t : done) {
+    EXPECT_GE(t, 0.0);
+  }
+}
+
+TEST(Collectives, ReduceAndAllreduceComplete) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 2, true));
+  job.init();
+  int finished = 0;
+  job.launch([&](RankId me) -> sim::Task {
+    co_await job.world().reduce(me, 0, Bytes::mib(32), /*compute_per_byte=*/1e-10);
+    co_await job.world().allreduce(me, Bytes::mib(32), 1e-10);
+    ++finished;
+  });
+  tb.sim().run();
+  EXPECT_EQ(finished, 8);
+  EXPECT_EQ(job.runtime().unexpected_count(), 0u);
+}
+
+TEST(Collectives, BackToBackCollectivesDoNotCrossMatch) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 1, true));
+  job.init();
+  int finished = 0;
+  job.launch([&](RankId me) -> sim::Task {
+    for (int i = 0; i < 20; ++i) {
+      co_await job.world().bcast(me, i % 4, Bytes::kib(256));
+      co_await job.world().reduce(me, (i + 1) % 4, Bytes::kib(256));
+      co_await job.world().barrier(me);
+    }
+    ++finished;
+  });
+  tb.sim().run();
+  EXPECT_EQ(finished, 4);
+  EXPECT_EQ(job.runtime().unexpected_count(), 0u);
+}
+
+TEST(Collectives, TcpSlowerThanIbForBigBcast) {
+  double times[2] = {0, 0};
+  for (const bool ib : {true, false}) {
+    Testbed tb;
+    MpiJob job(tb, job_cfg(4, 1, ib));
+    job.init();
+    const double t0 = tb.sim().now().to_seconds();
+    double done = 0;
+    job.launch([&](RankId me) -> sim::Task {
+      co_await job.world().bcast(me, 0, Bytes::gib(2));
+      co_await job.world().barrier(me);
+      if (me == 0) {
+        done = tb.sim().now().to_seconds() - t0;
+      }
+    });
+    tb.sim().run();
+    times[ib ? 0 : 1] = done;
+  }
+  EXPECT_LT(times[0] * 2.5, times[1]);
+}
+
+TEST(Collectives, MoreRanksPerVmSpeedsUpFixedPerNodePayload) {
+  // Fig 8 observation: with the per-VM payload fixed, 8 ranks/VM beat
+  // 1 rank/VM because each rank moves 1/8 of the data (sm is cheap).
+  double times[2] = {0, 0};
+  int idx = 0;
+  for (const std::size_t rpv : {std::size_t{1}, std::size_t{8}}) {
+    Testbed tb;
+    MpiJob job(tb, job_cfg(4, rpv, true));
+    job.init();
+    const Bytes per_rank = Bytes(Bytes::gib(8).count() / rpv);
+    const double t0 = tb.sim().now().to_seconds();
+    double done = 0;
+    job.launch([&](RankId me) -> sim::Task {
+      co_await job.world().bcast(me, 0, per_rank);
+      co_await job.world().reduce(me, 0, per_rank, 2e-10);
+      co_await job.world().barrier(me);
+      if (me == 0) {
+        done = tb.sim().now().to_seconds() - t0;
+      }
+    });
+    tb.sim().run();
+    times[idx++] = done;
+  }
+  EXPECT_LT(times[1], times[0]);
+}
+
+// Parameterized sweep: every collective completes for 1..8 VMs.
+class CollectiveScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveScale, AllOpsCompleteAndQueuesDrain) {
+  const int vms = GetParam();
+  Testbed tb;
+  MpiJob job(tb, job_cfg(vms, 1, true));
+  job.init();
+  int finished = 0;
+  job.launch([&](RankId me) -> sim::Task {
+    co_await job.world().barrier(me);
+    co_await job.world().bcast(me, 0, Bytes::mib(4));
+    co_await job.world().reduce(me, 0, Bytes::mib(4));
+    co_await job.world().allreduce(me, Bytes::mib(4));
+    co_await job.world().barrier(me);
+    ++finished;
+  });
+  tb.sim().run();
+  EXPECT_EQ(finished, vms);
+  EXPECT_EQ(job.runtime().unexpected_count(), 0u);
+  EXPECT_EQ(job.runtime().in_flight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(VmCounts, CollectiveScale, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace nm::mpi

@@ -1,0 +1,257 @@
+// Integration tests for the full Ninja migration stack: CRCP quiesce +
+// SymVirt windows + hotplug + live migration + BTL reconstruction, with a
+// real MPI workload running throughout. These reproduce the paper's core
+// claims in miniature:
+//   - MPI processes migrate IB -> Eth -> IB without restart;
+//   - no message is lost or duplicated across an episode;
+//   - the transport switches openib -> tcp -> openib;
+//   - phase timings decompose exactly as Table II predicts;
+//   - without ompi_cr_continue_like_restart, a recovery migration stays
+//     on TCP (the paper's §III-C subtlety).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/job.h"
+#include "core/ninja.h"
+#include "core/testbed.h"
+#include "mpi/collectives.h"
+#include "mpi/cr.h"
+
+namespace nm::core {
+namespace {
+
+JobConfig job_cfg(int vms, std::size_t rpv) {
+  JobConfig cfg;
+  cfg.vm_count = vms;
+  cfg.ranks_per_vm = rpv;
+  cfg.vm_template.memory = Bytes::gib(8);
+  cfg.vm_template.base_os_footprint = Bytes::gib(1);
+  return cfg;
+}
+
+/// Iterative bcast+reduce workload; records per-iteration times on rank 0.
+sim::Task bcast_reduce_body(MpiJob& job, mpi::RankId me, int iters, Bytes per_rank,
+                            std::vector<double>* iter_times) {
+  auto& sim = job.testbed().sim();
+  for (int i = 0; i < iters; ++i) {
+    const TimePoint t0 = sim.now();
+    co_await job.world().bcast(me, 0, per_rank);
+    co_await job.world().reduce(me, 0, per_rank, 2e-10);
+    co_await job.world().barrier(me);
+    if (me == 0 && iter_times != nullptr) {
+      iter_times->push_back((sim.now() - t0).to_seconds());
+    }
+  }
+}
+
+TEST(NinjaIntegration, FallbackMigrationSwitchesTransportWithoutRestart) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 1));
+  job.init();
+  EXPECT_EQ(job.current_transport(), "openib");
+
+  std::vector<double> iter_times;
+  auto refs = job.launch([&](mpi::RankId me) -> sim::Task {
+    co_await bcast_reduce_body(job, me, 12, Bytes::mib(512), &iter_times);
+  });
+
+  NinjaStats stats;
+  tb.sim().spawn([](Testbed& t, MpiJob& j, NinjaStats& st) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(4.0));
+    co_await j.fallback_migration(/*host_count=*/4, &st);
+  }(tb, job, stats));
+  tb.sim().run();
+
+  // All ranks finished all iterations — no restart.
+  EXPECT_EQ(iter_times.size(), 12u);
+  EXPECT_EQ(job.current_transport(), "tcp");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(tb.eth_host(i).resident(*job.vms()[static_cast<std::size_t>(i)]));
+  }
+  // Fallback decomposition (Table II row IB->Eth): detach only; hotplug =
+  // detach + confirm = 2.80 s; linkup ~ confirm only (Ethernet trains
+  // instantly).
+  EXPECT_NEAR(stats.detach.to_seconds(), 2.67, 0.01);
+  EXPECT_NEAR(stats.attach.to_seconds(), 0.0, 0.01);
+  EXPECT_LT(stats.linkup.to_seconds(), 1.0);
+  EXPECT_GT(stats.migration.to_seconds(), 1.0);  // 8 GiB VMs, real copy
+  // TCP iterations are slower than IB ones.
+  const double before = iter_times[1];
+  const double after = iter_times[11];
+  EXPECT_GT(after, before * 1.5);
+}
+
+TEST(NinjaIntegration, RecoveryMigrationRestoresInfiniband) {
+  Testbed tb;
+  JobConfig cfg = job_cfg(4, 1);
+  cfg.on_ib_cluster = false;  // start on the Ethernet cluster
+  cfg.with_hca = false;
+  MpiJob job(tb, cfg);
+  job.init();
+  EXPECT_EQ(job.current_transport(), "tcp");
+
+  std::vector<double> iter_times;
+  job.launch([&](mpi::RankId me) -> sim::Task {
+    co_await bcast_reduce_body(job, me, 10, Bytes::mib(512), &iter_times);
+  });
+  NinjaStats stats;
+  tb.sim().spawn([](Testbed& t, MpiJob& j, NinjaStats& st) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(6.0));
+    co_await j.recovery_migration(4, &st);
+  }(tb, job, stats));
+  tb.sim().run();
+
+  EXPECT_EQ(iter_times.size(), 10u);
+  EXPECT_EQ(job.current_transport(), "openib");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(tb.ib_host(i).resident(*job.vms()[static_cast<std::size_t>(i)]));
+  }
+  // Recovery decomposition (Table II row Eth->IB): attach 1.02 s, linkup
+  // dominated by the ~29.9 s InfiniBand port training + 0.13 confirm.
+  EXPECT_NEAR(stats.detach.to_seconds(), 0.0, 0.01);
+  EXPECT_NEAR(stats.attach.to_seconds(), 1.02, 0.01);
+  EXPECT_NEAR(stats.linkup.to_seconds(), 29.9 + 0.13, 0.3);
+}
+
+TEST(NinjaIntegration, WithoutContinueLikeRestartRecoveryStaysOnTcp) {
+  // Paper §III-C: if TCP keeps working across the migration, Open MPI sees
+  // no reason to rebuild BTLs; the job never upgrades back to InfiniBand
+  // unless ompi_cr_continue_like_restart forces reconstruction.
+  for (const bool flag : {false, true}) {
+    Testbed tb;
+    JobConfig cfg = job_cfg(2, 1);
+    cfg.on_ib_cluster = false;
+    cfg.with_hca = false;
+    cfg.mpi.continue_like_restart = flag;
+    MpiJob job(tb, cfg);
+    job.init();
+    job.launch([&job](mpi::RankId me) -> sim::Task {
+      co_await bcast_reduce_body(job, me, 12, Bytes::mib(64), nullptr);
+    });
+    tb.sim().spawn([](Testbed& t, MpiJob& j) -> sim::Task {
+      co_await t.sim().delay(Duration::seconds(1.0));
+      co_await j.recovery_migration(2);
+    }(tb, job));
+    tb.sim().run();
+    EXPECT_EQ(job.current_transport(), flag ? "openib" : "tcp")
+        << "continue_like_restart=" << flag;
+  }
+}
+
+TEST(NinjaIntegration, NoMessageLostOrDuplicatedAcrossEpisode) {
+  // Token-stamped ring traffic across a fallback episode: every token must
+  // arrive exactly once, in order per pair.
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 1));
+  job.init();
+  constexpr int kMessages = 80;
+  std::vector<std::vector<std::uint64_t>> received(4);
+  job.launch([&](mpi::RankId me) -> sim::Task {
+    auto& rt = job.runtime();
+    const auto n = static_cast<mpi::RankId>(job.rank_count());
+    const mpi::RankId next = (me + 1) % n;
+    const mpi::RankId prev = (me - 1 + n) % n;
+    for (int i = 0; i < kMessages; ++i) {
+      co_await rt.send(me, next, 3, Bytes::mib(64),
+                       static_cast<std::uint64_t>(me) * 1000 + static_cast<std::uint64_t>(i));
+      mpi::MessageInfo in;
+      co_await rt.recv(me, prev, 3, &in);
+      received[static_cast<std::size_t>(me)].push_back(in.token);
+    }
+  });
+  tb.sim().spawn([](Testbed& t, MpiJob& j) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(1.0));
+    co_await j.fallback_migration(4);
+  }(tb, job));
+  tb.sim().run();
+
+  // The episode really happened.
+  EXPECT_EQ(job.current_transport(), "tcp");
+  for (int me = 0; me < 4; ++me) {
+    const auto prev = static_cast<std::uint64_t>((me - 1 + 4) % 4);
+    const auto& tokens = received[static_cast<std::size_t>(me)];
+    ASSERT_EQ(tokens.size(), static_cast<std::size_t>(kMessages));
+    for (int i = 0; i < kMessages; ++i) {
+      EXPECT_EQ(tokens[static_cast<std::size_t>(i)],
+                prev * 1000 + static_cast<std::uint64_t>(i));
+    }
+  }
+  EXPECT_EQ(job.runtime().unexpected_count(), 0u);
+}
+
+TEST(NinjaIntegration, ConsolidationOntoFewerHosts) {
+  // "2 hosts (TCP)": 4 VMs consolidated onto 2 Ethernet hosts.
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 1));
+  job.init();
+  job.launch([&job](mpi::RankId me) -> sim::Task {
+    co_await bcast_reduce_body(job, me, 10, Bytes::mib(256), nullptr);
+  });
+  tb.sim().spawn([](Testbed& t, MpiJob& j) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(2.0));
+    co_await j.fallback_migration(/*host_count=*/2);
+  }(tb, job));
+  tb.sim().run();
+  EXPECT_TRUE(tb.eth_host(0).resident(*job.vms()[0]));
+  EXPECT_TRUE(tb.eth_host(1).resident(*job.vms()[1]));
+  EXPECT_TRUE(tb.eth_host(0).resident(*job.vms()[2]));  // round-robin
+  EXPECT_TRUE(tb.eth_host(1).resident(*job.vms()[3]));
+  EXPECT_EQ(tb.eth_host(0).vms().size(), 2u);
+}
+
+TEST(NinjaIntegration, EightRanksPerVmEpisodeCompletes) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 8));  // 32 ranks
+  job.init();
+  std::vector<double> iter_times;
+  job.launch([&](mpi::RankId me) -> sim::Task {
+    co_await bcast_reduce_body(job, me, 16, Bytes::mib(64), &iter_times);
+  });
+  NinjaStats stats;
+  tb.sim().spawn([](Testbed& t, MpiJob& j, NinjaStats& st) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(1.0));
+    co_await j.fallback_migration(4, &st);
+  }(tb, job, stats));
+  tb.sim().run();
+  EXPECT_EQ(iter_times.size(), 16u);
+  EXPECT_EQ(job.current_transport(), "tcp");
+  // The overhead is not inflated by the higher rank count (paper Fig 8:
+  // "the total overhead is identical as the number of processes per VM
+  // increases from 1 to 8").
+  EXPECT_LT(stats.detach.to_seconds(), 3.0);
+}
+
+TEST(NinjaIntegration, FullFallbackRecoveryCycleReturnsToStart) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(2, 1));
+  job.init();
+  job.launch([&job](mpi::RankId me) -> sim::Task {
+    co_await bcast_reduce_body(job, me, 16, Bytes::mib(128), nullptr);
+  });
+  tb.sim().spawn([](Testbed& t, MpiJob& j) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(2.0));
+    co_await j.fallback_migration(2);
+    co_await t.sim().delay(Duration::seconds(2.0));
+    co_await j.recovery_migration(2);
+  }(tb, job));
+  tb.sim().run();
+  EXPECT_EQ(job.current_transport(), "openib");
+  EXPECT_TRUE(tb.ib_host(0).resident(*job.vms()[0]));
+  EXPECT_TRUE(tb.ib_host(1).resident(*job.vms()[1]));
+  // HCAs back in use on the IB hosts.
+  EXPECT_FALSE(tb.ib_host(0).hca_available(Testbed::kHcaPciAddr));
+}
+
+TEST(NinjaIntegration, CheckpointRequiresFtEnableCr) {
+  Testbed tb;
+  JobConfig cfg = job_cfg(2, 1);
+  cfg.mpi.ft_enable_cr = false;
+  MpiJob job(tb, cfg);
+  job.init();
+  EXPECT_THROW((void)job.runtime().cr().request(), LogicError);
+}
+
+}  // namespace
+}  // namespace nm::core

@@ -1,0 +1,177 @@
+// Tests for SR-IOV virtual functions (multiple VMs sharing one HCA) and
+// the monitor's migrate_set_speed / live migration progress commands.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/job.h"
+#include "core/ninja.h"
+#include "core/testbed.h"
+#include "guestos/drivers.h"
+#include "guestos/guest_os.h"
+#include "vmm/monitor.h"
+#include "workloads/bcast_reduce.h"
+
+namespace nm::core {
+namespace {
+
+vmm::VmSpec vm_spec(const std::string& name, Bytes mem = Bytes::gib(4)) {
+  vmm::VmSpec spec;
+  spec.name = name;
+  spec.memory = mem;
+  spec.base_os_footprint = Bytes::mib(512);
+  return spec;
+}
+
+TEST(SrIov, MultipleVmsShareOneHca) {
+  TestbedConfig tcfg;
+  tcfg.hca_vfs = 4;
+  Testbed tb(tcfg);
+  auto vm0 = tb.boot_vm(tb.ib_host(0), vm_spec("vf-a"), /*with_hca=*/true);
+  auto vm1 = tb.boot_vm(tb.ib_host(0), vm_spec("vf-b"), /*with_hca=*/true);
+  tb.settle();
+  EXPECT_TRUE(vm0->has_vmm_bypass_device());
+  EXPECT_TRUE(vm1->has_vmm_bypass_device());
+  EXPECT_TRUE(tb.ib_host(0).hca_available(Testbed::kHcaPciAddr));  // 2/4 used
+  // Each VF trained independently with its own LID.
+  auto* dev0 = vm0->find_device("vf0");
+  auto* dev1 = vm1->find_device("vf0");
+  ASSERT_NE(dev0, nullptr);
+  ASSERT_NE(dev1, nullptr);
+  EXPECT_NE(dev0->attachment()->address(), dev1->attachment()->address());
+}
+
+TEST(SrIov, VfExhaustionRejectsFurtherAttach) {
+  TestbedConfig tcfg;
+  tcfg.hca_vfs = 2;
+  Testbed tb(tcfg);
+  auto vm0 = tb.boot_vm(tb.ib_host(0), vm_spec("a"), true);
+  auto vm1 = tb.boot_vm(tb.ib_host(0), vm_spec("b"), true);
+  auto vm2 = tb.boot_vm(tb.ib_host(0), vm_spec("c"), false);
+  tb.settle();
+  EXPECT_FALSE(tb.ib_host(0).hca_available(Testbed::kHcaPciAddr));
+  bool failed = false;
+  tb.sim().spawn([](Testbed& t, vmm::Vm& v, bool& f) -> sim::Task {
+    try {
+      co_await t.ib_host(0).device_add(v, Testbed::kHcaPciAddr, "vf0");
+    } catch (const OperationError&) {
+      f = true;
+    }
+  }(tb, *vm2, failed));
+  tb.sim().run();
+  EXPECT_TRUE(failed);
+  // Releasing one VF frees capacity again.
+  tb.sim().spawn([](Testbed& t, vmm::Vm& v) -> sim::Task {
+    co_await t.ib_host(0).device_del(v, "vf0");
+  }(tb, *vm0));
+  tb.sim().run();
+  EXPECT_TRUE(tb.ib_host(0).hca_available(Testbed::kHcaPciAddr));
+}
+
+TEST(SrIov, VfsSharePhysicalPortBandwidth) {
+  // Two VFs on one port, both blasting to peers on another blade: each
+  // gets about half the QDR data rate.
+  TestbedConfig tcfg;
+  tcfg.hca_vfs = 2;
+  Testbed tb(tcfg);
+  auto src0 = tb.boot_vm(tb.ib_host(0), vm_spec("s0"), true);
+  auto src1 = tb.boot_vm(tb.ib_host(0), vm_spec("s1"), true);
+  auto dst0 = tb.boot_vm(tb.ib_host(1), vm_spec("d0"), true);
+  auto dst1 = tb.boot_vm(tb.ib_host(2), vm_spec("d1"), true);
+  guest::GuestOs os_s0(src0);
+  guest::GuestOs os_s1(src1);
+  guest::GuestOs os_d0(dst0);
+  guest::GuestOs os_d1(dst1);
+  guest::IbVerbsDriver ib_s0(os_s0);
+  guest::IbVerbsDriver ib_s1(os_s1);
+  guest::IbVerbsDriver ib_d0(os_d0);
+  guest::IbVerbsDriver ib_d1(os_d1);
+  tb.settle();
+
+  const double t0 = tb.sim().now().to_seconds();
+  std::vector<double> done(2, -1);
+  tb.sim().spawn([](sim::Simulation& s, guest::IbVerbsDriver& src, net::FabricAddress dst,
+                    double& t) -> sim::Task {
+    co_await src.send(dst, Bytes::gib(1));
+    t = s.now().to_seconds();
+  }(tb.sim(), ib_s0, ib_d0.address(), done[0]));
+  tb.sim().spawn([](sim::Simulation& s, guest::IbVerbsDriver& src, net::FabricAddress dst,
+                    double& t) -> sim::Task {
+    co_await src.send(dst, Bytes::gib(1));
+    t = s.now().to_seconds();
+  }(tb.sim(), ib_s1, ib_d1.address(), done[1]));
+  tb.sim().run();
+  const double single = 1073741824.0 / (32e9 / 8.0);
+  EXPECT_NEAR(done[0] - t0, 2 * single, 0.05);  // halved by the shared port
+  EXPECT_NEAR(done[1] - t0, 2 * single, 0.05);
+}
+
+TEST(MonitorExtra, MigrateSetSpeedSlowsMigration) {
+  double fast = 0;
+  double slow = 0;
+  for (const bool limited : {false, true}) {
+    Testbed tb;
+    auto vm = tb.boot_vm(tb.ib_host(0), vm_spec("vm0", Bytes::gib(2)), false);
+    vm->memory().write_data(Bytes::zero(), Bytes::gib(1));
+    tb.settle();
+    vmm::Monitor mon(vm, [&](const std::string& n) { return tb.find_host(n); });
+    std::vector<vmm::MonitorResult> results(2);
+    tb.sim().spawn([](vmm::Monitor& m, bool lim, std::vector<vmm::MonitorResult>& r)
+                       -> sim::Task {
+      if (lim) {
+        // QEMU's historic default: 32 MiB/s.
+        co_await m.execute("migrate_set_speed 33554432", r[0]);
+      }
+      co_await m.execute("migrate eth0", r[1]);
+    }(mon, limited, results));
+    tb.sim().run();
+    ASSERT_TRUE(results[1].ok) << results[1].message;
+    (limited ? slow : fast) = mon.last_migration().total.to_seconds();
+  }
+  EXPECT_GT(slow, fast * 2.0);
+}
+
+TEST(MonitorExtra, InfoMigrateReportsLiveProgress) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), vm_spec("vm0", Bytes::gib(4)), false);
+  vm->memory().write_data(Bytes::zero(), Bytes::gib(3));
+  tb.settle();
+  auto mon = std::make_shared<vmm::Monitor>(
+      vm, [&](const std::string& n) { return tb.find_host(n); });
+  tb.sim().spawn([](std::shared_ptr<vmm::Monitor> m) -> sim::Task {
+    vmm::MonitorResult r;
+    co_await m->execute("migrate eth0", r);
+  }(mon));
+  // Poll mid-flight (3 GiB at 1.3 Gb/s takes ~20 s).
+  std::string midflight;
+  tb.sim().post(Duration::seconds(10.0), [&] {
+    tb.sim().spawn([](std::shared_ptr<vmm::Monitor> m, std::string& out) -> sim::Task {
+      vmm::MonitorResult r;
+      co_await m->execute("info migrate", r);
+      out = r.message;
+    }(mon, midflight));
+  });
+  tb.sim().run();
+  EXPECT_NE(midflight.find("active"), std::string::npos) << midflight;
+  // Final state: no longer active.
+  EXPECT_FALSE(mon->last_migration().in_progress);
+  EXPECT_TRUE(tb.eth_host(0).resident(*vm));
+}
+
+TEST(MonitorExtra, BadSpeedArgumentsRejected) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), vm_spec("vm0"), false);
+  tb.settle();
+  vmm::Monitor mon(vm, [&](const std::string& n) { return tb.find_host(n); });
+  std::vector<vmm::MonitorResult> results(2);
+  tb.sim().spawn([](vmm::Monitor& m, std::vector<vmm::MonitorResult>& r) -> sim::Task {
+    co_await m.execute("migrate_set_speed", r[0]);
+    co_await m.execute("migrate_set_speed -5", r[1]);
+  }(mon, results));
+  tb.sim().run();
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+}
+
+}  // namespace
+}  // namespace nm::core

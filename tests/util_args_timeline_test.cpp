@@ -1,0 +1,86 @@
+// Tests for the CLI argument parser and the Timeline span recorder.
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+#include "util/timeline.h"
+
+namespace nm {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, SpaceAndEqualsForms) {
+  auto args = parse({"prog", "--vms", "8", "--seed=42", "--name", "fig8"});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.get_int("vms", 0), 8);
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_EQ(args.get_string("name", ""), "fig8");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgParser, BooleanFlags) {
+  auto args = parse({"prog", "--verbose", "--rdma", "false", "--fast", "1"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("rdma", true));
+  EXPECT_TRUE(args.get_bool("fast", false));
+  EXPECT_TRUE(args.get_bool("unset", true));
+}
+
+TEST(ArgParser, DoublesAndPositionals) {
+  auto args = parse({"prog", "input.txt", "--rate", "2.5", "more.txt"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 2.5);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "more.txt");
+}
+
+TEST(ArgParser, TypeErrorsThrow) {
+  auto args = parse({"prog", "--vms", "eight"});
+  EXPECT_THROW((void)args.get_int("vms", 0), LogicError);
+  EXPECT_THROW((void)args.get_double("vms", 0.0), LogicError);
+}
+
+TEST(ArgParser, UsageRendering) {
+  const auto text = ArgParser::usage("bench_fig8", {{"vms", "number of VMs", "4"},
+                                                    {"verbose", "narrate", ""}});
+  EXPECT_NE(text.find("usage: bench_fig8"), std::string::npos);
+  EXPECT_NE(text.find("--vms <4>"), std::string::npos);
+  EXPECT_NE(text.find("--verbose"), std::string::npos);
+}
+
+TEST(Timeline, SpansAndGantt) {
+  Timeline tl;
+  const auto t = [](double s) { return TimePoint::origin() + Duration::seconds(s); };
+  tl.add_span("coordination", t(0.0), t(1.0));
+  tl.begin_span("migration", t(1.0));
+  tl.end_span("migration", t(21.0));
+  tl.add_span("linkup", t(21.0), t(51.0));
+  ASSERT_EQ(tl.spans().size(), 3u);
+  EXPECT_NEAR(tl.spans()[1].length().to_seconds(), 20.0, 1e-9);
+  EXPECT_EQ(tl.open_count(), 0u);
+
+  const std::string gantt = tl.to_string(40);
+  EXPECT_NE(gantt.find("coordination"), std::string::npos);
+  EXPECT_NE(gantt.find("migration"), std::string::npos);
+  EXPECT_NE(gantt.find("#"), std::string::npos);
+  EXPECT_NE(gantt.find("20.00s"), std::string::npos);
+}
+
+TEST(Timeline, ErrorsOnBadSpans) {
+  Timeline tl;
+  const auto t = [](double s) { return TimePoint::origin() + Duration::seconds(s); };
+  EXPECT_THROW(tl.end_span("never-opened", t(1.0)), LogicError);
+  EXPECT_THROW(tl.add_span("backwards", t(2.0), t(1.0)), LogicError);
+}
+
+TEST(Timeline, EmptyRenders) {
+  Timeline tl;
+  EXPECT_NE(tl.to_string().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nm

@@ -1,0 +1,195 @@
+#include "util/interval_map.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nm {
+namespace {
+
+TEST(IntervalMap, InitiallyOneRun) {
+  IntervalMap<int> m(100, 7);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m.run_count(), 1u);
+  EXPECT_EQ(m.at(0), 7);
+  EXPECT_EQ(m.at(99), 7);
+  EXPECT_TRUE(m.invariants_hold());
+}
+
+TEST(IntervalMap, AssignMiddleSplitsRuns) {
+  IntervalMap<int> m(100, 0);
+  m.assign(10, 20, 1);
+  EXPECT_EQ(m.at(9), 0);
+  EXPECT_EQ(m.at(10), 1);
+  EXPECT_EQ(m.at(19), 1);
+  EXPECT_EQ(m.at(20), 0);
+  EXPECT_EQ(m.run_count(), 3u);
+  EXPECT_TRUE(m.invariants_hold());
+}
+
+TEST(IntervalMap, AssignSameValueCoalesces) {
+  IntervalMap<int> m(100, 0);
+  m.assign(10, 20, 1);
+  m.assign(20, 30, 1);
+  EXPECT_EQ(m.run_count(), 3u);  // [0,10)=0, [10,30)=1, [30,100)=0
+  m.assign(10, 30, 0);
+  EXPECT_EQ(m.run_count(), 1u);
+  EXPECT_TRUE(m.invariants_hold());
+}
+
+TEST(IntervalMap, AssignAtBoundaries) {
+  IntervalMap<int> m(100, 0);
+  m.assign(0, 50, 1);
+  m.assign(50, 100, 2);
+  EXPECT_EQ(m.at(0), 1);
+  EXPECT_EQ(m.at(49), 1);
+  EXPECT_EQ(m.at(50), 2);
+  EXPECT_EQ(m.at(99), 2);
+  EXPECT_EQ(m.run_count(), 2u);
+  m.assign(0, 100, 3);
+  EXPECT_EQ(m.run_count(), 1u);
+  EXPECT_TRUE(m.invariants_hold());
+}
+
+TEST(IntervalMap, EmptyRangeIsNoOp) {
+  IntervalMap<int> m(100, 0);
+  m.assign(50, 50, 9);
+  EXPECT_EQ(m.run_count(), 1u);
+  EXPECT_EQ(m.at(50), 0);
+}
+
+TEST(IntervalMap, OverwriteSpanningMultipleRuns) {
+  IntervalMap<int> m(100, 0);
+  m.assign(10, 20, 1);
+  m.assign(30, 40, 2);
+  m.assign(50, 60, 3);
+  m.assign(15, 55, 9);
+  EXPECT_EQ(m.at(14), 1);
+  EXPECT_EQ(m.at(15), 9);
+  EXPECT_EQ(m.at(54), 9);
+  EXPECT_EQ(m.at(55), 3);
+  EXPECT_TRUE(m.invariants_hold());
+}
+
+TEST(IntervalMap, MeasureWhere) {
+  IntervalMap<int> m(100, 0);
+  m.assign(10, 20, 1);
+  m.assign(40, 45, 1);
+  EXPECT_EQ(m.measure_where(0, 100, [](int v) { return v == 1; }), 15u);
+  EXPECT_EQ(m.measure_where(15, 42, [](int v) { return v == 1; }), 7u);  // [15,20)+[40,42)
+  EXPECT_EQ(m.measure_where(0, 100, [](int v) { return v == 2; }), 0u);
+}
+
+TEST(IntervalMap, ForEachInClipsToRange) {
+  IntervalMap<char> m(10, 'a');
+  m.assign(3, 7, 'b');
+  std::vector<IntervalMap<char>::Segment> seen;
+  m.for_each_in(2, 8, [&](auto lo, auto hi, char v) {
+    seen.push_back({lo, hi, v});
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (IntervalMap<char>::Segment{2, 3, 'a'}));
+  EXPECT_EQ(seen[1], (IntervalMap<char>::Segment{3, 7, 'b'}));
+  EXPECT_EQ(seen[2], (IntervalMap<char>::Segment{7, 8, 'a'}));
+}
+
+TEST(IntervalMap, TransformAppliesToOverlap) {
+  IntervalMap<int> m(20, 1);
+  m.assign(5, 10, 2);
+  m.transform(3, 12, [](const int& v) { return v * 10; });
+  EXPECT_EQ(m.at(2), 1);
+  EXPECT_EQ(m.at(3), 10);
+  EXPECT_EQ(m.at(5), 20);
+  EXPECT_EQ(m.at(11), 10);
+  EXPECT_EQ(m.at(12), 1);
+  EXPECT_TRUE(m.invariants_hold());
+}
+
+TEST(IntervalMap, OutOfRangeThrows) {
+  IntervalMap<int> m(10, 0);
+  EXPECT_THROW((void)m.at(10), LogicError);
+  EXPECT_THROW(m.assign(5, 11, 1), LogicError);
+  EXPECT_THROW(m.assign(7, 6, 1), LogicError);
+}
+
+// Property test: random assigns against a naive per-key reference model.
+class IntervalMapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalMapProperty, MatchesNaiveModelUnderRandomAssigns) {
+  constexpr std::uint64_t kSize = 257;  // prime, to avoid aligned patterns
+  IntervalMap<int> m(kSize, 0);
+  std::vector<int> model(kSize, 0);
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 500; ++step) {
+    const auto a = rng.next_below(kSize + 1);
+    const auto b = rng.next_below(kSize + 1);
+    const auto lo = std::min(a, b);
+    const auto hi = std::max(a, b);
+    const int value = static_cast<int>(rng.next_below(4));
+    m.assign(lo, hi, value);
+    for (auto k = lo; k < hi; ++k) {
+      model[k] = value;
+    }
+    ASSERT_TRUE(m.invariants_hold()) << "step " << step;
+  }
+  for (std::uint64_t k = 0; k < kSize; ++k) {
+    ASSERT_EQ(m.at(k), model[k]) << "key " << k;
+  }
+  // Cross-check measure_where against the model.
+  for (int v = 0; v < 4; ++v) {
+    std::uint64_t expected = 0;
+    for (auto x : model) {
+      expected += (x == v) ? 1 : 0;
+    }
+    EXPECT_EQ(m.measure_where(0, kSize, [v](int x) { return x == v; }), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalMapProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(IntervalSet, BasicSetOperations) {
+  IntervalSet s(100);
+  EXPECT_TRUE(s.empty());
+  s.insert(10, 20);
+  s.insert(30, 40);
+  EXPECT_EQ(s.count(), 20u);
+  EXPECT_TRUE(s.contains(15));
+  EXPECT_FALSE(s.contains(25));
+  s.erase(15, 35);
+  EXPECT_EQ(s.count(), 10u);  // [10,15) + [35,40)
+  const auto rs = s.ranges();
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0], (IntervalSet::Range{10, 15}));
+  EXPECT_EQ(rs[1], (IntervalSet::Range{35, 40}));
+}
+
+TEST(IntervalSet, PopFrontChunksInOrder) {
+  IntervalSet s(100);
+  s.insert(5, 25);
+  s.insert(50, 53);
+  auto r1 = s.pop_front(10);
+  EXPECT_EQ(r1, (IntervalSet::Range{5, 15}));
+  auto r2 = s.pop_front(10);
+  EXPECT_EQ(r2, (IntervalSet::Range{15, 25}));
+  auto r3 = s.pop_front(10);
+  EXPECT_EQ(r3, (IntervalSet::Range{50, 53}));
+  auto r4 = s.pop_front(10);
+  EXPECT_EQ(r4.lo, r4.hi);  // empty
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, ClearEmptiesEverything) {
+  IntervalSet s(64);
+  s.insert(0, 64);
+  EXPECT_EQ(s.count(), 64u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace nm

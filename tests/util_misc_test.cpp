@@ -1,0 +1,166 @@
+// Tests for logging, error checking, RNG streams, stats, and table/chart
+// rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace nm {
+namespace {
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    NM_CHECK(1 == 2, "math is broken: " << 42);
+    FAIL() << "NM_CHECK did not throw";
+  } catch (const LogicError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken: 42"), std::string::npos);
+  }
+}
+
+TEST(Error, OperationErrorIsAnError) {
+  EXPECT_THROW(throw OperationError("monitor rejected"), Error);
+}
+
+class LoggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_level(LogLevel::kDebug);
+    Logger::instance().set_sink(
+        [this](LogLevel, const std::string& line) { lines_.push_back(line); });
+  }
+  void TearDown() override {
+    Logger::instance().set_level(LogLevel::kOff);
+    Logger::instance().clear_sink();
+    Logger::instance().clear_time_provider();
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LoggerTest, RespectsLevel) {
+  NM_LOG_TRACE("x") << "hidden";
+  NM_LOG_INFO("x") << "visible";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("visible"), std::string::npos);
+  EXPECT_NE(lines_[0].find("INFO x:"), std::string::npos);
+}
+
+TEST_F(LoggerTest, StampsSimulatedTime) {
+  Logger::instance().set_time_provider(
+      [] { return TimePoint::origin() + Duration::seconds(12.5); });
+  NM_LOG_INFO("mig") << "hello";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("[12.500000s]"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, NamedStreamsAreIndependent) {
+  Rng a = Rng::stream(7, "alpha");
+  Rng b = Rng::stream(7, "beta");
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    any_diff |= a.next_u64() != b.next_u64();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRangeBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+    const auto k = r.next_below(17);
+    EXPECT_LT(k, 17u);
+  }
+}
+
+TEST(Rng, DoubleIsInUnitInterval) {
+  Rng r(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Accumulator, Moments) {
+  Accumulator acc;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) {
+    acc.add(x);
+  }
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_NEAR(acc.stddev(), 1.1180339887, 1e-9);
+}
+
+TEST(Accumulator, EmptyThrows) {
+  Accumulator acc;
+  EXPECT_THROW((void)acc.mean(), LogicError);
+}
+
+TEST(BestOf, TakesMinimumLikeThePaper) {
+  BestOf b;
+  b.add(10.5);
+  b.add(9.8);
+  b.add(10.1);
+  EXPECT_DOUBLE_EQ(b.best(), 9.8);
+  EXPECT_NEAR(b.spread(), 0.7, 1e-12);
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"migration", "hotplug", "link-up"});
+  t.add_row({"IB -> IB", TextTable::num(3.88), TextTable::num(29.91)});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| migration"), std::string::npos);
+  EXPECT_NE(out.find("3.88"), std::string::npos);
+  EXPECT_NE(out.find("29.91"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TextTable, RowArityChecked) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), LogicError);
+}
+
+TEST(StackedBarChart, RendersSegmentsAndTotals) {
+  StackedBarChart chart("Fig 6 style", {"migration", "hotplug", "linkup"});
+  chart.add_bar("2GB", {53.7, 14.6, 28.5});
+  chart.add_bar("16GB", {44.2, 11.3, 28.6});
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find("Fig 6 style"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("2GB"), std::string::npos);
+  EXPECT_NE(out.find("96.80s"), std::string::npos);  // 53.7+14.6+28.5
+  EXPECT_NE(out.find("(53.70 + 14.60 + 28.50)"), std::string::npos);
+}
+
+TEST(StackedBarChart, SegmentArityChecked) {
+  StackedBarChart chart("x", {"a", "b"});
+  EXPECT_THROW(chart.add_bar("bad", {1.0}), LogicError);
+}
+
+}  // namespace
+}  // namespace nm

@@ -1,0 +1,92 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nm {
+namespace {
+
+TEST(Duration, ConstructionAndConversion) {
+  EXPECT_EQ(Duration::nanos(1500).count_nanos(), 1500);
+  EXPECT_EQ(Duration::micros(2).count_nanos(), 2000);
+  EXPECT_EQ(Duration::millis(3).count_nanos(), 3'000'000);
+  EXPECT_EQ(Duration::seconds(1.5).count_nanos(), 1'500'000'000);
+  EXPECT_EQ(Duration::minutes(2.0).count_nanos(), 120'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::seconds(2.5).to_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(Duration::millis(250).to_millis(), 250.0);
+}
+
+TEST(Duration, Arithmetic) {
+  const auto a = Duration::seconds(2.0);
+  const auto b = Duration::seconds(0.5);
+  EXPECT_EQ((a + b).count_nanos(), Duration::seconds(2.5).count_nanos());
+  EXPECT_EQ((a - b).count_nanos(), Duration::seconds(1.5).count_nanos());
+  EXPECT_EQ((a * 2.0).count_nanos(), Duration::seconds(4.0).count_nanos());
+  EXPECT_EQ((a / 4.0).count_nanos(), Duration::seconds(0.5).count_nanos());
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_TRUE((-b).is_negative());
+  EXPECT_TRUE(Duration::zero().is_zero());
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GT(Duration::seconds(1.0), Duration::millis(999));
+  EXPECT_EQ(Duration::micros(1000), Duration::millis(1));
+}
+
+TEST(TimePoint, ArithmeticWithDuration) {
+  const auto t0 = TimePoint::origin();
+  const auto t1 = t0 + Duration::seconds(3.0);
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 3.0);
+  EXPECT_EQ(t1 - t0, Duration::seconds(3.0));
+  EXPECT_EQ(t1 - Duration::seconds(1.0), t0 + Duration::seconds(2.0));
+  EXPECT_LT(t0, t1);
+}
+
+TEST(Bytes, UnitsAndConversion) {
+  EXPECT_EQ(Bytes::kib(1).count(), 1024u);
+  EXPECT_EQ(Bytes::mib(1).count(), 1024u * 1024);
+  EXPECT_EQ(Bytes::gib(2).count(), 2ull * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(Bytes::gib(3).to_gib(), 3.0);
+  EXPECT_DOUBLE_EQ(Bytes::mib(5).to_mib(), 5.0);
+}
+
+TEST(Bytes, SaturatingSubtraction) {
+  // Page accounting relies on underflow-free subtraction.
+  EXPECT_EQ((Bytes(5) - Bytes(7)).count(), 0u);
+  EXPECT_EQ((Bytes(7) - Bytes(5)).count(), 2u);
+  Bytes b{3};
+  b -= Bytes{10};
+  EXPECT_TRUE(b.is_zero());
+}
+
+TEST(Bandwidth, GbpsIsDecimalBits) {
+  // 10 GbE: 10^10 bits/s = 1.25e9 bytes/s.
+  EXPECT_DOUBLE_EQ(Bandwidth::gbps(10).bytes_per_second(), 1.25e9);
+  EXPECT_DOUBLE_EQ(Bandwidth::gbps(10).to_gbps(), 10.0);
+}
+
+TEST(Bandwidth, TransferTimeRoundTrip) {
+  const auto bw = Bandwidth::mib_per_sec(100);
+  const auto t = bw.transfer_time(Bytes::mib(250));
+  EXPECT_NEAR(t.to_seconds(), 2.5, 1e-9);
+  EXPECT_NEAR(static_cast<double>(bw.bytes_in(Duration::seconds(2.5)).count()),
+              static_cast<double>(Bytes::mib(250).count()), 1.0);
+}
+
+TEST(Bandwidth, MinPicksSlower) {
+  const auto a = Bandwidth::gbps(10);
+  const auto b = Bandwidth::gbps(1.3);
+  EXPECT_EQ(min(a, b), b);
+}
+
+TEST(UnitsPrinting, HumanReadable) {
+  std::ostringstream os;
+  os << Duration::seconds(1.5) << " " << Bytes::gib(2) << " " << Bandwidth::gbps(10) << " "
+     << (TimePoint::origin() + Duration::seconds(2.0));
+  EXPECT_EQ(os.str(), "1.500s 2.00GiB 10.00Gbps t=2.000s");
+}
+
+}  // namespace
+}  // namespace nm

@@ -1,0 +1,167 @@
+// Tests for the guest memory model: page classes, dup-page compression
+// accounting, and dirty logging — the inputs to the migration engine.
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "vmm/guest_memory.h"
+
+namespace nm::vmm {
+namespace {
+
+TEST(GuestMemory, StartsAllZero) {
+  GuestMemory mem(Bytes::mib(64));
+  EXPECT_EQ(mem.page_count(), Bytes::mib(64).count() / kPageSize);
+  EXPECT_EQ(mem.page_at(0).cls, PageClass::kZero);
+  EXPECT_EQ(mem.page_at(mem.page_count() - 1).cls, PageClass::kZero);
+  EXPECT_TRUE(mem.data_bytes().is_zero());
+}
+
+TEST(GuestMemory, RejectsUnalignedSize) {
+  EXPECT_THROW(GuestMemory(Bytes(kPageSize + 1)), LogicError);
+  EXPECT_THROW(GuestMemory(Bytes::zero()), LogicError);
+}
+
+TEST(GuestMemory, DataWriteReclassifiesPages) {
+  GuestMemory mem(Bytes::mib(1));
+  mem.write_data(Bytes(0), Bytes::kib(8));
+  EXPECT_EQ(mem.page_at(0).cls, PageClass::kData);
+  EXPECT_EQ(mem.page_at(1).cls, PageClass::kData);
+  EXPECT_EQ(mem.page_at(2).cls, PageClass::kZero);
+  EXPECT_EQ(mem.data_bytes(), Bytes::kib(8));
+}
+
+TEST(GuestMemory, PartialPageDataWriteDirtiesWholePage) {
+  GuestMemory mem(Bytes::mib(1));
+  mem.write_data(Bytes(100), Bytes(50));  // inside page 0
+  EXPECT_EQ(mem.page_at(0).cls, PageClass::kData);
+  EXPECT_EQ(mem.data_bytes(), Bytes(kPageSize));
+}
+
+TEST(GuestMemory, UniformWriteIsCompressible) {
+  GuestMemory mem(Bytes::mib(1));
+  mem.write_uniform(Bytes(0), Bytes::kib(64), 0xAB);
+  EXPECT_EQ(mem.page_at(0).cls, PageClass::kUniform);
+  EXPECT_EQ(mem.page_at(0).fill, 0xAB);
+  // Uniform-over-data reverts compressibility.
+  mem.write_data(Bytes(0), Bytes::kib(64));
+  EXPECT_EQ(mem.page_at(0).cls, PageClass::kData);
+  mem.write_uniform(Bytes(0), Bytes::kib(64), 0x00);
+  EXPECT_EQ(mem.page_at(0).cls, PageClass::kZero);
+}
+
+TEST(GuestMemory, UniformWriteMustBePageAligned) {
+  GuestMemory mem(Bytes::mib(1));
+  EXPECT_THROW(mem.write_uniform(Bytes(1), Bytes(kPageSize), 0x11), LogicError);
+}
+
+TEST(GuestMemory, WriteBeyondEndThrows) {
+  GuestMemory mem(Bytes::mib(1));
+  EXPECT_THROW(mem.write_data(Bytes::mib(1), Bytes(1)), LogicError);
+}
+
+TEST(GuestMemory, DirtyLoggingMarksEverythingAtStart) {
+  GuestMemory mem(Bytes::mib(2));
+  EXPECT_TRUE(mem.dirty_bytes().is_zero());
+  mem.start_dirty_logging();
+  EXPECT_EQ(mem.dirty_bytes(), Bytes::mib(2));
+  mem.stop_dirty_logging();
+  EXPECT_TRUE(mem.dirty_bytes().is_zero());
+}
+
+TEST(GuestMemory, WritesDirtyOnlyWhileLogging) {
+  GuestMemory mem(Bytes::mib(2));
+  mem.write_data(Bytes(0), Bytes::kib(4));  // not logging: clean
+  EXPECT_TRUE(mem.dirty_bytes().is_zero());
+  mem.start_dirty_logging();
+  while (!mem.pop_dirty(1u << 20).empty()) {
+  }
+  EXPECT_TRUE(mem.dirty_bytes().is_zero());
+  mem.write_data(Bytes::kib(8), Bytes::kib(4));
+  EXPECT_EQ(mem.dirty_bytes(), Bytes::kib(4));
+}
+
+TEST(GuestMemory, PopDirtyWalksInChunks) {
+  GuestMemory mem(Bytes::mib(1));  // 256 pages
+  mem.start_dirty_logging();
+  std::uint64_t popped = 0;
+  int chunks = 0;
+  while (true) {
+    auto r = mem.pop_dirty(100);
+    if (r.empty()) {
+      break;
+    }
+    EXPECT_LE(r.pages(), 100u);
+    popped += r.pages();
+    ++chunks;
+  }
+  EXPECT_EQ(popped, 256u);
+  EXPECT_EQ(chunks, 3);
+}
+
+TEST(GuestMemory, WireSizeCompressesDupPages) {
+  GuestMemory mem(Bytes::mib(1));  // 256 pages, all zero
+  GuestMemory::PageRange all{0, mem.page_count()};
+  // Compressed: 9 bytes per page.
+  EXPECT_EQ(mem.wire_size(all, true), Bytes(256 * kDupPageWireBytes));
+  // Uncompressed: full pages + headers.
+  EXPECT_EQ(mem.wire_size(all, false), Bytes(256 * kPageWireBytes));
+
+  // Half data: mixed wire size.
+  mem.write_data(Bytes(0), Bytes::kib(512));
+  EXPECT_EQ(mem.wire_size(all, true), Bytes(128 * kPageWireBytes + 128 * kDupPageWireBytes));
+  EXPECT_EQ(mem.data_bytes_in(all), Bytes::kib(512));
+}
+
+TEST(GuestMemory, DirtyWireSizeTracksDirtyOnly) {
+  GuestMemory mem(Bytes::mib(1));
+  mem.write_data(Bytes(0), Bytes::kib(512));  // pages 0..127 data
+  mem.start_dirty_logging();
+  while (!mem.pop_dirty(1u << 20).empty()) {
+  }
+  EXPECT_TRUE(mem.dirty_wire_size(true).is_zero());
+  mem.write_data(Bytes(0), Bytes::kib(8));  // re-dirty 2 data pages
+  EXPECT_EQ(mem.dirty_wire_size(true), Bytes(2 * kPageWireBytes));
+  mem.write_uniform(Bytes::kib(512), Bytes::kib(8), 0);  // 2 zero pages
+  EXPECT_EQ(mem.dirty_wire_size(true), Bytes(2 * kPageWireBytes + 2 * kDupPageWireBytes));
+}
+
+// Property: wire size with compression is never larger than without, and
+// both are exactly decomposable by page class counts.
+class GuestMemoryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GuestMemoryProperty, WireSizeConsistentUnderRandomWrites) {
+  GuestMemory mem(Bytes::mib(4));  // 1024 pages
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto page = rng.next_below(mem.page_count());
+    const auto len_pages = 1 + rng.next_below(16);
+    const auto end = std::min(page + len_pages, mem.page_count());
+    const Bytes off{page * kPageSize};
+    const Bytes len{(end - page) * kPageSize};
+    switch (rng.next_below(3)) {
+      case 0:
+        mem.write_data(off, len);
+        break;
+      case 1:
+        mem.write_uniform(off, len, static_cast<std::uint8_t>(rng.next_below(256)));
+        break;
+      default:
+        mem.write_zero(off, len);
+        break;
+    }
+  }
+  GuestMemory::PageRange all{0, mem.page_count()};
+  const auto compressed = mem.wire_size(all, true);
+  const auto raw = mem.wire_size(all, false);
+  EXPECT_LE(compressed.count(), raw.count());
+  // Decompose: count data pages via data_bytes().
+  const auto data_pages = mem.data_bytes().count() / kPageSize;
+  const auto dup_pages = mem.page_count() - data_pages;
+  EXPECT_EQ(compressed.count(), data_pages * kPageWireBytes + dup_pages * kDupPageWireBytes);
+  EXPECT_EQ(raw.count(), mem.page_count() * kPageWireBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuestMemoryProperty, ::testing::Values(3, 17, 2026, 424242));
+
+}  // namespace
+}  // namespace nm::vmm

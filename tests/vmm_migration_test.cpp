@@ -1,0 +1,310 @@
+// Tests for hotplug timing (Table II components) and the pre-copy
+// migration engine: preconditions, dup-page compression, convergence with
+// a dirtying guest, downtime, and host re-homing.
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "vmm/host.h"
+#include "vmm/migration.h"
+#include "vmm/monitor.h"
+#include "vmm/vm.h"
+
+namespace nm::vmm {
+namespace {
+
+using core::Testbed;
+using core::TestbedConfig;
+
+VmSpec small_vm(const std::string& name, Bytes memory = Bytes::gib(1)) {
+  VmSpec spec;
+  spec.name = name;
+  spec.memory = memory;
+  spec.base_os_footprint = Bytes::zero();  // tests control content exactly
+  return spec;
+}
+
+TEST(Hotplug, AttachTimingMatchesCalibration) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0"), false);
+  double done_at = -1;
+  tb.sim().spawn([](sim::Simulation& s, vmm::Host& h, Vm& v, double& t) -> sim::Task {
+    co_await h.device_add(v, Testbed::kHcaPciAddr, "vf0");
+    t = s.now().to_seconds();
+  }(tb.sim(), tb.ib_host(0), *vm, done_at));
+  tb.sim().run();
+  EXPECT_NEAR(done_at, 1.02, 1e-9);  // attach_ib
+  EXPECT_TRUE(vm->has_vmm_bypass_device());
+}
+
+TEST(Hotplug, DetachTimingMatchesCalibration) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0"), true);
+  tb.settle();
+  const double t0 = tb.sim().now().to_seconds();
+  double done_at = -1;
+  tb.sim().spawn([](sim::Simulation& s, vmm::Host& h, Vm& v, double& t) -> sim::Task {
+    co_await h.device_del(v, "vf0");
+    t = s.now().to_seconds();
+  }(tb.sim(), tb.ib_host(0), *vm, done_at));
+  tb.sim().run();
+  EXPECT_NEAR(done_at - t0, 2.67, 1e-9);  // detach_ib
+  EXPECT_FALSE(vm->has_vmm_bypass_device());
+  EXPECT_TRUE(tb.ib_host(0).hca_available(Testbed::kHcaPciAddr));
+}
+
+TEST(Hotplug, NoiseFactorScalesLatency) {
+  TestbedConfig cfg;
+  cfg.hotplug.noise_factor = 3.0;
+  Testbed tb(cfg);
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0"), false);
+  double done_at = -1;
+  tb.sim().spawn([](sim::Simulation& s, vmm::Host& h, Vm& v, double& t) -> sim::Task {
+    co_await h.device_add(v, Testbed::kHcaPciAddr, "vf0");
+    t = s.now().to_seconds();
+  }(tb.sim(), tb.ib_host(0), *vm, done_at));
+  tb.sim().run();
+  EXPECT_NEAR(done_at, 3.06, 1e-9);  // 1.02 * 3
+}
+
+TEST(Hotplug, AddFailsWhenHcaBusy) {
+  Testbed tb;
+  auto vm1 = tb.boot_vm(tb.ib_host(0), small_vm("vm1"), true);
+  auto vm2 = tb.boot_vm(tb.ib_host(0), small_vm("vm2"), false);
+  tb.settle();
+  bool failed = false;
+  tb.sim().spawn([](vmm::Host& h, Vm& v, bool& f) -> sim::Task {
+    try {
+      co_await h.device_add(v, Testbed::kHcaPciAddr, "vf0");
+    } catch (const OperationError&) {
+      f = true;
+    }
+  }(tb.ib_host(0), *vm2, failed));
+  tb.sim().run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(Migration, RefusesWithBypassDevice) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0"), true);
+  tb.settle();
+  bool failed = false;
+  std::string msg;
+  tb.sim().spawn([](Testbed& t, Vm& v, bool& f, std::string& m) -> sim::Task {
+    try {
+      co_await t.ib_host(0).migrate(v, t.ib_host(1));
+    } catch (const OperationError& e) {
+      f = true;
+      m = e.what();
+    }
+  }(tb, *vm, failed, msg));
+  tb.sim().run();
+  EXPECT_TRUE(failed);
+  EXPECT_NE(msg.find("VMM-bypass"), std::string::npos);
+}
+
+TEST(Migration, RefusesNonResidentButAllowsSelf) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0"), false);
+  bool nonres_failed = false;
+  MigrationStats self_stats;
+  tb.sim().spawn([](Testbed& t, Vm& v, bool& b, MigrationStats& st) -> sim::Task {
+    try {
+      co_await t.ib_host(3).migrate(v, t.ib_host(4));
+    } catch (const OperationError&) {
+      b = true;
+    }
+    // Self-migration (Table II micro-benchmark) is legal: loopback copy.
+    co_await t.ib_host(0).migrate(v, t.ib_host(0), &st);
+  }(tb, *vm, nonres_failed, self_stats));
+  tb.sim().run();
+  EXPECT_TRUE(nonres_failed);
+  EXPECT_TRUE(tb.ib_host(0).resident(*vm));
+  EXPECT_GE(self_stats.rounds, 1);
+}
+
+TEST(Migration, IdleVmMovesAndResumesOnDestination) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(2)), false);
+  tb.settle();
+  MigrationStats stats;
+  tb.sim().spawn([](Testbed& t, Vm& v, MigrationStats& st) -> sim::Task {
+    co_await t.ib_host(0).migrate(v, t.eth_host(0), &st);
+  }(tb, *vm, stats));
+  tb.sim().run();
+  EXPECT_TRUE(tb.eth_host(0).resident(*vm));
+  EXPECT_FALSE(tb.ib_host(0).resident(*vm));
+  EXPECT_EQ(&vm->host(), &tb.eth_host(0));
+  EXPECT_TRUE(vm->running());
+  EXPECT_GE(stats.rounds, 1);
+  // 2 GiB of zero pages: wire bytes are tiny, scan dominates.
+  EXPECT_LT(stats.wire_bytes.count(), Bytes::mib(8).count());
+  EXPECT_EQ(stats.scanned, Bytes::gib(2));
+}
+
+TEST(Migration, VirtioIpSurvivesMigration) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(1)), false);
+  tb.settle();
+  auto* virtio = vm->find_device_by_kind("virtio-net");
+  ASSERT_NE(virtio, nullptr);
+  const auto ip = virtio->attachment()->address();
+  tb.sim().spawn([](Testbed& t, Vm& v) -> sim::Task {
+    co_await t.ib_host(0).migrate(v, t.eth_host(2));
+  }(tb, *vm));
+  tb.sim().run();
+  EXPECT_EQ(virtio->attachment()->address(), ip);
+  EXPECT_EQ(&virtio->attachment()->port(), &tb.eth_host(2).eth_uplink());
+  EXPECT_EQ(virtio->attachment()->state(), net::LinkState::kActive);
+}
+
+TEST(Migration, CompressionShrinksUniformPayload) {
+  // Same footprint, uniform vs data content: wire bytes differ by ~450x.
+  Testbed tb;
+  auto uni = tb.boot_vm(tb.ib_host(0), small_vm("uni", Bytes::gib(1)), false);
+  auto dat = tb.boot_vm(tb.ib_host(1), small_vm("dat", Bytes::gib(1)), false);
+  uni->memory().write_uniform(Bytes::zero(), Bytes::gib(1), 0x55);
+  dat->memory().write_data(Bytes::zero(), Bytes::gib(1));
+  tb.settle();
+  MigrationStats s_uni;
+  MigrationStats s_dat;
+  tb.sim().spawn([](Testbed& t, Vm& a, Vm& b, MigrationStats& sa,
+                    MigrationStats& sb) -> sim::Task {
+    co_await t.ib_host(0).migrate(a, t.eth_host(0), &sa);
+    co_await t.ib_host(1).migrate(b, t.eth_host(1), &sb);
+  }(tb, *uni, *dat, s_uni, s_dat));
+  tb.sim().run();
+  EXPECT_LT(s_uni.wire_bytes.count() * 100, s_dat.wire_bytes.count());
+  EXPECT_LT(s_uni.total, s_dat.total);
+  // Data VM: wire ~ 1 GiB * (4104/4096) at 1.3 Gb/s -> ~6.6 s + scan.
+  const double wire_time = 1073741824.0 * (4104.0 / 4096.0) / (1.3e9 / 8.0);
+  const double scan_time = 1073741824.0 / (700.0 * 1024 * 1024);
+  EXPECT_NEAR(s_dat.total.to_seconds(), wire_time + scan_time + 0.2, 0.5);
+}
+
+TEST(Migration, DisablingCompressionShipsFullPages) {
+  TestbedConfig cfg;
+  cfg.migration.compress_dup_pages = false;
+  Testbed tb(cfg);
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(1)), false);
+  tb.settle();
+  MigrationStats stats;
+  tb.sim().spawn([](Testbed& t, Vm& v, MigrationStats& st) -> sim::Task {
+    co_await t.ib_host(0).migrate(v, t.eth_host(0), &st);
+  }(tb, *vm, stats));
+  tb.sim().run();
+  // All zero pages, but uncompressed: full 1 GiB (+headers) on the wire.
+  EXPECT_GT(stats.wire_bytes.count(), Bytes::gib(1).count());
+  EXPECT_TRUE(stats.dup_pages_saved.is_zero());
+}
+
+TEST(Migration, DirtyingGuestForcesExtraRounds) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(2)), false);
+  vm->memory().write_data(Bytes::zero(), Bytes::gib(1));
+  tb.settle();
+  // Guest keeps rewriting 256 MiB of data while migrating.
+  bool stop = false;
+  tb.sim().spawn([](Testbed&, Vm& v, bool& stop_flag) -> sim::Task {
+    while (!stop_flag) {
+      co_await v.compute(0.05);
+      v.memory().write_data(Bytes::zero(), Bytes::mib(256));
+    }
+  }(tb, *vm, stop));
+  MigrationStats stats;
+  tb.sim().spawn([](Testbed& t, Vm& v, MigrationStats& st, bool& stop_flag) -> sim::Task {
+    co_await t.ib_host(0).migrate(v, t.eth_host(0), &st);
+    stop_flag = true;
+  }(tb, *vm, stats, stop));
+  tb.sim().run();
+  EXPECT_GT(stats.rounds, 1);
+  // Retransmissions: more scanned than the memory size.
+  EXPECT_GT(stats.scanned.count(), vm->memory().size().count());
+  EXPECT_TRUE(tb.eth_host(0).resident(*vm));
+}
+
+TEST(Migration, PausedGuestConvergesInOneRoundWithTinyDowntime) {
+  // The Ninja case: ranks are parked in symvirt_wait, nothing dirties
+  // memory, so pre-copy converges immediately.
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(2)), false);
+  vm->memory().write_data(Bytes::zero(), Bytes::mib(512));
+  tb.settle();
+  MigrationStats stats;
+  tb.sim().spawn([](Testbed& t, Vm& v, MigrationStats& st) -> sim::Task {
+    co_await t.ib_host(0).migrate(v, t.eth_host(0), &st);
+  }(tb, *vm, stats));
+  tb.sim().run();
+  EXPECT_EQ(stats.rounds, 1);
+  EXPECT_LT(stats.downtime, Duration::millis(50));
+}
+
+TEST(Migration, RdmaAblationIsFasterThanTcp) {
+  // §V: RDMA-based migration removes the CPU bottleneck.
+  MigrationStats tcp_stats;
+  MigrationStats rdma_stats;
+  for (const bool rdma : {false, true}) {
+    TestbedConfig cfg;
+    cfg.migration.use_rdma = rdma;
+    Testbed tb(cfg);
+    auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(2)), false);
+    vm->memory().write_data(Bytes::zero(), Bytes::gib(2));
+    tb.settle();
+    auto& stats = rdma ? rdma_stats : tcp_stats;
+    tb.sim().spawn([](Testbed& t, Vm& v, MigrationStats& st) -> sim::Task {
+      co_await t.ib_host(0).migrate(v, t.eth_host(0), &st);
+    }(tb, *vm, stats));
+    tb.sim().run();
+  }
+  EXPECT_LT(rdma_stats.total, tcp_stats.total);
+  EXPECT_GT(tcp_stats.total.to_seconds() / rdma_stats.total.to_seconds(), 2.0);
+}
+
+TEST(Monitor, CommandsDriveTheVm) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(1)), false);
+  tb.settle();
+  Monitor mon(vm, [&](const std::string& n) { return tb.find_host(n); });
+
+  std::vector<MonitorResult> results(6);
+  tb.sim().spawn([](Testbed&, Monitor& m, std::vector<MonitorResult>& r) -> sim::Task {
+    co_await m.execute("info status", r[0]);
+    co_await m.execute("stop", r[1]);
+    co_await m.execute("info status", r[2]);
+    co_await m.execute("cont", r[3]);
+    co_await m.execute("device_add host=04:00.0,id=vf0", r[4]);
+    co_await m.execute("device_del vf0", r[5]);
+  }(tb, mon, results));
+  tb.sim().run();
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_EQ(results[0].message, "VM status: running");
+  EXPECT_TRUE(results[1].ok);
+  EXPECT_EQ(results[2].message, "VM status: paused");
+  EXPECT_TRUE(results[3].ok);
+  EXPECT_TRUE(results[4].ok);
+  EXPECT_TRUE(results[5].ok);
+  EXPECT_FALSE(vm->has_vmm_bypass_device());
+}
+
+TEST(Monitor, MigrateCommandAndErrors) {
+  Testbed tb;
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(1)), false);
+  tb.settle();
+  Monitor mon(vm, [&](const std::string& n) { return tb.find_host(n); });
+  std::vector<MonitorResult> results(4);
+  tb.sim().spawn([](Testbed&, Monitor& m, std::vector<MonitorResult>& r) -> sim::Task {
+    co_await m.execute("migrate nosuchhost", r[0]);
+    co_await m.execute("bogus_command", r[1]);
+    co_await m.execute("migrate eth3", r[2]);
+    co_await m.execute("info migrate", r[3]);
+  }(tb, mon, results));
+  tb.sim().run();
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_TRUE(results[2].ok);
+  EXPECT_TRUE(results[3].ok);
+  EXPECT_NE(results[3].message.find("rounds 1"), std::string::npos);
+  EXPECT_TRUE(tb.eth_host(3).resident(*vm));
+}
+
+}  // namespace
+}  // namespace nm::vmm

@@ -1,0 +1,197 @@
+// Tests for the VM object: guest compute under pause/contention, device
+// plug/unplug bookkeeping, and SymVirt wait/signal hypercall semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/testbed.h"
+#include "vmm/vm.h"
+
+namespace nm::vmm {
+namespace {
+
+using core::Testbed;
+using core::TestbedConfig;
+
+TEST(Vm, BaseOsFootprintIsResidentData) {
+  Testbed tb;
+  VmSpec spec;
+  spec.name = "vm0";
+  spec.memory = Bytes::gib(20);
+  spec.base_os_footprint = Bytes::mib(1536);
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, /*with_hca=*/false);
+  EXPECT_EQ(vm->memory().data_bytes(), Bytes::mib(1536));
+}
+
+TEST(Vm, ComputeRespectsPauseGate) {
+  Testbed tb;
+  VmSpec spec;
+  spec.name = "vm0";
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, false);
+  double done_at = -1;
+  tb.sim().spawn([](sim::Simulation& s, Vm& v, double& t) -> sim::Task {
+    co_await v.compute(2.0);
+    t = s.now().to_seconds();
+  }(tb.sim(), *vm, done_at));
+  // Pause from t=1 to t=5: the job needs 2 core-seconds -> finishes at 6.
+  tb.sim().post(Duration::seconds(1.0), [&] { vm->pause(); });
+  tb.sim().post(Duration::seconds(5.0), [&] { vm->resume(); });
+  tb.sim().run();
+  EXPECT_NEAR(done_at, 6.0, 1e-6);
+}
+
+TEST(Vm, PauseWhileQueuedBeforeComputeStarts) {
+  Testbed tb;
+  VmSpec spec;
+  spec.name = "vm0";
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, false);
+  vm->pause();
+  double done_at = -1;
+  tb.sim().spawn([](sim::Simulation& s, Vm& v, double& t) -> sim::Task {
+    co_await v.compute(1.0);
+    t = s.now().to_seconds();
+  }(tb.sim(), *vm, done_at));
+  tb.sim().post(Duration::seconds(3.0), [&] { vm->resume(); });
+  tb.sim().run();
+  EXPECT_NEAR(done_at, 4.0, 1e-6);
+}
+
+TEST(Vm, VcpuAllotmentCapsParallelism) {
+  // A 2-vCPU VM on an 8-core host: four 1-core jobs share 2 vCPUs.
+  Testbed tb;
+  VmSpec spec;
+  spec.name = "vm0";
+  spec.vcpus = 2.0;
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, false);
+  std::vector<double> done(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    tb.sim().spawn([](sim::Simulation& s, Vm& v, double& t) -> sim::Task {
+      co_await v.compute(2.0);
+      t = s.now().to_seconds();
+    }(tb.sim(), *vm, done[i]));
+  }
+  tb.sim().run();
+  for (const double t : done) {
+    EXPECT_NEAR(t, 4.0, 1e-6);  // 4 jobs x 2 cs over 2 vCPUs
+  }
+}
+
+TEST(Vm, TwoVmsContendOnHostCpu) {
+  // Two 8-vCPU VMs on one 8-core host (the paper's consolidation case):
+  // each VM's 8 jobs run at half speed.
+  Testbed tb;
+  VmSpec a;
+  a.name = "vma";
+  VmSpec b;
+  b.name = "vmb";
+  auto vma = tb.boot_vm(tb.eth_host(0), a, false);
+  auto vmb = tb.boot_vm(tb.eth_host(0), b, false);
+  std::vector<double> done(16, -1);
+  for (int i = 0; i < 8; ++i) {
+    tb.sim().spawn([](sim::Simulation& s, Vm& v, double& t) -> sim::Task {
+      co_await v.compute(3.0);
+      t = s.now().to_seconds();
+    }(tb.sim(), *vma, done[i]));
+    tb.sim().spawn([](sim::Simulation& s, Vm& v, double& t) -> sim::Task {
+      co_await v.compute(3.0);
+      t = s.now().to_seconds();
+    }(tb.sim(), *vmb, done[8 + i]));
+  }
+  tb.sim().run();
+  for (const double t : done) {
+    EXPECT_NEAR(t, 6.0, 1e-6);
+  }
+}
+
+TEST(Vm, DeviceBookkeeping) {
+  Testbed tb;
+  VmSpec spec;
+  spec.name = "vm0";
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, /*with_hca=*/true);
+  tb.settle();
+  EXPECT_NE(vm->find_device("vnet0"), nullptr);
+  EXPECT_NE(vm->find_device("vf0"), nullptr);
+  EXPECT_TRUE(vm->has_vmm_bypass_device());
+  EXPECT_EQ(vm->devices().size(), 2u);
+  EXPECT_EQ(vm->find_device_by_kind("ib-hca-passthrough"), vm->find_device("vf0"));
+
+  auto removed = vm->unplug_device("vf0");
+  EXPECT_EQ(removed->tag(), "vf0");
+  EXPECT_FALSE(vm->has_vmm_bypass_device());
+  EXPECT_THROW((void)vm->unplug_device("vf0"), OperationError);
+}
+
+TEST(Vm, DuplicateDeviceTagRejected) {
+  Testbed tb;
+  VmSpec spec;
+  spec.name = "vm0";
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, false);
+  EXPECT_THROW(tb.ib_host(0).add_virtio_net(*vm, "vnet0"), LogicError);
+}
+
+TEST(Vm, SymVirtWaitParksUntilSignal) {
+  Testbed tb;
+  VmSpec spec;
+  spec.name = "vm0";
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, false);
+  std::vector<double> woke(3, -1);
+  for (int i = 0; i < 3; ++i) {
+    tb.sim().spawn([](sim::Simulation& s, Vm& v, double& t) -> sim::Task {
+      co_await v.symvirt_wait();
+      t = s.now().to_seconds();
+    }(tb.sim(), *vm, woke[i]));
+  }
+  tb.sim().post(Duration::seconds(7.0), [&] { vm->symvirt_signal(); });
+  tb.sim().run();
+  for (const double t : woke) {
+    EXPECT_NEAR(t, 7.0, 1e-9);
+  }
+  EXPECT_EQ(vm->symvirt_wait_count(), 0u);
+}
+
+TEST(Vm, WaitForSymvirtEntriesObservesCount) {
+  Testbed tb;
+  VmSpec spec;
+  spec.name = "vm0";
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, false);
+  double all_parked_at = -1;
+  // VMM-side observer wants 2 parked guests.
+  tb.sim().spawn([](sim::Simulation& s, Vm& v, double& t) -> sim::Task {
+    co_await v.wait_for_symvirt_entries(2);
+    t = s.now().to_seconds();
+    v.symvirt_signal();
+  }(tb.sim(), *vm, all_parked_at));
+  // Guests enter at t=1 and t=3.
+  for (const double at : {1.0, 3.0}) {
+    tb.sim().post(Duration::seconds(at), [&] {
+      tb.sim().spawn([](Vm& v) -> sim::Task { co_await v.symvirt_wait(); }(*vm));
+    });
+  }
+  tb.sim().run();
+  EXPECT_NEAR(all_parked_at, 3.0, 1e-9);
+}
+
+TEST(Vm, SymVirtCyclesAreIndependent) {
+  // Two consecutive wait/signal cycles: a signal must not wake tasks that
+  // park afterwards.
+  Testbed tb;
+  VmSpec spec;
+  spec.name = "vm0";
+  auto vm = tb.boot_vm(tb.ib_host(0), spec, false);
+  std::vector<double> woke;
+  tb.sim().spawn([](sim::Simulation& s, Vm& v, std::vector<double>& out) -> sim::Task {
+    co_await v.symvirt_wait();  // cycle 1
+    out.push_back(s.now().to_seconds());
+    co_await v.symvirt_wait();  // cycle 2
+    out.push_back(s.now().to_seconds());
+  }(tb.sim(), *vm, woke));
+  tb.sim().post(Duration::seconds(2.0), [&] { vm->symvirt_signal(); });
+  tb.sim().post(Duration::seconds(5.0), [&] { vm->symvirt_signal(); });
+  tb.sim().run();
+  ASSERT_EQ(woke.size(), 2u);
+  EXPECT_NEAR(woke[0], 2.0, 1e-9);
+  EXPECT_NEAR(woke[1], 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nm::vmm

@@ -1,0 +1,197 @@
+// Tests for the workload models: memtest write accounting and
+// compressibility, the bcast-reduce bench (iteration recording, step
+// triggers, rank-count scaling), and the NPB kernels (completion across all
+// patterns, footprint staging, interconnect sensitivity).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/job.h"
+#include "core/testbed.h"
+#include "vmm/guest_memory.h"
+#include "workloads/bcast_reduce.h"
+#include "workloads/memtest.h"
+#include "workloads/npb.h"
+
+namespace nm::workloads {
+namespace {
+
+using core::JobConfig;
+using core::MpiJob;
+using core::Testbed;
+
+JobConfig job_cfg(int vms, std::size_t rpv, bool ib = true) {
+  JobConfig cfg;
+  cfg.vm_count = vms;
+  cfg.ranks_per_vm = rpv;
+  cfg.on_ib_cluster = ib;
+  cfg.with_hca = ib;
+  return cfg;
+}
+
+TEST(Memtest, WritesExpectedBytesAndCompressiblePages) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(1, 1));
+  job.init();
+  MemtestConfig cfg;
+  cfg.array_size = Bytes::gib(2);
+  cfg.passes = 3;
+  MemtestResult result;
+  job.launch([&](mpi::RankId me) -> sim::Task {
+    co_await run_memtest_rank(job, me, cfg, &result);
+  });
+  tb.sim().run();
+  EXPECT_EQ(result.written, Bytes::gib(6));
+  EXPECT_GT(result.elapsed.to_seconds(), 1.0);
+  // Pages written by memtest are uniform (compressible), so the VM's
+  // incompressible data is only the OS footprint.
+  auto& mem = job.vms()[0]->memory();
+  EXPECT_EQ(mem.data_bytes(), job.vms()[0]->spec().base_os_footprint);
+}
+
+TEST(Memtest, DurationScalesWithArraySize) {
+  double t2 = 0;
+  double t8 = 0;
+  for (const std::uint64_t gib : {2ull, 8ull}) {
+    Testbed tb;
+    MpiJob job(tb, job_cfg(1, 1));
+    job.init();
+    MemtestConfig cfg;
+    cfg.array_size = Bytes::gib(gib);
+    cfg.passes = 2;
+    MemtestResult result;
+    job.launch([&](mpi::RankId me) -> sim::Task {
+      co_await run_memtest_rank(job, me, cfg, &result);
+    });
+    tb.sim().run();
+    (gib == 2 ? t2 : t8) = result.elapsed.to_seconds();
+  }
+  EXPECT_NEAR(t8 / t2, 4.0, 0.2);
+}
+
+TEST(Memtest, ArrayMustFitGuestMemory) {
+  Testbed tb;
+  JobConfig cfg = job_cfg(1, 1);
+  cfg.vm_template.memory = Bytes::gib(4);
+  MpiJob job(tb, cfg);
+  job.init();
+  MemtestConfig mcfg;
+  mcfg.array_size = Bytes::gib(8);
+  job.launch([&](mpi::RankId me) -> sim::Task {
+    co_await run_memtest_rank(job, me, mcfg, nullptr);
+  });
+  EXPECT_THROW(tb.sim().run(), LogicError);
+}
+
+TEST(BcastReduce, RecordsIterationTimes) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 1));
+  job.init();
+  BcastReduceConfig cfg;
+  cfg.per_node_bytes = Bytes::mib(512);
+  cfg.iterations = 6;
+  auto bench = std::make_shared<BcastReduceBench>(job, cfg);
+  job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+  tb.sim().run();
+  ASSERT_EQ(bench->iteration_seconds().size(), 6u);
+  for (const double t : bench->iteration_seconds()) {
+    EXPECT_GT(t, 0.0);
+  }
+  EXPECT_EQ(bench->completed_steps(), 6);
+}
+
+TEST(BcastReduce, WaitStepFiresAtBoundary) {
+  Testbed tb;
+  MpiJob job(tb, job_cfg(2, 1));
+  job.init();
+  BcastReduceConfig cfg;
+  cfg.per_node_bytes = Bytes::mib(256);
+  cfg.iterations = 10;
+  auto bench = std::make_shared<BcastReduceBench>(job, cfg);
+  job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+  int steps_at_trigger = -1;
+  tb.sim().spawn([](std::shared_ptr<BcastReduceBench> b, int& out) -> sim::Task {
+    co_await b->wait_step(5);
+    out = b->completed_steps();
+  }(bench, steps_at_trigger));
+  tb.sim().run();
+  EXPECT_GE(steps_at_trigger, 5);
+  EXPECT_LT(steps_at_trigger, 7);
+}
+
+TEST(BcastReduce, EightRanksPerVmFasterForFixedPerNodePayload) {
+  double t1 = 0;
+  double t8 = 0;
+  for (const std::size_t rpv : {std::size_t{1}, std::size_t{8}}) {
+    Testbed tb;
+    MpiJob job(tb, job_cfg(4, rpv));
+    job.init();
+    BcastReduceConfig cfg;
+    cfg.per_node_bytes = Bytes::gib(8);
+    cfg.iterations = 3;
+    auto bench = std::make_shared<BcastReduceBench>(job, cfg);
+    job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+    tb.sim().run();
+    const auto& times = bench->iteration_seconds();
+    double sum = 0;
+    for (const double t : times) {
+      sum += t;
+    }
+    (rpv == 1 ? t1 : t8) = sum / static_cast<double>(times.size());
+  }
+  EXPECT_LT(t8, t1);  // Fig 8: 8 procs/VM beats 1 proc/VM
+}
+
+class NpbKernels : public ::testing::TestWithParam<int> {};
+
+TEST_P(NpbKernels, CompletesOnSmallScale) {
+  NpbSpec spec = npb_class_d_suite()[static_cast<std::size_t>(GetParam())];
+  // Shrink for the unit test: 4 VMs x 2 ranks, few iterations.
+  spec.iterations = 3;
+  spec.compute_per_iter = 0.2;
+  spec.footprint_per_vm = Bytes::gib(2);
+  Testbed tb;
+  MpiJob job(tb, job_cfg(4, 2));
+  job.init();
+  std::vector<NpbResult> results(8);
+  job.launch([&, spec](mpi::RankId me) -> sim::Task {
+    co_await run_npb_rank(job, me, spec, &results[static_cast<std::size_t>(me)]);
+  });
+  tb.sim().run();
+  for (const auto& r : results) {
+    EXPECT_EQ(r.iterations_done, 3);
+    EXPECT_GT(r.elapsed.to_seconds(), 0.0);
+  }
+  EXPECT_EQ(job.runtime().unexpected_count(), 0u);
+  // Footprint staged once per VM.
+  EXPECT_GE(job.vms()[0]->memory().data_bytes(), Bytes::gib(2));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, NpbKernels, ::testing::Values(0, 1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return npb_class_d_suite()[static_cast<std::size_t>(info.param)]
+                               .name;
+                         });
+
+TEST(Npb, TcpSlowsCommunicationHeavyKernel) {
+  double times[2];
+  for (const bool ib : {true, false}) {
+    NpbSpec spec = npb_ft_class_d();  // all-to-all: most network-sensitive
+    spec.iterations = 2;
+    spec.compute_per_iter = 0.1;
+    spec.footprint_per_vm = Bytes::gib(1);
+    Testbed tb;
+    MpiJob job(tb, job_cfg(4, 2, ib));
+    job.init();
+    NpbResult r0;
+    job.launch([&, spec](mpi::RankId me) -> sim::Task {
+      co_await run_npb_rank(job, me, spec, me == 0 ? &r0 : nullptr);
+    });
+    tb.sim().run();
+    times[ib ? 0 : 1] = r0.elapsed.to_seconds();
+  }
+  EXPECT_LT(times[0], times[1]);
+}
+
+}  // namespace
+}  // namespace nm::workloads
