@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_memtest.dir/bench_fig6_memtest.cpp.o"
+  "CMakeFiles/bench_fig6_memtest.dir/bench_fig6_memtest.cpp.o.d"
+  "bench_fig6_memtest"
+  "bench_fig6_memtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_memtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fallback.dir/bench_fig8_fallback.cpp.o"
+  "CMakeFiles/bench_fig8_fallback.dir/bench_fig8_fallback.cpp.o.d"
+  "bench_fig8_fallback"
+  "bench_fig8_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

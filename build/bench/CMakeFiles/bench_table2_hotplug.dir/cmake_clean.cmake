@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hotplug.dir/bench_table2_hotplug.cpp.o"
+  "CMakeFiles/bench_table2_hotplug.dir/bench_table2_hotplug.cpp.o.d"
+  "bench_table2_hotplug"
+  "bench_table2_hotplug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hotplug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallback_recovery.dir/fallback_recovery.cpp.o"
+  "CMakeFiles/fallback_recovery.dir/fallback_recovery.cpp.o.d"
+  "fallback_recovery"
+  "fallback_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallback_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_service.dir/generic_service.cpp.o"
+  "CMakeFiles/generic_service.dir/generic_service.cpp.o.d"
+  "generic_service"
+  "generic_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

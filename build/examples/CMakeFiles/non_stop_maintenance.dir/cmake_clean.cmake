@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/non_stop_maintenance.dir/non_stop_maintenance.cpp.o"
+  "CMakeFiles/non_stop_maintenance.dir/non_stop_maintenance.cpp.o.d"
+  "non_stop_maintenance"
+  "non_stop_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/non_stop_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_ft.dir/proactive_ft.cpp.o"
+  "CMakeFiles/proactive_ft.dir/proactive_ft.cpp.o.d"
+  "proactive_ft"
+  "proactive_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_core.dir/job.cpp.o"
+  "CMakeFiles/nm_core.dir/job.cpp.o.d"
+  "CMakeFiles/nm_core.dir/ninja.cpp.o"
+  "CMakeFiles/nm_core.dir/ninja.cpp.o.d"
+  "CMakeFiles/nm_core.dir/testbed.cpp.o"
+  "CMakeFiles/nm_core.dir/testbed.cpp.o.d"
+  "libnm_core.a"
+  "libnm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

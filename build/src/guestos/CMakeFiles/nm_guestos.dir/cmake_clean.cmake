@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_guestos.dir/drivers.cpp.o"
+  "CMakeFiles/nm_guestos.dir/drivers.cpp.o.d"
+  "CMakeFiles/nm_guestos.dir/guest_os.cpp.o"
+  "CMakeFiles/nm_guestos.dir/guest_os.cpp.o.d"
+  "libnm_guestos.a"
+  "libnm_guestos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_guestos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/btl.cpp" "src/mpi/CMakeFiles/nm_mpi.dir/btl.cpp.o" "gcc" "src/mpi/CMakeFiles/nm_mpi.dir/btl.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/nm_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/nm_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/cr.cpp" "src/mpi/CMakeFiles/nm_mpi.dir/cr.cpp.o" "gcc" "src/mpi/CMakeFiles/nm_mpi.dir/cr.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/mpi/CMakeFiles/nm_mpi.dir/runtime.cpp.o" "gcc" "src/mpi/CMakeFiles/nm_mpi.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guestos/CMakeFiles/nm_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/nm_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_mpi.dir/btl.cpp.o"
+  "CMakeFiles/nm_mpi.dir/btl.cpp.o.d"
+  "CMakeFiles/nm_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/nm_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/nm_mpi.dir/cr.cpp.o"
+  "CMakeFiles/nm_mpi.dir/cr.cpp.o.d"
+  "CMakeFiles/nm_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/nm_mpi.dir/runtime.cpp.o.d"
+  "libnm_mpi.a"
+  "libnm_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/eth_fabric.cpp" "src/net/CMakeFiles/nm_net.dir/eth_fabric.cpp.o" "gcc" "src/net/CMakeFiles/nm_net.dir/eth_fabric.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/nm_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/nm_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/ib_fabric.cpp" "src/net/CMakeFiles/nm_net.dir/ib_fabric.cpp.o" "gcc" "src/net/CMakeFiles/nm_net.dir/ib_fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_net.dir/eth_fabric.cpp.o"
+  "CMakeFiles/nm_net.dir/eth_fabric.cpp.o.d"
+  "CMakeFiles/nm_net.dir/fabric.cpp.o"
+  "CMakeFiles/nm_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/nm_net.dir/ib_fabric.cpp.o"
+  "CMakeFiles/nm_net.dir/ib_fabric.cpp.o.d"
+  "libnm_net.a"
+  "libnm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

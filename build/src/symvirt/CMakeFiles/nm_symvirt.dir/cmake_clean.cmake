@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_symvirt.dir/controller.cpp.o"
+  "CMakeFiles/nm_symvirt.dir/controller.cpp.o.d"
+  "CMakeFiles/nm_symvirt.dir/coordinator.cpp.o"
+  "CMakeFiles/nm_symvirt.dir/coordinator.cpp.o.d"
+  "CMakeFiles/nm_symvirt.dir/generic.cpp.o"
+  "CMakeFiles/nm_symvirt.dir/generic.cpp.o.d"
+  "libnm_symvirt.a"
+  "libnm_symvirt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_symvirt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_util.dir/error.cpp.o"
+  "CMakeFiles/nm_util.dir/error.cpp.o.d"
+  "CMakeFiles/nm_util.dir/log.cpp.o"
+  "CMakeFiles/nm_util.dir/log.cpp.o.d"
+  "CMakeFiles/nm_util.dir/table.cpp.o"
+  "CMakeFiles/nm_util.dir/table.cpp.o.d"
+  "CMakeFiles/nm_util.dir/timeline.cpp.o"
+  "CMakeFiles/nm_util.dir/timeline.cpp.o.d"
+  "CMakeFiles/nm_util.dir/units.cpp.o"
+  "CMakeFiles/nm_util.dir/units.cpp.o.d"
+  "libnm_util.a"
+  "libnm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

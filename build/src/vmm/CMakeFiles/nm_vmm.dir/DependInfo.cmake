@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/guest_memory.cpp" "src/vmm/CMakeFiles/nm_vmm.dir/guest_memory.cpp.o" "gcc" "src/vmm/CMakeFiles/nm_vmm.dir/guest_memory.cpp.o.d"
+  "/root/repo/src/vmm/host.cpp" "src/vmm/CMakeFiles/nm_vmm.dir/host.cpp.o" "gcc" "src/vmm/CMakeFiles/nm_vmm.dir/host.cpp.o.d"
+  "/root/repo/src/vmm/migration.cpp" "src/vmm/CMakeFiles/nm_vmm.dir/migration.cpp.o" "gcc" "src/vmm/CMakeFiles/nm_vmm.dir/migration.cpp.o.d"
+  "/root/repo/src/vmm/monitor.cpp" "src/vmm/CMakeFiles/nm_vmm.dir/monitor.cpp.o" "gcc" "src/vmm/CMakeFiles/nm_vmm.dir/monitor.cpp.o.d"
+  "/root/repo/src/vmm/vm.cpp" "src/vmm/CMakeFiles/nm_vmm.dir/vm.cpp.o" "gcc" "src/vmm/CMakeFiles/nm_vmm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

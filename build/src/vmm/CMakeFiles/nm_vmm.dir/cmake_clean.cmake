@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_vmm.dir/guest_memory.cpp.o"
+  "CMakeFiles/nm_vmm.dir/guest_memory.cpp.o.d"
+  "CMakeFiles/nm_vmm.dir/host.cpp.o"
+  "CMakeFiles/nm_vmm.dir/host.cpp.o.d"
+  "CMakeFiles/nm_vmm.dir/migration.cpp.o"
+  "CMakeFiles/nm_vmm.dir/migration.cpp.o.d"
+  "CMakeFiles/nm_vmm.dir/monitor.cpp.o"
+  "CMakeFiles/nm_vmm.dir/monitor.cpp.o.d"
+  "CMakeFiles/nm_vmm.dir/vm.cpp.o"
+  "CMakeFiles/nm_vmm.dir/vm.cpp.o.d"
+  "libnm_vmm.a"
+  "libnm_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_workloads.dir/bcast_reduce.cpp.o"
+  "CMakeFiles/nm_workloads.dir/bcast_reduce.cpp.o.d"
+  "CMakeFiles/nm_workloads.dir/memtest.cpp.o"
+  "CMakeFiles/nm_workloads.dir/memtest.cpp.o.d"
+  "CMakeFiles/nm_workloads.dir/npb.cpp.o"
+  "CMakeFiles/nm_workloads.dir/npb.cpp.o.d"
+  "libnm_workloads.a"
+  "libnm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

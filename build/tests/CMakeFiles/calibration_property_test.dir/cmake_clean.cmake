@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_property_test.dir/calibration_property_test.cpp.o"
+  "CMakeFiles/calibration_property_test.dir/calibration_property_test.cpp.o.d"
+  "calibration_property_test"
+  "calibration_property_test.pdb"
+  "calibration_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

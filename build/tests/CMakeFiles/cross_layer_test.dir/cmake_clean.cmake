@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_layer_test.dir/cross_layer_test.cpp.o"
+  "CMakeFiles/cross_layer_test.dir/cross_layer_test.cpp.o.d"
+  "cross_layer_test"
+  "cross_layer_test.pdb"
+  "cross_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guestos_test.dir/guestos_test.cpp.o"
+  "CMakeFiles/guestos_test.dir/guestos_test.cpp.o.d"
+  "guestos_test"
+  "guestos_test.pdb"
+  "guestos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guestos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_node_test.dir/hw_node_test.cpp.o"
+  "CMakeFiles/hw_node_test.dir/hw_node_test.cpp.o.d"
+  "hw_node_test"
+  "hw_node_test.pdb"
+  "hw_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

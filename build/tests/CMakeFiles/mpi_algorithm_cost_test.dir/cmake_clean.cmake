@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_algorithm_cost_test.dir/mpi_algorithm_cost_test.cpp.o"
+  "CMakeFiles/mpi_algorithm_cost_test.dir/mpi_algorithm_cost_test.cpp.o.d"
+  "mpi_algorithm_cost_test"
+  "mpi_algorithm_cost_test.pdb"
+  "mpi_algorithm_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_algorithm_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi_runtime_test.cpp" "tests/CMakeFiles/mpi_runtime_test.dir/mpi_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_runtime_test.dir/mpi_runtime_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/symvirt/CMakeFiles/nm_symvirt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/nm_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/nm_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/nm_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninja_integration_test.dir/ninja_integration_test.cpp.o"
+  "CMakeFiles/ninja_integration_test.dir/ninja_integration_test.cpp.o.d"
+  "ninja_integration_test"
+  "ninja_integration_test.pdb"
+  "ninja_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninja_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

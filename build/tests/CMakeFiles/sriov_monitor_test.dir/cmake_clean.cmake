@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_monitor_test.dir/sriov_monitor_test.cpp.o"
+  "CMakeFiles/sriov_monitor_test.dir/sriov_monitor_test.cpp.o.d"
+  "sriov_monitor_test"
+  "sriov_monitor_test.pdb"
+  "sriov_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

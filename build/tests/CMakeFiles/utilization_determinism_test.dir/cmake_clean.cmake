@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilization_determinism_test.dir/utilization_determinism_test.cpp.o"
+  "CMakeFiles/utilization_determinism_test.dir/utilization_determinism_test.cpp.o.d"
+  "utilization_determinism_test"
+  "utilization_determinism_test.pdb"
+  "utilization_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilization_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_guest_memory_test.dir/vmm_guest_memory_test.cpp.o"
+  "CMakeFiles/vmm_guest_memory_test.dir/vmm_guest_memory_test.cpp.o.d"
+  "vmm_guest_memory_test"
+  "vmm_guest_memory_test.pdb"
+  "vmm_guest_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_guest_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

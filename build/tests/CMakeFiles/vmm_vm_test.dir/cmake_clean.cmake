@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_vm_test.dir/vmm_vm_test.cpp.o"
+  "CMakeFiles/vmm_vm_test.dir/vmm_vm_test.cpp.o.d"
+  "vmm_vm_test"
+  "vmm_vm_test.pdb"
+  "vmm_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

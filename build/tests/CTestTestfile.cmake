@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_units_test[1]_include.cmake")
+include("/root/repo/build/tests/util_interval_map_test[1]_include.cmake")
+include("/root/repo/build/tests/util_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_fluid_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_node_test[1]_include.cmake")
+include("/root/repo/build/tests/net_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/vmm_guest_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/vmm_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/vmm_migration_test[1]_include.cmake")
+include("/root/repo/build/tests/guestos_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/ninja_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_nonblocking_test[1]_include.cmake")
+include("/root/repo/build/tests/sriov_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/util_args_timeline_test[1]_include.cmake")
+include("/root/repo/build/tests/utilization_determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_algorithm_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_layer_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_property_test[1]_include.cmake")
