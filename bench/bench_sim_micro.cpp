@@ -2,7 +2,13 @@
 // event-loop throughput, fluid rebalancing cost, interval-map updates, and
 // a full small Ninja episode. These guard the simulator's own performance,
 // so the Fig 7/8 reproductions stay fast enough to iterate on.
+//
+// Besides the normal console output, a machine-readable summary (benchmark
+// name -> items/sec) is written to BENCH_sim_micro.json in the working
+// directory so the perf trajectory can be tracked across PRs.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
 
 #include "core/job.h"
 #include "core/testbed.h"
@@ -59,6 +65,51 @@ void BM_FluidRebalance(benchmark::State& state) {
 }
 BENCHMARK(BM_FluidRebalance)->Arg(8)->Arg(64)->Arg(256);
 
+// Asymptotics guard for the component-partitioned scheduler: H hosts each
+// carry a steady background of flows on their own NIC, and one host churns
+// small flows. With per-component solves the churn cost must not depend on
+// how many other (clean) components exist, so items/sec should stay flat
+// across H.
+void BM_FluidRebalanceMultiHost(benchmark::State& state) {
+  const auto hosts = static_cast<int>(state.range(0));
+  constexpr int kFlowsPerHost = 32;
+  constexpr int kChurn = 64;
+  struct Env {
+    sim::Simulation sim;
+    sim::FluidScheduler sched{sim};
+    std::vector<std::unique_ptr<sim::FluidResource>> nics;
+    std::vector<sim::FlowPtr> background;
+    explicit Env(int host_count) {
+      for (int h = 0; h < host_count; ++h) {
+        nics.push_back(std::make_unique<sim::FluidResource>(
+            sched, "nic" + std::to_string(h), 1e9));
+        for (int f = 0; f < kFlowsPerHost; ++f) {
+          // Long-lived: never completes within the churn window.
+          background.push_back(
+              sched.start(1e16, std::vector<sim::FluidResource*>{nics[h].get()}));
+        }
+      }
+      sim.run_for(Duration::seconds(1));  // settle the background
+    }
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto env = std::make_unique<Env>(hosts);
+    state.ResumeTiming();
+    for (int c = 0; c < kChurn; ++c) {
+      auto flow =
+          env->sched.start(1e6, std::vector<sim::FluidResource*>{env->nics[0].get()});
+      env->sim.run_for(Duration::seconds(1));
+      benchmark::DoNotOptimize(flow->finished());
+    }
+    state.PauseTiming();
+    env.reset();  // teardown cost scales with H; keep it out of the timing
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * kChurn);
+}
+BENCHMARK(BM_FluidRebalanceMultiHost)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
 void BM_IntervalMapDirtyTracking(benchmark::State& state) {
   for (auto _ : state) {
     IntervalMap<int> map(5'242'880, 0);  // 20 GiB of 4 KiB pages
@@ -98,6 +149,46 @@ void BM_FullNinjaEpisode(benchmark::State& state) {
 }
 BENCHMARK(BM_FullNinjaEpisode)->Unit(benchmark::kMillisecond);
 
+// Console output plus a {"name": items_per_sec} summary in
+// BENCH_sim_micro.json for cross-PR perf tracking.
+class JsonSummaryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        results_.emplace_back(run.benchmark_name(), static_cast<double>(it->second));
+      }
+    }
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    std::ofstream out("BENCH_sim_micro.json");
+    out << "{\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      out << "  \"" << results_[i].first << "\": " << results_[i].second
+          << (i + 1 < results_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonSummaryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

@@ -27,7 +27,9 @@ struct NodeSpec {
 class Node {
  public:
   Node(sim::FluidScheduler& scheduler, NodeSpec spec)
-      : scheduler_(&scheduler), spec_(std::move(spec)), cpu_("cpu:" + spec_.name, spec_.cores) {}
+      : scheduler_(&scheduler),
+        spec_(std::move(spec)),
+        cpu_(scheduler, "cpu:" + spec_.name, spec_.cores) {}
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 

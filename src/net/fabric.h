@@ -101,6 +101,7 @@ class Fabric {
   [[nodiscard]] const FabricSpec& spec() const { return spec_; }
   [[nodiscard]] Duration latency() const { return spec_.latency; }
   [[nodiscard]] sim::Simulation& simulation() { return scheduler_->simulation(); }
+  [[nodiscard]] sim::FluidScheduler& scheduler() { return *scheduler_; }
 
   /// Plugs `port` into the fabric: allocates an address and starts link
   /// training. The returned attachment reaches Active after linkup_time.

@@ -17,8 +17,8 @@ class NicPort {
       : node_(&node),
         name_(std::move(name)),
         line_rate_(line_rate),
-        tx_("tx:" + name_, line_rate.bytes_per_second()),
-        rx_("rx:" + name_, line_rate.bytes_per_second()) {}
+        tx_(node.scheduler(), "tx:" + name_, line_rate.bytes_per_second()),
+        rx_(node.scheduler(), "rx:" + name_, line_rate.bytes_per_second()) {}
   NicPort(const NicPort&) = delete;
   NicPort& operator=(const NicPort&) = delete;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 namespace nm::sim {
 
@@ -11,19 +12,79 @@ namespace {
 constexpr double kEpsilon = 1e-6;
 }  // namespace
 
+// --- FluidResource ---------------------------------------------------------
+
+FluidResource::FluidResource(FluidScheduler& scheduler, std::string name, double capacity)
+    : FluidResource(std::move(name), capacity) {
+  scheduler.register_resource(*this);
+}
+
+FluidResource::~FluidResource() {
+  if (scheduler_ != nullptr) {
+    scheduler_->unregister_resource(*this);
+  }
+}
+
 void FluidResource::set_capacity(double capacity) {
   NM_CHECK(capacity >= 0.0, "negative capacity for " << name_);
   capacity_ = capacity;
-  if (scheduler_ != nullptr) {
-    scheduler_->rebalance();
+  if (scheduler_ != nullptr && slot_ != kNoSlot) {
+    if (auto* comp = scheduler_->component_of_slot(slot_)) {
+      scheduler_->mark_dirty(*comp);
+    }
   }
+}
+
+double FluidResource::consumed() const {
+  if (scheduler_ != nullptr) {
+    scheduler_->sync_resource(*this);
+  }
+  return consumed_;
+}
+
+double FluidResource::utilization_over(double consumed_before, Duration window) const {
+  const double window_s = window.to_seconds();
+  if (window_s <= 0.0 || capacity_ <= 0.0) {
+    return 0.0;
+  }
+  return (consumed() - consumed_before) / (capacity_ * window_s);
+}
+
+// --- Flow ------------------------------------------------------------------
+
+bool Flow::finished() const {
+  if (!finished_ && scheduler_ != nullptr) {
+    scheduler_->ensure_settled(*this);
+  }
+  return finished_;
+}
+
+double Flow::remaining() const {
+  if (!finished_ && scheduler_ != nullptr) {
+    scheduler_->ensure_settled(*this);
+  }
+  return remaining_;
+}
+
+double Flow::current_rate() const {
+  if (!finished_ && scheduler_ != nullptr) {
+    scheduler_->ensure_settled(*this);
+  }
+  return rate_;
 }
 
 void Flow::set_max_rate(double max_rate) {
   NM_CHECK(max_rate >= 0.0, "negative flow rate cap");
+  if (suspended_) {
+    // Applied on resume(); the flow stays paused in the meantime.
+    saved_max_rate_ = max_rate;
+    return;
+  }
   max_rate_ = max_rate;
   if (scheduler_ != nullptr && !finished_) {
-    scheduler_->rebalance();
+    if (auto* comp = scheduler_->component_of_flow(*this)) {
+      scheduler_->mark_dirty(*comp);
+    }
   }
 }
 
@@ -31,9 +92,14 @@ void Flow::suspend() {
   if (suspended_ || finished_) {
     return;
   }
-  suspended_ = true;
   saved_max_rate_ = max_rate_;
-  set_max_rate(0.0);
+  suspended_ = true;
+  max_rate_ = 0.0;
+  if (scheduler_ != nullptr) {
+    if (auto* comp = scheduler_->component_of_flow(*this)) {
+      scheduler_->mark_dirty(*comp);
+    }
+  }
 }
 
 void Flow::resume() {
@@ -41,8 +107,71 @@ void Flow::resume() {
     return;
   }
   suspended_ = false;
-  set_max_rate(saved_max_rate_);
+  max_rate_ = saved_max_rate_;
+  if (scheduler_ != nullptr && !finished_) {
+    if (auto* comp = scheduler_->component_of_flow(*this)) {
+      scheduler_->mark_dirty(*comp);
+    }
+  }
 }
+
+// --- FluidScheduler: lifecycle and registry --------------------------------
+
+FluidScheduler::~FluidScheduler() {
+  for (auto* res : res_slots_) {
+    if (res != nullptr) {
+      res->scheduler_ = nullptr;
+      res->slot_ = FluidResource::kNoSlot;
+    }
+  }
+  for (auto& flow : flows_) {
+    flow->scheduler_ = nullptr;
+    flow->comp_ = kNone;
+  }
+}
+
+void FluidScheduler::register_resource(FluidResource& res) {
+  NM_CHECK(res.scheduler_ == nullptr || res.scheduler_ == this,
+           "resource " << res.name_ << " belongs to another scheduler");
+  if (res.slot_ != FluidResource::kNoSlot) {
+    return;
+  }
+  res.scheduler_ = this;
+  if (!free_res_slots_.empty()) {
+    res.slot_ = free_res_slots_.back();
+    free_res_slots_.pop_back();
+    res_slots_[res.slot_] = &res;
+  } else {
+    res.slot_ = static_cast<std::uint32_t>(res_slots_.size());
+    res_slots_.push_back(&res);
+    slot_comp_.push_back(kNone);
+  }
+}
+
+void FluidScheduler::unregister_resource(FluidResource& res) {
+  const auto slot = res.slot_;
+  if (slot == FluidResource::kNoSlot) {
+    res.scheduler_ = nullptr;
+    return;
+  }
+  if (auto* comp = component_of_slot(slot)) {
+    auto& rs = comp->res_slots;
+    const auto it = std::find(rs.begin(), rs.end(), slot);
+    if (it != rs.end()) {
+      *it = rs.back();
+      rs.pop_back();
+    }
+  }
+  slot_comp_[slot] = kNone;
+  res_slots_[slot] = nullptr;
+  free_res_slots_.push_back(slot);
+  res.slot_ = FluidResource::kNoSlot;
+  res.scheduler_ = nullptr;
+}
+
+std::size_t FluidScheduler::component_count() const { return live_comp_count_; }
+
+// --- FluidScheduler: flow admission ----------------------------------------
 
 FlowPtr FluidScheduler::start(double work, std::vector<ResourceShare> shares, double max_rate) {
   NM_CHECK(work >= 0.0, "negative flow work");
@@ -50,13 +179,12 @@ FlowPtr FluidScheduler::start(double work, std::vector<ResourceShare> shares, do
   for (const auto& share : shares) {
     NM_CHECK(share.resource != nullptr, "null resource in flow");
     NM_CHECK(share.weight > 0.0, "non-positive weight on " << share.resource->name());
-    NM_CHECK(share.resource->scheduler_ == nullptr || share.resource->scheduler_ == this,
-             "resource " << share.resource->name() << " belongs to another scheduler");
-    share.resource->scheduler_ = this;
+    register_resource(*share.resource);
   }
   auto flow = FlowPtr(new Flow(*sim_, work, std::move(shares), max_rate));
   flow->scheduler_ = this;
   flow->last_update_ = sim_->now();
+  flow->seq_ = next_flow_seq_++;
   if (work <= kEpsilon) {
     flow->finished_ = true;
     flow->remaining_ = 0.0;
@@ -66,8 +194,40 @@ FlowPtr FluidScheduler::start(double work, std::vector<ResourceShare> shares, do
   for (const auto& share : flow->shares_) {
     ++share.resource->active_flows_;
   }
+  flow->global_index_ = static_cast<std::uint32_t>(flows_.size());
   flows_.push_back(flow);
-  rebalance();
+
+  // Place the flow in the component connecting all its resources, merging
+  // components it bridges.
+  Component* target = nullptr;
+  for (const auto& share : flow->shares_) {
+    Component* c = component_of_slot(share.resource->slot_);
+    if (c == nullptr || c == target) {
+      continue;
+    }
+    if (target == nullptr) {
+      target = c;
+      continue;
+    }
+    if (c->flows.size() > target->flows.size()) {
+      std::swap(target, c);
+    }
+    merge_into(*target, *c);
+  }
+  if (target == nullptr) {
+    target = &make_component();
+  }
+  for (const auto& share : flow->shares_) {
+    const auto slot = share.resource->slot_;
+    if (slot_comp_[slot] == kNone) {
+      slot_comp_[slot] = target->id;
+      target->res_slots.push_back(slot);
+    }
+  }
+  flow->comp_ = target->id;
+  flow->comp_index_ = static_cast<std::uint32_t>(target->flows.size());
+  target->flows.push_back(flow.get());
+  mark_dirty(*target);
   return flow;
 }
 
@@ -95,170 +255,433 @@ Task FluidScheduler::run(double work, std::vector<FluidResource*> resources, dou
   }
 }
 
+// --- FluidScheduler: components --------------------------------------------
+
+FluidScheduler::Component& FluidScheduler::make_component() {
+  std::uint32_t id;
+  if (!free_comp_ids_.empty()) {
+    id = free_comp_ids_.back();
+    free_comp_ids_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(comps_.size());
+    comps_.emplace_back();
+  }
+  comps_[id] = std::make_unique<Component>();
+  comps_[id]->id = id;
+  ++live_comp_count_;
+  return *comps_[id];
+}
+
+void FluidScheduler::merge_into(Component& dst, Component& src) {
+  // Both lists are sorted by admission seq; keep the merged list sorted so
+  // solves sum floats in the same order the seed's global solver did.
+  std::vector<Flow*> merged;
+  merged.reserve(dst.flows.size() + src.flows.size());
+  std::merge(dst.flows.begin(), dst.flows.end(), src.flows.begin(), src.flows.end(),
+             std::back_inserter(merged),
+             [](const Flow* a, const Flow* b) { return a->seq_ < b->seq_; });
+  dst.flows = std::move(merged);
+  for (std::size_t i = 0; i < dst.flows.size(); ++i) {
+    dst.flows[i]->comp_ = dst.id;
+    dst.flows[i]->comp_index_ = static_cast<std::uint32_t>(i);
+  }
+  for (const auto slot : src.res_slots) {
+    slot_comp_[slot] = dst.id;
+    dst.res_slots.push_back(slot);
+  }
+  if (src.dirty) {
+    mark_dirty(dst);
+  }
+  const auto id = src.id;
+  comps_[id].reset();  // outstanding timers die on the null check
+  free_comp_ids_.push_back(id);
+  --live_comp_count_;
+}
+
+void FluidScheduler::mark_dirty(Component& comp) {
+  if (comp.dirty) {
+    return;
+  }
+  comp.dirty = true;
+  dirty_comps_.push_back(comp.id);
+  if (!settle_pending_) {
+    // Re-solve before any simulated time passes: rates are continuous in
+    // time, so deferring to the end of the current instant is exact and
+    // batches all mutations made at this instant into one solve.
+    settle_pending_ = true;
+    sim_->post(Duration::zero(), [this] {
+      settle_pending_ = false;
+      settle_dirty();
+    });
+  }
+}
+
+void FluidScheduler::settle_dirty() {
+  for (std::size_t i = 0; i < dirty_comps_.size(); ++i) {
+    const auto id = dirty_comps_[i];
+    auto* comp = id < comps_.size() ? comps_[id].get() : nullptr;
+    if (comp != nullptr && comp->dirty) {
+      solve_component(*comp);
+    }
+  }
+  dirty_comps_.clear();
+  maybe_rebuild();
+}
+
+void FluidScheduler::ensure_settled(const Flow& flow) {
+  if (auto* comp = component_of_flow(flow)) {
+    if (comp->dirty) {
+      solve_component(*comp);
+    }
+  }
+}
+
+void FluidScheduler::sync_resource(const FluidResource& res) {
+  if (res.slot_ == FluidResource::kNoSlot) {
+    return;
+  }
+  auto* comp = component_of_slot(res.slot_);
+  if (comp == nullptr) {
+    return;
+  }
+  if (comp->dirty) {
+    solve_component(*comp);
+  } else {
+    integrate_component(*comp);
+  }
+}
+
 void FluidScheduler::rebalance() {
-  ++generation_;
-  integrate_progress();
-  assign_max_min_rates();
-  schedule_next_completion();
+  for (auto& comp : comps_) {
+    if (comp != nullptr) {
+      solve_component(*comp);
+    }
+  }
 }
 
-void FluidScheduler::integrate_progress() {
+// --- FluidScheduler: the incremental solve ---------------------------------
+
+void FluidScheduler::integrate_component(Component& comp) {
   const TimePoint now = sim_->now();
-  std::vector<FlowPtr> finished;
-  for (auto& flow : flows_) {
-    const Duration elapsed = now - flow->last_update_;
-    flow->remaining_ -= flow->rate_ * elapsed.to_seconds();
-    // Utilization accounting: each crossed resource absorbed
-    // rate * weight over the elapsed window.
-    if (!elapsed.is_zero() && flow->rate_ > 0.0) {
-      for (const auto& share : flow->shares_) {
-        share.resource->consumed_ += flow->rate_ * share.weight * elapsed.to_seconds();
+  for (Flow* f : comp.flows) {
+    const Duration elapsed = now - f->last_update_;
+    if (elapsed.is_zero()) {
+      continue;
+    }
+    if (f->rate_ > 0.0) {
+      const double el = elapsed.to_seconds();
+      f->remaining_ -= f->rate_ * el;
+      // Utilization accounting: each crossed resource absorbed
+      // rate * weight over the elapsed window.
+      for (const auto& share : f->shares_) {
+        share.resource->consumed_ += f->rate_ * share.weight * el;
       }
     }
-    flow->last_update_ = now;
-    // A flow is done when its residual work cannot be represented on the
-    // nanosecond clock (less than half a tick at the current rate) — this
-    // avoids endless zero-delay reschedules for fast flows.
-    const double sub_tick = flow->rate_ * 0.5e-9;
-    if (flow->remaining_ <= std::max(kEpsilon, sub_tick)) {
-      flow->remaining_ = 0.0;
-      flow->finished_ = true;
-      for (const auto& share : flow->shares_) {
-        NM_CHECK(share.resource->active_flows_ > 0,
-                 "resource flow count underflow on " << share.resource->name());
-        --share.resource->active_flows_;
-      }
-      finished.push_back(flow);
-    }
-  }
-  if (!finished.empty()) {
-    std::erase_if(flows_, [](const FlowPtr& f) { return f->finished_; });
-    // Fire completions after bookkeeping so waiters observe a settled state.
-    for (auto& flow : finished) {
-      flow->done_->set();
-    }
+    f->last_update_ = now;
   }
 }
 
-void FluidScheduler::assign_max_min_rates() {
+void FluidScheduler::solve_component(Component& comp) {
+  const TimePoint now = sim_->now();
+  if (res_residual_.size() < res_slots_.size()) {
+    res_residual_.resize(res_slots_.size());
+    res_wsum_.resize(res_slots_.size());
+    res_unfrozen_.resize(res_slots_.size());
+    res_binding_.resize(res_slots_.size());
+  }
+  for (const auto slot : comp.res_slots) {
+    res_residual_[slot] = res_slots_[slot]->capacity_;
+    res_wsum_[slot] = 0.0;
+    res_unfrozen_[slot] = 0;
+    res_binding_[slot] = 0;
+  }
+
+  // Pass 1 (fused): integrate progress at the rates valid since the last
+  // solve, collect completions, and build the filling inputs (weight sums,
+  // unfrozen counts, first-round cap) for the survivors in one walk. A flow
+  // is done when its residual work cannot be represented on the nanosecond
+  // clock (less than half a tick at the current rate) — this avoids endless
+  // zero-delay reschedules.
+  scratch_finished_.clear();
+  scratch_unfrozen_.clear();
+  double first_cap = std::numeric_limits<double>::infinity();
+  auto& cf = comp.flows;
+  std::size_t out = 0;  // stable compaction: completions fire in start order
+  for (std::size_t i = 0; i < cf.size(); ++i) {
+    Flow* f = cf[i];
+    const Duration elapsed = now - f->last_update_;
+    if (!elapsed.is_zero() && f->rate_ > 0.0) {
+      const double el = elapsed.to_seconds();
+      f->remaining_ -= f->rate_ * el;
+      for (const auto& share : f->shares_) {
+        share.resource->consumed_ += f->rate_ * share.weight * el;
+      }
+    }
+    f->last_update_ = now;
+    const double sub_tick = f->rate_ * 0.5e-9;
+    if (f->remaining_ <= std::max(kEpsilon, sub_tick)) {
+      scratch_finished_.push_back(flows_[f->global_index_]);
+      finish_flow_locked(*f);
+      continue;
+    }
+    cf[out] = f;
+    f->comp_index_ = static_cast<std::uint32_t>(out);
+    ++out;
+    f->rate_ = 0.0;
+    scratch_unfrozen_.push_back(f);
+    for (const auto& share : f->shares_) {
+      const auto slot = share.resource->slot_;
+      res_wsum_[slot] += share.weight;
+      ++res_unfrozen_[slot];
+    }
+    first_cap = std::min(first_cap, f->max_rate_);
+  }
+  cf.resize(out);
+
+  // Pass 2: re-solve rates and find the earliest completion.
+  comp.dirty = false;
+  if (!cf.empty()) {
+    arm_timer(comp, assign_max_min_rates(comp, first_cap));
+  } else {
+    // Dissolve: a later flow on these resources starts a fresh component.
+    // Outstanding timers die on the null/generation check.
+    for (const auto slot : comp.res_slots) {
+      slot_comp_[slot] = kNone;
+    }
+    const auto id = comp.id;
+    comps_[id].reset();
+    free_comp_ids_.push_back(id);
+    --live_comp_count_;
+  }
+
+  // Fire completions after bookkeeping so waiters observe a settled state.
+  for (auto& flow : scratch_finished_) {
+    flow->done_->set();
+  }
+  scratch_finished_.clear();
+}
+
+void FluidScheduler::finish_flow_locked(Flow& flow) {
+  flow.remaining_ = 0.0;
+  flow.finished_ = true;
+  for (const auto& share : flow.shares_) {
+    NM_CHECK(share.resource->active_flows_ > 0,
+             "resource flow count underflow on " << share.resource->name());
+    --share.resource->active_flows_;
+  }
+  const auto idx = flow.global_index_;
+  if (idx + 1 != flows_.size()) {
+    flows_[idx] = std::move(flows_.back());
+    flows_[idx]->global_index_ = idx;
+  }
+  flows_.pop_back();
+  flow.global_index_ = Flow::kNoIndex;
+  flow.comp_ = kNone;
+  flow.comp_index_ = Flow::kNoIndex;
+  ++retired_since_rebuild_;
+}
+
+double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap) {
   // Progressive filling with weighted consumption: in each round find the
   // tightest constraint — a resource's equal-rate share
   // (residual / Σ weights of unfrozen flows on it) or a flow's own cap —
   // freeze the flows it binds, subtract their consumption, repeat.
-  struct ResState {
-    double residual;
-    double weight_sum;
-    std::size_t unfrozen = 0;  // flows still unfrozen on this resource
-  };
-  std::vector<FluidResource*> resources;
-  std::vector<ResState> state;
-  auto res_index = [&](FluidResource* r) -> std::size_t {
-    for (std::size_t i = 0; i < resources.size(); ++i) {
-      if (resources[i] == r) {
-        return i;
-      }
-    }
-    resources.push_back(r);
-    state.push_back(ResState{r->capacity_, 0.0, 0});
-    return resources.size() - 1;
-  };
-
-  // flow_res[f] holds (resource index, weight) pairs for flow f.
-  std::vector<std::vector<std::pair<std::size_t, double>>> flow_res(flows_.size());
-  std::vector<bool> frozen(flows_.size(), false);
-  for (std::size_t f = 0; f < flows_.size(); ++f) {
-    flows_[f]->rate_ = 0.0;
-    for (const auto& share : flows_[f]->shares_) {
-      const std::size_t idx = res_index(share.resource);
-      flow_res[f].emplace_back(idx, share.weight);
-      state[idx].weight_sum += share.weight;
-      ++state[idx].unfrozen;
-    }
-  }
-
-  std::size_t remaining_flows = flows_.size();
-  while (remaining_flows > 0) {
-    // Tightest constraint this round.
+  // Slot-indexed scratch rows and the unfrozen list were prepared by
+  // solve_component's fused pass; `first_cap` is the round-1 cap minimum
+  // (later rounds must recompute it over the still-unfrozen flows).
+  double next = std::numeric_limits<double>::infinity();
+  bool first_round = true;
+  while (!scratch_unfrozen_.empty()) {
+    // Tightest constraint this round. Guard on the integer count, not
+    // weight_sum: subtractive updates of tiny weights (1e-9 core-sec/byte)
+    // leave fp residue behind.
     double bound = std::numeric_limits<double>::infinity();
-    for (const auto& rs : state) {
-      // Guard on the integer count, not weight_sum: subtractive updates of
-      // tiny weights (1e-9 core-sec/byte) leave fp residue behind.
-      if (rs.unfrozen > 0 && rs.weight_sum > 0.0) {
-        bound = std::min(bound, std::max(0.0, rs.residual) / rs.weight_sum);
+    for (const auto slot : comp.res_slots) {
+      if (res_unfrozen_[slot] > 0 && res_wsum_[slot] > 0.0) {
+        bound = std::min(bound, std::max(0.0, res_residual_[slot]) / res_wsum_[slot]);
       }
     }
-    for (std::size_t f = 0; f < flows_.size(); ++f) {
-      if (!frozen[f]) {
-        bound = std::min(bound, flows_[f]->max_rate_);
+    if (first_round) {
+      bound = std::min(bound, first_cap);
+      first_round = false;
+    } else {
+      for (const Flow* f : scratch_unfrozen_) {
+        bound = std::min(bound, f->max_rate_);
       }
     }
     NM_CHECK(std::isfinite(bound), "unbounded fluid rate (flow with no finite constraint)");
 
     // Freeze every flow bound at `bound`: flows whose cap equals the bound,
     // plus all flows on resources whose share equals the bound.
-    std::vector<bool> freeze_now(flows_.size(), false);
-    for (std::size_t f = 0; f < flows_.size(); ++f) {
-      if (!frozen[f] && flows_[f]->max_rate_ <= bound * (1.0 + 1e-12)) {
-        freeze_now[f] = true;
-      }
+    for (const auto slot : comp.res_slots) {
+      res_binding_[slot] =
+          res_unfrozen_[slot] > 0 && res_wsum_[slot] > 0.0 &&
+          std::max(0.0, res_residual_[slot]) / res_wsum_[slot] <= bound * (1.0 + 1e-12);
     }
-    for (std::size_t i = 0; i < state.size(); ++i) {
-      if (state[i].unfrozen == 0 || state[i].weight_sum <= 0.0) {
-        continue;
-      }
-      const double share = std::max(0.0, state[i].residual) / state[i].weight_sum;
-      if (share <= bound * (1.0 + 1e-12)) {
-        for (std::size_t f = 0; f < flows_.size(); ++f) {
-          if (!frozen[f]) {
-            for (const auto& [idx, weight] : flow_res[f]) {
-              if (idx == i) {
-                freeze_now[f] = true;
-              }
-            }
+    // Flows frozen exactly at `bound` share one division: min(remaining)
+    // over the group, divided once. Monotone, so bit-identical to dividing
+    // each and taking the min.
+    double bound_min_remaining = std::numeric_limits<double>::infinity();
+    bool froze_any = false;
+    for (std::size_t i = 0; i < scratch_unfrozen_.size();) {
+      Flow* f = scratch_unfrozen_[i];
+      bool freeze = f->max_rate_ <= bound * (1.0 + 1e-12);
+      if (!freeze) {
+        for (const auto& share : f->shares_) {
+          if (res_binding_[share.resource->slot_] != 0) {
+            freeze = true;
+            break;
           }
         }
       }
-    }
-
-    bool froze_any = false;
-    for (std::size_t f = 0; f < flows_.size(); ++f) {
-      if (freeze_now[f] && !frozen[f]) {
-        frozen[f] = true;
-        froze_any = true;
-        flows_[f]->rate_ = std::min(bound, flows_[f]->max_rate_);
-        --remaining_flows;
-        for (const auto& [idx, weight] : flow_res[f]) {
-          state[idx].residual -= flows_[f]->rate_ * weight;
-          state[idx].weight_sum -= weight;
-          NM_CHECK(state[idx].unfrozen > 0, "fluid unfrozen-count underflow");
-          --state[idx].unfrozen;
-        }
+      if (!freeze) {
+        ++i;
+        continue;
       }
+      const double rate = std::min(bound, f->max_rate_);
+      f->rate_ = rate;
+      for (const auto& share : f->shares_) {
+        const auto slot = share.resource->slot_;
+        res_residual_[slot] -= rate * share.weight;
+        res_wsum_[slot] -= share.weight;
+        NM_CHECK(res_unfrozen_[slot] > 0, "fluid unfrozen-count underflow");
+        --res_unfrozen_[slot];
+      }
+      if (rate == bound) {
+        bound_min_remaining = std::min(bound_min_remaining, f->remaining_);
+      } else if (rate > 0.0) {
+        next = std::min(next, f->remaining_ / rate);
+      }
+      froze_any = true;
+      scratch_unfrozen_[i] = scratch_unfrozen_.back();
+      scratch_unfrozen_.pop_back();
+    }
+    if (bound > 0.0 && std::isfinite(bound_min_remaining)) {
+      next = std::min(next, bound_min_remaining / bound);
     }
     NM_CHECK(froze_any, "progressive filling made no progress");
   }
+  return next;
 }
 
-void FluidScheduler::schedule_next_completion() {
-  double next = std::numeric_limits<double>::infinity();
-  for (const auto& flow : flows_) {
-    if (flow->rate_ > 0.0) {
-      next = std::min(next, flow->remaining_ / flow->rate_);
-    }
+void FluidScheduler::arm_timer(Component& comp, double next_completion_s) {
+  comp.gen = ++next_gen_;
+  if (!std::isfinite(next_completion_s)) {
+    return;  // nothing is progressing; a future mutation will re-arm
   }
-  if (!std::isfinite(next)) {
-    return;  // nothing is progressing; a future rebalance will reschedule
-  }
-  const auto gen = generation_;
-  // Round up to the next nanosecond tick so the completing rebalance runs
+  // Round up to the next nanosecond tick so the completing solve runs
   // at-or-after the true completion instant (never an instant before, which
-  // would strand sub-tick work).
-  const auto delay_ns = static_cast<std::int64_t>(std::ceil(std::max(next, 0.0) * 1e9));
-  sim_->post(Duration::nanos(std::max<std::int64_t>(delay_ns, 1)), [this, gen] {
-    if (gen == generation_) {
-      rebalance();
+  // would strand sub-tick work). Completions beyond the int64 nanosecond
+  // horizon are clamped: the solve at the clamped instant simply re-arms.
+  constexpr double kMaxDelayNs = 4.0e18;  // ~127 sim-years, safely below int64 max
+  const double ns = std::ceil(std::max(next_completion_s, 0.0) * 1e9);
+  const auto delay_ns = static_cast<std::int64_t>(std::min(ns, kMaxDelayNs));
+  const std::uint64_t key = (static_cast<std::uint64_t>(comp.id) << 32) | comp.gen;
+  sim_->post(Duration::nanos(std::max<std::int64_t>(delay_ns, 1)),
+             [this, key] { on_timer(key); });
+}
+
+void FluidScheduler::on_timer(std::uint64_t key) {
+  const auto id = static_cast<std::uint32_t>(key >> 32);
+  const auto gen = static_cast<std::uint32_t>(key);
+  auto* comp = id < comps_.size() ? comps_[id].get() : nullptr;
+  if (comp == nullptr || comp->gen != gen) {
+    return;  // superseded by a later solve, merge, or rebuild
+  }
+  solve_component(*comp);
+  maybe_rebuild();
+}
+
+// --- FluidScheduler: epoch rebuild -----------------------------------------
+
+void FluidScheduler::maybe_rebuild() {
+  // Components only over-approximate connectivity (flow retirement never
+  // splits them eagerly). Once enough flows have retired, recompute the
+  // partition from scratch so independent subgraphs separate again.
+  if (retired_since_rebuild_ <= 64 || retired_since_rebuild_ <= flows_.size()) {
+    return;
+  }
+  if (settle_pending_ || !dirty_comps_.empty()) {
+    return;  // solve the pending mutations first; rebuild on a later event
+  }
+  rebuild_components();
+}
+
+void FluidScheduler::rebuild_components() {
+  // Rates are unaffected by partitioning, so integrate everything to `now`
+  // once and carry rates over; only timers need re-arming.
+  for (auto& comp : comps_) {
+    if (comp != nullptr) {
+      integrate_component(*comp);
     }
+  }
+  comps_.clear();
+  free_comp_ids_.clear();
+  live_comp_count_ = 0;
+  std::fill(slot_comp_.begin(), slot_comp_.end(), kNone);
+  dirty_comps_.clear();
+
+  // Union-find over resource slots, driven by the live flows in admission
+  // order (the global list is swap-removed, so restore canonical order).
+  std::vector<Flow*> order;
+  order.reserve(flows_.size());
+  for (const auto& flow : flows_) {
+    order.push_back(flow.get());
+  }
+  std::sort(order.begin(), order.end(), [](const Flow* a, const Flow* b) {
+    return a->seq_ < b->seq_;
   });
+  std::vector<std::uint32_t> parent(res_slots_.size());
+  for (std::uint32_t i = 0; i < parent.size(); ++i) {
+    parent[i] = i;
+  }
+  auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (Flow* flow : order) {
+    const auto first = find(flow->shares_.front().resource->slot_);
+    for (const auto& share : flow->shares_) {
+      parent[find(share.resource->slot_)] = first;
+    }
+  }
+
+  std::vector<std::uint32_t> root_comp(res_slots_.size(), kNone);
+  for (Flow* flow : order) {
+    const auto root = find(flow->shares_.front().resource->slot_);
+    if (root_comp[root] == kNone) {
+      root_comp[root] = make_component().id;
+    }
+    auto& comp = *comps_[root_comp[root]];
+    flow->comp_ = comp.id;
+    flow->comp_index_ = static_cast<std::uint32_t>(comp.flows.size());
+    comp.flows.push_back(flow);
+    for (const auto& share : flow->shares_) {
+      const auto slot = share.resource->slot_;
+      if (slot_comp_[slot] == kNone) {
+        slot_comp_[slot] = comp.id;
+        comp.res_slots.push_back(slot);
+      }
+    }
+  }
+
+  for (auto& comp : comps_) {
+    if (comp == nullptr) {
+      continue;
+    }
+    double next = std::numeric_limits<double>::infinity();
+    for (const Flow* f : comp->flows) {
+      if (f->rate_ > 0.0) {
+        next = std::min(next, f->remaining_ / f->rate_);
+      }
+    }
+    arm_timer(*comp, next);
+    comp->dirty = false;
+  }
+  retired_since_rebuild_ = 0;
 }
 
 }  // namespace nm::sim

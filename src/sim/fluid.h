@@ -11,8 +11,17 @@
 // continuously assigns each flow its max-min fair rate and fires a
 // completion event when its work is done. CPU over-commit contention
 // (Fig 8 "2 hosts (TCP)") and the 1.3 Gb/s migration cap fall out of this.
+//
+// The solver is *incremental and component-partitioned*: the flow/resource
+// bipartite graph is maintained as connected components, and a flow
+// start/finish/cap change re-solves only the affected component. Each
+// component carries its own next-completion timer, so activity on host A
+// never costs O(all flows in the system) — per-event cost is O(component),
+// independent of how many other (clean) components exist. See DESIGN.md §5
+// "Scheduler incrementality" for the determinism argument.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <string>
@@ -27,17 +36,23 @@ namespace nm::sim {
 class FluidScheduler;
 
 /// A capacity-bearing resource. Units are caller-defined (cores, bytes/s).
+/// A resource registers with exactly one scheduler — eagerly when
+/// constructed with one (preferred: gives it a stable dense index up
+/// front), or lazily on the first flow that crosses it.
 class FluidResource {
  public:
   FluidResource(std::string name, double capacity) : name_(std::move(name)), capacity_(capacity) {
     NM_CHECK(capacity >= 0.0, "negative capacity for " << name_);
   }
+  FluidResource(FluidScheduler& scheduler, std::string name, double capacity);
+  ~FluidResource();
   FluidResource(const FluidResource&) = delete;
   FluidResource& operator=(const FluidResource&) = delete;
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] double capacity() const { return capacity_; }
-  /// Changing capacity immediately re-balances all flows crossing it.
+  /// Changing capacity re-balances the flows crossing it (the component is
+  /// re-solved before any simulated time passes).
   void set_capacity(double capacity);
 
   /// Number of flows currently crossing this resource.
@@ -45,24 +60,23 @@ class FluidResource {
 
   /// Integrated consumption (resource-unit-seconds, e.g. core-seconds for
   /// a CPU): utilization accounting for experiments like the paper's
-  /// "one CPU core is saturated at 100 %" migration observation.
-  [[nodiscard]] double consumed() const { return consumed_; }
+  /// "one CPU core is saturated at 100 %" migration observation. Progress
+  /// of this resource's component is brought up to `now` before reading.
+  [[nodiscard]] double consumed() const;
   /// Mean utilization (fraction of capacity) over [since, until].
-  [[nodiscard]] double utilization_over(double consumed_before, Duration window) const {
-    const double window_s = window.to_seconds();
-    if (window_s <= 0.0 || capacity_ <= 0.0) {
-      return 0.0;
-    }
-    return (consumed_ - consumed_before) / (capacity_ * window_s);
-  }
+  [[nodiscard]] double utilization_over(double consumed_before, Duration window) const;
 
  private:
   friend class FluidScheduler;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+
   std::string name_;
   double capacity_;
   std::size_t active_flows_ = 0;
   double consumed_ = 0.0;
   FluidScheduler* scheduler_ = nullptr;
+  /// Stable dense index in the owning scheduler's resource registry.
+  std::uint32_t slot_ = kNoSlot;
 };
 
 /// One resource crossed by a flow, with the flow's consumption weight on it
@@ -76,12 +90,14 @@ struct ResourceShare {
 /// modelling code (e.g. "pause the VM") can reach it.
 class Flow {
  public:
-  [[nodiscard]] bool finished() const { return finished_; }
-  [[nodiscard]] double remaining() const { return remaining_; }
-  [[nodiscard]] double current_rate() const { return rate_; }
+  [[nodiscard]] bool finished() const;
+  [[nodiscard]] double remaining() const;
+  [[nodiscard]] double current_rate() const;
   [[nodiscard]] Event& completion() { return *done_; }
 
-  /// Caps this flow's rate; 0 pauses it (e.g. its VM was paused).
+  /// Caps this flow's rate; 0 pauses it (e.g. its VM was paused). While the
+  /// flow is suspended the new cap is stored and applied on resume() — it
+  /// neither un-pauses the flow nor is clobbered by the pre-suspend cap.
   void set_max_rate(double max_rate);
   [[nodiscard]] double max_rate() const { return max_rate_; }
   [[nodiscard]] const std::vector<ResourceShare>& shares() const { return shares_; }
@@ -100,6 +116,8 @@ class Flow {
         shares_(std::move(shares)),
         done_(std::make_unique<Event>(sim)) {}
 
+  static constexpr std::uint32_t kNoIndex = 0xffffffffU;
+
   double remaining_;
   double rate_ = 0.0;
   double max_rate_;
@@ -110,6 +128,15 @@ class Flow {
   std::unique_ptr<Event> done_;
   FluidScheduler* scheduler_ = nullptr;
   TimePoint last_update_;
+  /// Admission order, scheduler-wide. Component flow lists are kept in this
+  /// order (canonicalized on rebuild) so progressive filling sums floats in
+  /// the same order the seed's global solver did.
+  std::uint64_t seq_ = 0;
+  /// Connected component this flow belongs to, and its positions in the
+  /// component's flow list and the scheduler's global flow list.
+  std::uint32_t comp_ = kNoIndex;
+  std::uint32_t comp_index_ = kNoIndex;
+  std::uint32_t global_index_ = kNoIndex;
 };
 
 using FlowPtr = std::shared_ptr<Flow>;
@@ -119,6 +146,7 @@ class FluidScheduler {
   static constexpr double kUncapped = std::numeric_limits<double>::infinity();
 
   explicit FluidScheduler(Simulation& sim) : sim_(&sim) {}
+  ~FluidScheduler();
   FluidScheduler(const FluidScheduler&) = delete;
   FluidScheduler& operator=(const FluidScheduler&) = delete;
 
@@ -138,21 +166,104 @@ class FluidScheduler {
                          double max_rate = kUncapped);
 
   [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
+  /// Number of connected flow/resource components currently tracked.
+  [[nodiscard]] std::size_t component_count() const;
 
-  /// Re-balances rates now. Called automatically on start/finish/changes.
+  /// Re-balances every component now. Flow/resource mutations re-solve
+  /// only the affected component, and defer that solve to the end of the
+  /// current simulation instant (no simulated time passes in between), so
+  /// this is only needed as a big-hammer external entry point.
   void rebalance();
 
  private:
   friend class Flow;
   friend class FluidResource;
 
-  void integrate_progress();
-  void assign_max_min_rates();
-  void schedule_next_completion();
+  static constexpr std::uint32_t kNone = 0xffffffffU;
+
+  /// A connected component of the flow/resource bipartite graph: the unit
+  /// of incremental re-solving. `gen` invalidates its outstanding
+  /// next-completion timer; it changes on every solve/merge/rebuild.
+  struct Component {
+    std::uint32_t id = kNone;
+    std::uint32_t gen = 0;
+    bool dirty = false;
+    std::vector<Flow*> flows;
+    std::vector<std::uint32_t> res_slots;
+  };
+
+  void register_resource(FluidResource& res);
+  void unregister_resource(FluidResource& res);
+
+  Component* component_of_flow(const Flow& flow) {
+    return flow.comp_ == kNone ? nullptr : comps_[flow.comp_].get();
+  }
+  Component* component_of_slot(std::uint32_t slot) {
+    const auto id = slot_comp_[slot];
+    return id == kNone ? nullptr : comps_[id].get();
+  }
+
+  Component& make_component();
+  /// Merges `src` into `dst` (flows, resources, dirtiness) and retires it.
+  void merge_into(Component& dst, Component& src);
+  void mark_dirty(Component& comp);
+  /// Solves every dirty component, then considers a component rebuild.
+  void settle_dirty();
+  /// Brings one flow's component up to date (getter entry point).
+  void ensure_settled(const Flow& flow);
+  /// Integrates a resource's component to `now` without changing rates
+  /// (consumed()/utilization readers).
+  void sync_resource(const FluidResource& res);
+
+  /// Integrate + complete + re-solve + re-arm timer for one component.
+  void solve_component(Component& comp);
+  /// Advances progress/consumption at current rates; no completions.
+  void integrate_component(Component& comp);
+  /// Weighted progressive-filling rounds over one component, consuming the
+  /// scratch state prepared by solve_component (`first_cap` = round-1 min
+  /// over flow caps). Returns the earliest time-to-completion among its
+  /// flows (seconds; +inf if none progress).
+  double assign_max_min_rates(Component& comp, double first_cap);
+  void arm_timer(Component& comp, double next_completion_s);
+  void on_timer(std::uint64_t key);
+
+  /// Flow-retire bookkeeping; components over-approximate connectivity
+  /// until enough flows have retired, then are recomputed from scratch
+  /// (epoch rebuild) so they can split again.
+  void maybe_rebuild();
+  void rebuild_components();
+
+  void finish_flow_locked(Flow& flow);
 
   Simulation* sim_;
   std::vector<FlowPtr> flows_;
-  std::uint64_t generation_ = 0;
+
+  // Resource registry: stable dense slots, free-listed on unregister.
+  std::vector<FluidResource*> res_slots_;
+  std::vector<std::uint32_t> free_res_slots_;
+  std::vector<std::uint32_t> slot_comp_;
+
+  // Component registry.
+  std::vector<std::unique_ptr<Component>> comps_;
+  std::vector<std::uint32_t> free_comp_ids_;
+  std::size_t live_comp_count_ = 0;
+
+  // Deferred settling: mutations mark components dirty and a zero-delay
+  // callback re-solves them before any simulated time passes.
+  std::vector<std::uint32_t> dirty_comps_;
+  bool settle_pending_ = false;
+
+  // Solve scratch, reused across rebalances (indexed by resource slot).
+  std::vector<double> res_residual_;
+  std::vector<double> res_wsum_;
+  std::vector<std::uint32_t> res_unfrozen_;
+  std::vector<std::uint8_t> res_binding_;
+  std::vector<Flow*> scratch_unfrozen_;
+  std::vector<FlowPtr> scratch_finished_;
+
+  std::size_t retired_since_rebuild_ = 0;
+  std::uint32_t next_gen_ = 0;
+  std::uint64_t next_flow_seq_ = 0;
 };
 
 }  // namespace nm::sim

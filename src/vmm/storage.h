@@ -21,7 +21,7 @@ class SharedStorage {
                 Bandwidth throughput = Bandwidth::mib_per_sec(300))
       : scheduler_(&scheduler),
         name_(std::move(name)),
-        throughput_("nfs:" + name_, throughput.bytes_per_second()) {}
+        throughput_(scheduler, "nfs:" + name_, throughput.bytes_per_second()) {}
   SharedStorage(const SharedStorage&) = delete;
   SharedStorage& operator=(const SharedStorage&) = delete;
 

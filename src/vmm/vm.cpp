@@ -13,7 +13,7 @@ Vm::Vm(sim::Simulation& sim, sim::FluidScheduler& scheduler, VmSpec spec, Host& 
       spec_(std::move(spec)),
       host_(&host),
       memory_(spec_.memory),
-      vcpu_("vcpu:" + spec_.name, spec_.vcpus),
+      vcpu_(scheduler, "vcpu:" + spec_.name, spec_.vcpus),
       run_gate_(sim, /*initially_open=*/true),
       hotplug_events_(sim),
       symvirt_cycle_(std::make_unique<sim::Event>(sim)),

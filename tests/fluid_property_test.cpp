@@ -1,0 +1,230 @@
+// Randomized property test: the incremental, component-partitioned
+// scheduler must produce the same max-min fair rates as a brute-force
+// reference solver that recomputes the global allocation from scratch, on
+// random topologies and across suspend/resume/cap/capacity mutations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "sim/fluid.h"
+#include "sim/simulation.h"
+
+namespace nm::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- Brute-force reference max-min solver ----------------------------------
+// Unlike the production solver it keeps no incremental state: every round it
+// recomputes each resource's residual capacity and weight sum from scratch
+// over the frozen/unfrozen sets, finds the tightest constraint, freezes the
+// flows it binds, and repeats.
+
+struct RefFlow {
+  std::vector<std::size_t> res;      // resource indices
+  std::vector<double> weight;        // parallel to res
+  double cap = kInf;                 // max rate (0 when suspended)
+};
+
+std::vector<double> reference_rates(const std::vector<double>& capacity,
+                                    const std::vector<RefFlow>& flows) {
+  const std::size_t f_count = flows.size();
+  std::vector<double> rate(f_count, 0.0);
+  std::vector<bool> frozen(f_count, false);
+  std::size_t left = f_count;
+  while (left > 0) {
+    // Residual capacity and unfrozen weight per resource, from scratch.
+    std::vector<double> residual = capacity;
+    std::vector<double> wsum(capacity.size(), 0.0);
+    std::vector<std::size_t> unfrozen(capacity.size(), 0);
+    for (std::size_t f = 0; f < f_count; ++f) {
+      for (std::size_t s = 0; s < flows[f].res.size(); ++s) {
+        if (frozen[f]) {
+          residual[flows[f].res[s]] -= rate[f] * flows[f].weight[s];
+        } else {
+          wsum[flows[f].res[s]] += flows[f].weight[s];
+          ++unfrozen[flows[f].res[s]];
+        }
+      }
+    }
+    double bound = kInf;
+    for (std::size_t r = 0; r < capacity.size(); ++r) {
+      if (unfrozen[r] > 0 && wsum[r] > 0.0) {
+        bound = std::min(bound, std::max(0.0, residual[r]) / wsum[r]);
+      }
+    }
+    for (std::size_t f = 0; f < f_count; ++f) {
+      if (!frozen[f]) {
+        bound = std::min(bound, flows[f].cap);
+      }
+    }
+    if (!std::isfinite(bound)) {
+      ADD_FAILURE() << "reference solver found no finite bound";
+      return rate;
+    }
+    std::vector<bool> binding(capacity.size(), false);
+    for (std::size_t r = 0; r < capacity.size(); ++r) {
+      binding[r] = unfrozen[r] > 0 && wsum[r] > 0.0 &&
+                   std::max(0.0, residual[r]) / wsum[r] <= bound * (1.0 + 1e-12);
+    }
+    bool progress = false;
+    for (std::size_t f = 0; f < f_count; ++f) {
+      if (frozen[f]) {
+        continue;
+      }
+      bool freeze = flows[f].cap <= bound * (1.0 + 1e-12);
+      for (std::size_t s = 0; !freeze && s < flows[f].res.size(); ++s) {
+        freeze = binding[flows[f].res[s]];
+      }
+      if (freeze) {
+        rate[f] = std::min(bound, flows[f].cap);
+        frozen[f] = true;
+        --left;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      ADD_FAILURE() << "reference solver stalled";
+      return rate;
+    }
+  }
+  return rate;
+}
+
+// --- Random topology + mutation driver --------------------------------------
+
+struct Topology {
+  Simulation sim;
+  FluidScheduler sched{sim};
+  std::vector<std::unique_ptr<FluidResource>> resources;
+  std::vector<FlowPtr> flows;
+};
+
+void check_against_reference(Topology& topo, std::uint32_t seed, int step) {
+  std::vector<double> capacity;
+  capacity.reserve(topo.resources.size());
+  for (const auto& r : topo.resources) {
+    capacity.push_back(r->capacity());
+  }
+  std::vector<RefFlow> ref;
+  ref.reserve(topo.flows.size());
+  for (const auto& flow : topo.flows) {
+    RefFlow rf;
+    rf.cap = flow->max_rate();  // 0 while suspended
+    for (const auto& share : flow->shares()) {
+      for (std::size_t r = 0; r < topo.resources.size(); ++r) {
+        if (topo.resources[r].get() == share.resource) {
+          rf.res.push_back(r);
+          rf.weight.push_back(share.weight);
+        }
+      }
+    }
+    ref.push_back(std::move(rf));
+  }
+  const auto expected = reference_rates(capacity, ref);
+  for (std::size_t f = 0; f < topo.flows.size(); ++f) {
+    const double got = topo.flows[f]->current_rate();
+    const double want = expected[f];
+    const double tol = 1e-9 * std::max(1.0, std::max(std::abs(got), std::abs(want)));
+    EXPECT_NEAR(got, want, tol) << "seed=" << seed << " step=" << step << " flow=" << f;
+  }
+  // Feasibility: no resource is over-committed.
+  std::vector<double> used(capacity.size(), 0.0);
+  for (std::size_t f = 0; f < topo.flows.size(); ++f) {
+    for (std::size_t s = 0; s < ref[f].res.size(); ++s) {
+      used[ref[f].res[s]] += topo.flows[f]->current_rate() * ref[f].weight[s];
+    }
+  }
+  for (std::size_t r = 0; r < capacity.size(); ++r) {
+    EXPECT_LE(used[r], capacity[r] * (1.0 + 1e-9)) << "seed=" << seed << " res=" << r;
+  }
+}
+
+void run_one_topology(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  Topology topo;
+  std::uniform_real_distribution<double> cap_dist(0.5, 200.0);
+  const std::size_t r_count = 1 + rng() % 8;
+  for (std::size_t r = 0; r < r_count; ++r) {
+    topo.resources.push_back(std::make_unique<FluidResource>(
+        topo.sched, "r" + std::to_string(r), cap_dist(rng)));
+  }
+  std::uniform_real_distribution<double> weight_dist(0.01, 2.0);
+  std::uniform_real_distribution<double> flow_cap_dist(0.1, 100.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const std::size_t f_count = 1 + rng() % 40;
+  for (std::size_t f = 0; f < f_count; ++f) {
+    const std::size_t cross = 1 + rng() % std::min<std::size_t>(4, r_count);
+    std::vector<std::size_t> picks;
+    while (picks.size() < cross) {
+      const std::size_t r = rng() % r_count;
+      if (std::find(picks.begin(), picks.end(), r) == picks.end()) {
+        picks.push_back(r);
+      }
+    }
+    // Weights stay within two decades: mixing ~1e-9 weights (the CPU
+    // core-seconds-per-byte scale) with ~1 weights makes progressive
+    // filling ill-conditioned, and incremental-vs-scratch residuals then
+    // differ by more than bookkeeping noise. The tiny-weight regime is
+    // covered by the calibrated integration tests instead.
+    std::vector<ResourceShare> shares;
+    for (const auto r : picks) {
+      shares.push_back(ResourceShare{topo.resources[r].get(), weight_dist(rng)});
+    }
+    const double cap = unit(rng) < 0.4 ? flow_cap_dist(rng) : FluidScheduler::kUncapped;
+    // Work far beyond what the mutation window can drain: no completions.
+    topo.flows.push_back(topo.sched.start(1e15, std::move(shares), cap));
+  }
+  check_against_reference(topo, seed, /*step=*/-1);
+
+  const int steps = static_cast<int>(rng() % 7);
+  for (int step = 0; step < steps; ++step) {
+    auto& flow = topo.flows[rng() % topo.flows.size()];
+    switch (rng() % 5) {
+      case 0:
+        topo.sim.run_for(Duration::millis(1 + rng() % 100));
+        break;
+      case 1:
+        flow->set_max_rate(unit(rng) < 0.3 ? FluidScheduler::kUncapped : flow_cap_dist(rng));
+        break;
+      case 2:
+        flow->suspend();
+        break;
+      case 3:
+        flow->resume();
+        break;
+      case 4:
+        topo.resources[rng() % r_count]->set_capacity(cap_dist(rng));
+        break;
+    }
+    check_against_reference(topo, seed, step);
+  }
+}
+
+TEST(FluidReference, IncrementalMatchesBruteForceOn1000RandomTopologies) {
+  for (std::uint32_t seed = 1; seed <= 1000; ++seed) {
+    run_one_topology(seed);
+    if (::testing::Test::HasFailure()) {
+      break;  // first failing seed is enough to debug
+    }
+  }
+}
+
+// A second band of seeds exercising the same machinery keeps the total
+// comfortably above the 1000-topology floor even if bands are split later.
+TEST(FluidReference, IncrementalMatchesBruteForceOnHighSeeds) {
+  for (std::uint32_t seed = 100000; seed < 100250; ++seed) {
+    run_one_topology(seed);
+    if (::testing::Test::HasFailure()) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nm::sim

@@ -334,6 +334,51 @@ TEST(Fluid, SuspendResumePreservesCap) {
   EXPECT_NEAR(sim.now().to_seconds(), 10.0, 1e-6);
 }
 
+TEST(Fluid, SetMaxRateWhileSuspendedAppliesOnResume) {
+  // A cap set during suspension must neither un-suspend the flow nor be
+  // clobbered by the pre-suspend cap on resume().
+  Simulation sim;
+  FluidScheduler sched(sim);
+  FluidResource nic("nic", 100.0);
+  auto flow = sched.start(400.0, std::vector<FluidResource*>{&nic}, /*max_rate=*/40.0);
+  EXPECT_NEAR(flow->current_rate(), 40.0, 1e-12);
+  flow->suspend();
+  flow->set_max_rate(10.0);
+  EXPECT_TRUE(flow->suspended());  // still paused
+  EXPECT_NEAR(flow->current_rate(), 0.0, 1e-12);
+  flow->resume();
+  EXPECT_FALSE(flow->suspended());
+  EXPECT_NEAR(flow->max_rate(), 10.0, 1e-12);  // the new cap, not the stale one
+  EXPECT_NEAR(flow->current_rate(), 10.0, 1e-12);
+  sim.run();
+  EXPECT_TRUE(flow->finished());
+  EXPECT_NEAR(sim.now().to_seconds(), 40.0, 1e-6);
+}
+
+TEST(Fluid, ComponentsTrackConnectivity) {
+  // Disjoint resources host independent components; a bridging flow merges
+  // them; completions dissolve emptied components.
+  Simulation sim;
+  FluidScheduler sched(sim);
+  FluidResource a("a", 10.0);
+  FluidResource b("b", 10.0);
+  EXPECT_EQ(sched.component_count(), 0u);
+  auto fa = sched.start(10.0, std::vector<FluidResource*>{&a});
+  auto fb = sched.start(20.0, std::vector<FluidResource*>{&b});
+  EXPECT_EQ(sched.component_count(), 2u);
+  auto fab = sched.start(5.0, std::vector<FluidResource*>{&a, &b});
+  EXPECT_EQ(sched.component_count(), 1u);
+  sim.run();
+  EXPECT_TRUE(fa->finished() && fb->finished() && fab->finished());
+  EXPECT_EQ(sched.component_count(), 0u);
+  // Fresh flows after dissolution get fresh components.
+  auto fa2 = sched.start(10.0, std::vector<FluidResource*>{&a});
+  auto fb2 = sched.start(10.0, std::vector<FluidResource*>{&b});
+  EXPECT_EQ(sched.component_count(), 2u);
+  sim.run();
+  EXPECT_TRUE(fa2->finished() && fb2->finished());
+}
+
 TEST(Fluid, ManySequentialFlowsKeepClockExact) {
   // Chained transfers must not accumulate drift: 1000 x 1-second flows.
   Simulation sim;
