@@ -12,14 +12,26 @@
 //   3. consolidation ratio (destination hosts < VMs) — incast onto fewer
 //      receivers is where congestion actually shows up;
 //   4. wide-area sweep: Ethernet fabric latency 30 us -> 50 ms (the §II
-//      disaster-recovery / intercloud use case).
+//      disaster-recovery / intercloud use case);
+//   5. sharded federated pods: P isolated pods, each on its own
+//      FluidDomain, constructed in parallel (one thread per pod) — the
+//      merged timeline must stay bit-identical to the single-scheduler
+//      serial build.
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/common.h"
 #include "core/job.h"
 #include "core/ninja.h"
 #include "core/testbed.h"
+#include "hw/cluster.h"
+#include "net/port.h"
+#include "sim/fluid.h"
 #include "util/table.h"
 #include "workloads/bcast_reduce.h"
 
@@ -62,6 +74,111 @@ core::NinjaStats run_fallback(const RunConfig& rc) {
   }(job, bench, rc.dst_hosts, stats));
   tb.sim().run_until(TimePoint::origin() + Duration::minutes(60));
   return stats;
+}
+
+// --- Sweep 5: sharded pods with parallel construction -----------------------
+
+constexpr int kNodesPerPod = 8192;
+// The flow program runs over a slice of each pod: the sweep measures
+// construction scaling, the flows only pin the merged-timeline digest.
+constexpr int kFlowNodes = 64;
+
+struct Pod {
+  std::unique_ptr<hw::Cluster> cluster;
+  std::vector<std::unique_ptr<net::NicPort>> ports;
+};
+
+// Builds one isolated pod (nodes + NIC ports) entirely inside `domain`.
+// Pure resource registration: no simulation posts, so pods on distinct
+// domains can be built from distinct threads.
+Pod build_pod(sim::FluidDomain& domain, int p) {
+  Pod pod;
+  pod.cluster = std::make_unique<hw::Cluster>("pod" + std::to_string(p));
+  pod.ports.reserve(kNodesPerPod);
+  for (int n = 0; n < kNodesPerPod; ++n) {
+    hw::NodeSpec spec;
+    spec.name = "pod" + std::to_string(p) + ":n" + std::to_string(n);
+    auto& node = pod.cluster->add_node(domain, spec);
+    pod.ports.push_back(std::make_unique<net::NicPort>(node, spec.name + ":eth",
+                                                       Bandwidth::gib_per_sec(10.0)));
+  }
+  return pod;
+}
+
+// Starts the pods' flow program serially (flow admission posts settle
+// events on the shared clock) and drains the merged timeline. The returned
+// final time is the cross-pod digest: it covers every pod's completion.
+std::int64_t run_pod_flows(sim::Simulation& sim, std::vector<Pod>& pods,
+                           const std::vector<sim::FluidDomain*>& pod_domain) {
+  for (std::size_t p = 0; p < pods.size(); ++p) {
+    auto& sched = pod_domain[p]->scheduler();
+    for (int n = 0; n < kFlowNodes; ++n) {
+      auto& node = pods[p].cluster->node(static_cast<std::size_t>(n));
+      // A compute flow plus a ring transfer to the next node's NIC: the
+      // slice forms one connected zone, so it must stay on one domain.
+      sched.start((n + 1) * 0.05, std::vector<sim::FluidResource*>{&node.cpu()},
+                  /*max_rate=*/1.0);
+      sched.start(1e8 * (n + 1),
+                  std::vector<sim::FluidResource*>{
+                      &pods[p].ports[static_cast<std::size_t>(n)]->tx(),
+                      &pods[p].ports[static_cast<std::size_t>((n + 1) % kFlowNodes)]->rx()});
+    }
+  }
+  return sim.run().count_nanos();
+}
+
+struct ShardResult {
+  double construct_ms = 0.0;
+  std::int64_t final_ns = 0;
+};
+
+ShardResult run_sharded(int pods, bool parallel) {
+  sim::Simulation sim;
+  std::vector<std::unique_ptr<sim::FluidDomain>> domains;
+  std::vector<sim::FluidDomain*> pod_domain;
+  if (parallel) {
+    for (int p = 0; p < pods; ++p) {
+      domains.push_back(std::make_unique<sim::FluidDomain>(sim, "pod" + std::to_string(p)));
+      pod_domain.push_back(domains.back().get());
+    }
+  } else {
+    domains.push_back(std::make_unique<sim::FluidDomain>(sim, "all-pods"));
+    pod_domain.assign(static_cast<std::size_t>(pods), domains.front().get());
+  }
+
+  std::vector<Pod> built(static_cast<std::size_t>(pods));
+  const auto start = std::chrono::steady_clock::now();
+  if (parallel) {
+    // One worker per hardware thread (not per pod): on a single-core host
+    // this degrades gracefully to ~serial cost instead of paying thread
+    // thrash for nothing.
+    const int workers_n =
+        std::min(pods, std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(workers_n));
+    for (int w = 0; w < workers_n; ++w) {
+      workers.emplace_back([&built, &pod_domain, pods, workers_n, w] {
+        for (int p = w; p < pods; p += workers_n) {
+          built[static_cast<std::size_t>(p)] =
+              build_pod(*pod_domain[static_cast<std::size_t>(p)], p);
+        }
+      });
+    }
+    for (auto& worker : workers) {
+      worker.join();
+    }
+  } else {
+    for (int p = 0; p < pods; ++p) {
+      built[static_cast<std::size_t>(p)] = build_pod(*pod_domain[static_cast<std::size_t>(p)], p);
+    }
+  }
+  const auto built_at = std::chrono::steady_clock::now();
+
+  ShardResult res;
+  res.construct_ms =
+      std::chrono::duration<double, std::milli>(built_at - start).count();
+  res.final_ns = run_pod_flows(sim, built, pod_domain);
+  return res;
 }
 
 }  // namespace
@@ -127,5 +244,26 @@ int main() {
   t4.render(std::cout);
   std::cout << "Bulk pre-copy is bandwidth-bound, so WAN latency barely moves the\n"
                "episode; the job's own traffic pays for it instead.\n";
+
+  std::cout << "\n5. Sharded pods (" << kNodesPerPod
+            << " nodes each; serial 1-scheduler build vs parallel per-pod domains, "
+            << std::max(1U, std::thread::hardware_concurrency()) << " hw thread(s)):\n";
+  TextTable t5({"pods", "serial build [ms]", "parallel build [ms]", "speedup",
+                "timeline"});
+  for (const int pods : {2, 4, 8}) {
+    const auto serial = run_sharded(pods, /*parallel=*/false);
+    const auto sharded = run_sharded(pods, /*parallel=*/true);
+    t5.add_row({std::to_string(pods), TextTable::num(serial.construct_ms, 2),
+                TextTable::num(sharded.construct_ms, 2),
+                TextTable::num(serial.construct_ms / sharded.construct_ms, 2) + "x",
+                serial.final_ns == sharded.final_ns ? "bit-identical" : "DIVERGED"});
+  }
+  t5.render(std::cout);
+  std::cout << "Pods are disjoint zones, so per-pod FluidDomains are a valid\n"
+               "sharding: domains solve independently, their timers merge through\n"
+               "the one deterministic event queue, and the timeline matches the\n"
+               "single-scheduler build bit for bit. Build speedup tracks the host's\n"
+               "core count (on a 1-core container the column only shows thread\n"
+               "overhead); the timeline column is the invariant that matters.\n";
   return 0;
 }

@@ -4,21 +4,37 @@
 
 namespace nm::core {
 
+std::vector<std::unique_ptr<sim::FluidDomain>> Testbed::make_domains(sim::Simulation& sim,
+                                                                     int shards) {
+  NM_CHECK(shards >= 1, "testbed needs at least one fluid shard, got " << shards);
+  std::vector<std::unique_ptr<sim::FluidDomain>> domains;
+  domains.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    domains.push_back(std::make_unique<sim::FluidDomain>(sim, "shard" + std::to_string(i)));
+  }
+  return domains;
+}
+
 Testbed::Testbed(TestbedConfig config)
     : config_(std::move(config)),
       sim_(config_.seed),
-      scheduler_(sim_),
-      storage_(scheduler_, "agc"),
+      domains_(make_domains(sim_, config_.fluid_shards)),
+      storage_(zone_domain().scheduler(), "agc"),
       ib_cluster_("agc-ib"),
       eth_cluster_("agc-eth") {
-  ib_fabric_ = std::make_unique<net::IbFabric>(scheduler_, "ib:m3601q", config_.ib);
-  eth_fabric_ = std::make_unique<net::EthFabric>(scheduler_, "eth:m8024", config_.eth);
+  // Topology-aware placement: the enclosure is one connected zone — every
+  // blade shares the 10 GbE switch and the NFS storage, so any blade's
+  // flows can reach any other blade's resources. One zone → one scheduler;
+  // additional shards stay empty for caller-built disjoint zones.
+  auto& zone = zone_domain().scheduler();
+  ib_fabric_ = std::make_unique<net::IbFabric>(zone, "ib:m3601q", config_.ib);
+  eth_fabric_ = std::make_unique<net::EthFabric>(zone, "eth:m8024", config_.eth);
 
   auto make_host = [&](hw::Cluster& cluster, const std::string& name, bool with_hca) {
     hw::NodeSpec spec = config_.blade_spec;
     spec.name = name;
-    auto& node = cluster.add_node(scheduler_, spec);
-    auto host = std::make_unique<vmm::Host>(sim_, scheduler_, node, storage_, config_.hotplug,
+    auto& node = cluster.add_node(zone_domain(), spec);
+    auto host = std::make_unique<vmm::Host>(sim_, zone, node, storage_, config_.hotplug,
                                             config_.migration);
     // 10 GbE uplink on every blade.
     ports_.push_back(
@@ -38,6 +54,11 @@ Testbed::Testbed(TestbedConfig config)
   for (int i = 0; i < config_.eth_nodes; ++i) {
     make_host(eth_cluster_, "eth" + std::to_string(i), /*with_hca=*/false);
   }
+}
+
+sim::FluidDomain& Testbed::domain(std::size_t i) {
+  NM_CHECK(i < domains_.size(), "fluid domain index " << i << " out of range");
+  return *domains_[i];
 }
 
 vmm::Host& Testbed::ib_host(int i) {

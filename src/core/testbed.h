@@ -32,6 +32,14 @@ struct TestbedConfig {
   vmm::MigrationConfig migration;
   /// SR-IOV virtual functions per HCA (1 = plain PCI passthrough).
   int hca_vfs = 1;
+  /// Number of FluidDomain shards the testbed creates. Placement is
+  /// topology-aware: resources that one flow can cross must share a
+  /// scheduler, and the AGC enclosure is a single connected zone (every
+  /// blade hangs off the one 10 GbE switch and the shared NFS storage), so
+  /// the whole testbed lands on domain 0 and the remaining shards are free
+  /// for caller-built disjoint zones. Timelines are bit-identical at every
+  /// shard count (sim_sharding_test pins this).
+  int fluid_shards = 1;
   std::uint64_t seed = 1;
 
   TestbedConfig() {
@@ -49,7 +57,12 @@ class Testbed {
 
   [[nodiscard]] const TestbedConfig& config() const { return config_; }
   [[nodiscard]] sim::Simulation& sim() { return sim_; }
-  [[nodiscard]] sim::FluidScheduler& scheduler() { return scheduler_; }
+  /// The connected AGC zone's scheduler (domain 0).
+  [[nodiscard]] sim::FluidScheduler& scheduler() { return zone_domain().scheduler(); }
+  [[nodiscard]] std::size_t domain_count() const { return domains_.size(); }
+  [[nodiscard]] sim::FluidDomain& domain(std::size_t i);
+  /// The domain holding every resource of the (fully connected) enclosure.
+  [[nodiscard]] sim::FluidDomain& zone_domain() { return *domains_.front(); }
   [[nodiscard]] net::IbFabric& ib_fabric() { return *ib_fabric_; }
   [[nodiscard]] net::EthFabric& eth_fabric() { return *eth_fabric_; }
   [[nodiscard]] vmm::SharedStorage& storage() { return storage_; }
@@ -75,9 +88,13 @@ class Testbed {
   void settle();
 
  private:
+  static std::vector<std::unique_ptr<sim::FluidDomain>> make_domains(sim::Simulation& sim,
+                                                                     int shards);
+
   TestbedConfig config_;
   sim::Simulation sim_;
-  sim::FluidScheduler scheduler_;
+  // Declared before storage_/fabrics: they register resources on domain 0.
+  std::vector<std::unique_ptr<sim::FluidDomain>> domains_;
   vmm::SharedStorage storage_;
   std::unique_ptr<net::IbFabric> ib_fabric_;
   std::unique_ptr<net::EthFabric> eth_fabric_;

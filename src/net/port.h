@@ -14,11 +14,17 @@ namespace nm::net {
 class NicPort {
  public:
   NicPort(hw::Node& node, std::string name, Bandwidth line_rate)
+      : NicPort(node, std::move(name), line_rate, node.scheduler()) {}
+  /// Places tx/rx on an explicit scheduler instead of the node's. Only
+  /// valid when every transfer through this port stays inside `scheduler`'s
+  /// domain — i.e. the fabric and both endpoints' charged resources live
+  /// there too (a flow cannot span FluidSchedulers).
+  NicPort(hw::Node& node, std::string name, Bandwidth line_rate, sim::FluidScheduler& scheduler)
       : node_(&node),
         name_(std::move(name)),
         line_rate_(line_rate),
-        tx_(node.scheduler(), "tx:" + name_, line_rate.bytes_per_second()),
-        rx_(node.scheduler(), "rx:" + name_, line_rate.bytes_per_second()) {}
+        tx_(scheduler, "tx:" + name_, line_rate.bytes_per_second()),
+        rx_(scheduler, "rx:" + name_, line_rate.bytes_per_second()) {}
   NicPort(const NicPort&) = delete;
   NicPort& operator=(const NicPort&) = delete;
 

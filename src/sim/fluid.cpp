@@ -36,10 +36,15 @@ void FluidResource::set_capacity(double capacity) {
 }
 
 double FluidResource::consumed() const {
-  if (scheduler_ != nullptr) {
-    scheduler_->sync_resource(*this);
+  // Pure read: rates are piecewise constant between solves, so the exact
+  // integral is the solve-time prefix plus a linear extrapolation. No
+  // component is integrated or settled — readers cannot perturb the
+  // simulation, and idle resources cost nothing.
+  if (scheduler_ == nullptr || consume_rate_ == 0.0) {
+    return consumed_;
   }
-  return consumed_;
+  const Duration elapsed = scheduler_->simulation().now() - rate_since_;
+  return consumed_ + consume_rate_ * elapsed.to_seconds();
 }
 
 double FluidResource::utilization_over(double consumed_before, Duration window) const {
@@ -120,6 +125,10 @@ void Flow::resume() {
 FluidScheduler::~FluidScheduler() {
   for (auto* res : res_slots_) {
     if (res != nullptr) {
+      // Fold the pending constant-rate window into the prefix while the
+      // clock is still reachable; afterwards the resource reads flat.
+      res->consumed_ = res->consumed();
+      res->consume_rate_ = 0.0;
       res->scheduler_ = nullptr;
       res->slot_ = FluidResource::kNoSlot;
     }
@@ -150,6 +159,8 @@ void FluidScheduler::register_resource(FluidResource& res) {
 
 void FluidScheduler::unregister_resource(FluidResource& res) {
   const auto slot = res.slot_;
+  res.consumed_ = res.consumed();  // fold before the clock becomes unreachable
+  res.consume_rate_ = 0.0;
   if (slot == FluidResource::kNoSlot) {
     res.scheduler_ = nullptr;
     return;
@@ -336,21 +347,6 @@ void FluidScheduler::ensure_settled(const Flow& flow) {
   }
 }
 
-void FluidScheduler::sync_resource(const FluidResource& res) {
-  if (res.slot_ == FluidResource::kNoSlot) {
-    return;
-  }
-  auto* comp = component_of_slot(res.slot_);
-  if (comp == nullptr) {
-    return;
-  }
-  if (comp->dirty) {
-    solve_component(*comp);
-  } else {
-    integrate_component(*comp);
-  }
-}
-
 void FluidScheduler::rebalance() {
   for (auto& comp : comps_) {
     if (comp != nullptr) {
@@ -363,6 +359,12 @@ void FluidScheduler::rebalance() {
 
 void FluidScheduler::integrate_component(Component& comp) {
   const TimePoint now = sim_->now();
+  // Rates are unchanged, so each resource's aggregate consume_rate_ stays
+  // valid; the prefix just advances to `now`, so re-stamp the window start
+  // (otherwise readers would double-count the integrated span).
+  for (const auto slot : comp.res_slots) {
+    res_slots_[slot]->rate_since_ = now;
+  }
   for (Flow* f : comp.flows) {
     const Duration elapsed = now - f->last_update_;
     if (elapsed.is_zero()) {
@@ -390,10 +392,16 @@ void FluidScheduler::solve_component(Component& comp) {
     res_binding_.resize(res_slots_.size());
   }
   for (const auto slot : comp.res_slots) {
-    res_residual_[slot] = res_slots_[slot]->capacity_;
+    FluidResource* res = res_slots_[slot];
+    res_residual_[slot] = res->capacity_;
     res_wsum_[slot] = 0.0;
     res_unfrozen_[slot] = 0;
     res_binding_[slot] = 0;
+    // Close the constant-rate window: pass 1 below re-integrates consumed_
+    // to `now` per flow-share, and assign_max_min_rates re-accumulates the
+    // aggregate rate as it freezes flows at their new rates.
+    res->consume_rate_ = 0.0;
+    res->rate_since_ = now;
   }
 
   // Pass 1 (fused): integrate progress at the rates valid since the last
@@ -441,7 +449,16 @@ void FluidScheduler::solve_component(Component& comp) {
   // Pass 2: re-solve rates and find the earliest completion.
   comp.dirty = false;
   if (!cf.empty()) {
-    arm_timer(comp, assign_max_min_rates(comp, first_cap));
+    const double next_completion_s = assign_max_min_rates(comp, first_cap);
+    // O(1)-read accounting: the filling left each resource's residual
+    // behind, so its aggregate consumption rate is capacity − residual —
+    // one deterministic subtraction per resource, valid until the next
+    // solve (see FluidResource::consumed()).
+    for (const auto slot : comp.res_slots) {
+      FluidResource* res = res_slots_[slot];
+      res->consume_rate_ = res->capacity_ - res_residual_[slot];
+    }
+    arm_timer(comp, next_completion_s);
   } else {
     // Dissolve: a later flow on these resources starts a fresh component.
     // Outstanding timers die on the null/generation check.

@@ -60,8 +60,11 @@ class FluidResource {
 
   /// Integrated consumption (resource-unit-seconds, e.g. core-seconds for
   /// a CPU): utilization accounting for experiments like the paper's
-  /// "one CPU core is saturated at 100 %" migration observation. Progress
-  /// of this resource's component is brought up to `now` before reading.
+  /// "one CPU core is saturated at 100 %" migration observation. A pure
+  /// O(1) read: each solve leaves the resource's aggregate consumption
+  /// rate (capacity − residual) behind, so reading extrapolates over the
+  /// constant-rate window since the last solve — no component is touched,
+  /// idle or otherwise, and no simulation state changes.
   [[nodiscard]] double consumed() const;
   /// Mean utilization (fraction of capacity) over [since, until].
   [[nodiscard]] double utilization_over(double consumed_before, Duration window) const;
@@ -73,7 +76,15 @@ class FluidResource {
   std::string name_;
   double capacity_;
   std::size_t active_flows_ = 0;
+  /// Consumption integrated up to `rate_since_` (written only at solve
+  /// time, per flow-share in component-flow order, so the float summation
+  /// order is independent of when readers sample).
   double consumed_ = 0.0;
+  /// Aggregate consumption rate (Σ rate × weight over crossing flows) in
+  /// effect since `rate_since_`; rates are piecewise constant between
+  /// solves, so `consumed() = consumed_ + consume_rate_ × elapsed`.
+  double consume_rate_ = 0.0;
+  TimePoint rate_since_;
   FluidScheduler* scheduler_ = nullptr;
   /// Stable dense index in the owning scheduler's resource registry.
   std::uint32_t slot_ = kNoSlot;
@@ -211,9 +222,6 @@ class FluidScheduler {
   void settle_dirty();
   /// Brings one flow's component up to date (getter entry point).
   void ensure_settled(const Flow& flow);
-  /// Integrates a resource's component to `now` without changing rates
-  /// (consumed()/utilization readers).
-  void sync_resource(const FluidResource& res);
 
   /// Integrate + complete + re-solve + re-arm timer for one component.
   void solve_component(Component& comp);
@@ -264,6 +272,33 @@ class FluidScheduler {
   std::size_t retired_since_rebuild_ = 0;
   std::uint32_t next_gen_ = 0;
   std::uint64_t next_flow_seq_ = 0;
+};
+
+/// A topology shard: one independently-solved FluidScheduler over a shared
+/// simulation clock. A valid sharding follows the modelled topology's
+/// connectivity — every resource a single flow can ever cross must live in
+/// the same domain, because a flow cannot span schedulers. Under that
+/// constraint the split is exact, not approximate: rates in one domain
+/// never depend on another domain's state, and every domain's timers drain
+/// through the one simulation's (time, sequence) event queue, so the merged
+/// timeline is bit-identical for every valid partitioning. That invariance
+/// is what makes domains safe to construct in parallel (each worker thread
+/// touches only its own scheduler; the shared Simulation takes no posts
+/// during the parallel phase) — see bench_scalability and sim_sharding_test.
+class FluidDomain {
+ public:
+  FluidDomain(Simulation& sim, std::string name)
+      : name_(std::move(name)), scheduler_(std::make_unique<FluidScheduler>(sim)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] FluidScheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] Simulation& simulation() { return scheduler_->simulation(); }
+
+ private:
+  std::string name_;
+  // unique_ptr so resources keep a stable scheduler address if the owning
+  // container of domains reallocates.
+  std::unique_ptr<FluidScheduler> scheduler_;
 };
 
 }  // namespace nm::sim

@@ -1,0 +1,104 @@
+// Fixed-capacity, allocation-free callable for the event hot path.
+//
+// `std::function<void()>` type-erases through the heap as soon as a capture
+// outgrows libstdc++'s 16-byte small-buffer (a shared_ptr plus one word
+// already does), which put one allocation on the simulator's per-event
+// path. InlineCallback stores the callable inline in a fixed buffer and
+// refuses — at compile time — anything that would not fit, so posting a
+// timer never allocates. It is move-only, which `std::function` is not:
+// callbacks can own resources (e.g. a retiring Event kept alive until its
+// waiters have resumed) and release them when the queue entry is executed
+// *or* destroyed, so a simulation torn down with pending posts cannot leak.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nm::sim {
+
+template <std::size_t Capacity>
+class InlineCallback {
+ public:
+  InlineCallback() noexcept = default;
+
+  template <typename F, typename Fn = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, InlineCallback> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callback capture exceeds the inline event budget; shrink the capture "
+                  "(capture pointers, not objects) or raise the InlineCallback capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callback capture");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event callbacks must be nothrow-movable (the queue relocates them)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+    ops_ = &kOpsFor<Fn>;
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs the callable into `dst` and destroys the source.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static Fn* as(void* p) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kOpsFor{
+      [](void* self) { (*as<Fn>(self))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) Fn(std::move(*as<Fn>(src)));
+        as<Fn>(src)->~Fn();
+      },
+      [](void* self) noexcept { as<Fn>(self)->~Fn(); },
+  };
+
+  void move_from(InlineCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+/// The simulator-wide event callback type. 48 bytes holds every capture in
+/// the codebase (the largest is a shared_ptr + owner pointer + epoch) with
+/// room to spare; growing a capture past it is a compile error, not a
+/// silent return to heap allocation.
+using EventCallback = InlineCallback<48>;
+
+}  // namespace nm::sim

@@ -1,5 +1,7 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
+#include <functional>
 #include <utility>
 
 namespace nm::sim {
@@ -40,12 +42,31 @@ Simulation::~Simulation() {
   drain_destroy_list();
 }
 
-void Simulation::enqueue(TimePoint at, std::coroutine_handle<> h, std::function<void()> fn) {
+void Simulation::enqueue(TimePoint at, std::coroutine_handle<> h, EventCallback fn) {
   NM_CHECK(at >= now_, "cannot schedule into the past");
-  queue_.push(QueueEntry{at, next_seq_++, h, std::move(fn)});
+  std::uint32_t slot = kNoCallback;
+  if (fn) {
+    if (!free_callback_slots_.empty()) {
+      slot = free_callback_slots_.back();
+      free_callback_slots_.pop_back();
+      callback_pool_[slot] = std::move(fn);
+    } else {
+      slot = static_cast<std::uint32_t>(callback_pool_.size());
+      callback_pool_.push_back(std::move(fn));
+    }
+  }
+  queue_.push_back(QueueEntry{at, next_seq_++, h, slot});
+  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
 }
 
-void Simulation::post(Duration delay, std::function<void()> fn) {
+Simulation::QueueEntry Simulation::pop_next() {
+  std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  QueueEntry entry = std::move(queue_.back());
+  queue_.pop_back();
+  return entry;
+}
+
+void Simulation::post(Duration delay, EventCallback fn) {
   NM_CHECK(!delay.is_negative(), "negative delay");
   enqueue(now_ + delay, nullptr, std::move(fn));
 }
@@ -53,7 +74,7 @@ void Simulation::post(Duration delay, std::function<void()> fn) {
 void Simulation::post_resume(Duration delay, std::coroutine_handle<> h) {
   NM_CHECK(!delay.is_negative(), "negative delay");
   NM_CHECK(h != nullptr, "null coroutine handle");
-  enqueue(now_ + delay, h, nullptr);
+  enqueue(now_ + delay, h, {});
 }
 
 TaskRef Simulation::spawn(Task task, std::string name) {
@@ -69,7 +90,7 @@ TaskRef Simulation::spawn(Task task, std::string name) {
   promise.detach_id = id;
 
   TaskRef ref{detached->state};
-  enqueue(now_, detached->handle, nullptr);
+  enqueue(now_, detached->handle, {});
   detached_.emplace(id, std::move(detached));
   ++live_tasks_;
   return ref;
@@ -102,14 +123,17 @@ bool Simulation::step() {
   if (queue_.empty()) {
     return false;
   }
-  QueueEntry entry = queue_.top();
-  queue_.pop();
+  const QueueEntry entry = pop_next();
   NM_CHECK(entry.at >= now_, "event queue went backwards");
   now_ = entry.at;
   if (entry.handle) {
     entry.handle.resume();
   } else {
-    entry.callback();
+    // Move the callback out and recycle its slot before invoking: the
+    // callback may itself post (re-entering the pool).
+    EventCallback cb = std::move(callback_pool_[entry.slot]);
+    free_callback_slots_.push_back(entry.slot);
+    cb();
   }
   drain_destroy_list();
   if (pending_exception_) {
@@ -126,7 +150,7 @@ TimePoint Simulation::run() {
 }
 
 TimePoint Simulation::run_until(TimePoint deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (!queue_.empty() && queue_.front().at <= deadline) {
     step();
   }
   if (now_ < deadline) {

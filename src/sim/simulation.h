@@ -5,13 +5,12 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "sim/task.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -53,8 +52,11 @@ class Simulation {
     return Rng::stream(seed_, stream_name);
   }
 
-  /// Schedules a plain callback after `delay`.
-  void post(Duration delay, std::function<void()> fn);
+  /// Schedules a plain callback after `delay`. The callback is stored
+  /// inline in the queue entry (no heap allocation) and may be move-only,
+  /// so it can own resources that must be released even if the simulation
+  /// is destroyed before the entry fires.
+  void post(Duration delay, EventCallback fn);
   /// Schedules a coroutine resumption after `delay` (used by awaitables).
   void post_resume(Duration delay, std::coroutine_handle<> h);
 
@@ -89,26 +91,43 @@ class Simulation {
  private:
   friend struct Task::FinalAwaiter;
 
+  static constexpr std::uint32_t kNoCallback = 0xffffffffU;
+
+  /// Heap entry: a trivially-copyable 32-byte key. Callback payloads live
+  /// in `callback_pool_` (referenced by `slot`), so heap sifts move plain
+  /// PODs — no per-level type-erased relocation — and a callback is moved
+  /// exactly once on post and once on pop.
   struct QueueEntry {
     TimePoint at;
     std::uint64_t seq;
-    std::coroutine_handle<> handle;      // either a resumption ...
-    std::function<void()> callback;      // ... or a callback
+    std::coroutine_handle<> handle;  // resumption entries; null otherwise
+    std::uint32_t slot;              // callback entries; kNoCallback otherwise
     bool operator>(const QueueEntry& o) const {
       return at != o.at ? at > o.at : seq > o.seq;
     }
   };
 
-  void enqueue(TimePoint at, std::coroutine_handle<> h, std::function<void()> fn);
+  void enqueue(TimePoint at, std::coroutine_handle<> h, EventCallback fn);
   void on_detached_done(std::uint64_t id, std::exception_ptr exception);
   bool step();  // executes one queue entry; returns false when queue empty
   void drain_destroy_list();
+  QueueEntry pop_next();
 
   TimePoint now_ = TimePoint::origin();
   std::uint64_t seed_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_task_id_ = 1;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  // Min-heap on (at, seq), maintained by hand with push_heap/pop_heap
+  // (std::priority_queue::top() returns a const reference, which cannot
+  // hand ownership of a move-only callback to step()). Pop order — and
+  // therefore execution order — is the total order (at, seq) regardless of
+  // internal heap layout, so determinism is unaffected.
+  std::vector<QueueEntry> queue_;
+  // Slab of pending callbacks, free-listed; slots are recycled so the
+  // steady state allocates nothing. Destroying the simulation destroys
+  // pending callbacks here, releasing whatever they still own.
+  std::vector<EventCallback> callback_pool_;
+  std::vector<std::uint32_t> free_callback_slots_;
 
   struct Detached;
   std::map<std::uint64_t, std::unique_ptr<Detached>> detached_;

@@ -207,8 +207,10 @@ class Barrier {
       auto old = std::move(cycle_);
       cycle_ = std::make_unique<Event>(*sim_);
       old->set();
-      Event* leaked = old.release();
-      sim_->post(Duration::zero(), [leaked] { delete leaked; });
+      // Keep the fired event alive until its waiters have been resumed;
+      // the callback owns it, so teardown with the post still pending
+      // frees it instead of leaking.
+      sim_->post(Duration::zero(), [owned = std::move(old)]() mutable { owned.reset(); });
       co_return;
     }
     Event& cycle = *cycle_;
@@ -240,8 +242,9 @@ class Notifier {
     auto old = std::move(cycle_);
     cycle_ = std::make_unique<Event>(*sim_);
     old->set();
-    Event* leaked = old.release();
-    sim_->post(Duration::zero(), [leaked] { delete leaked; });
+    // As in Barrier: the post owns the retired cycle, so it is released
+    // whether the callback runs or the simulation is torn down first.
+    sim_->post(Duration::zero(), [owned = std::move(old)]() mutable { owned.reset(); });
   }
 
  private:

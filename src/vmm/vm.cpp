@@ -167,9 +167,9 @@ void Vm::symvirt_signal() {
   auto old = std::move(symvirt_cycle_);
   symvirt_cycle_ = std::make_unique<sim::Event>(*sim_);
   old->set();
-  // Keep the fired event alive until its waiters have been resumed.
-  sim::Event* leaked = old.release();
-  sim_->post(Duration::zero(), [leaked] { delete leaked; });
+  // Keep the fired event alive until its waiters have been resumed. The
+  // post owns it, so teardown with the post pending frees it.
+  sim_->post(Duration::zero(), [owned = std::move(old)]() mutable { owned.reset(); });
 }
 
 sim::Task Vm::wait_for_symvirt_entries(std::size_t n) {

@@ -2,6 +2,9 @@
 // scheduler must produce the same max-min fair rates as a brute-force
 // reference solver that recomputes the global allocation from scratch, on
 // random topologies and across suspend/resume/cap/capacity mutations.
+// The same harness cross-checks the O(1) rate-tracked consumption read:
+// every resource's consumed() must match a brute-force integral of
+// (reference rate × weight) over every constant-rate window within 1e-9.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -103,16 +106,26 @@ struct Topology {
   FluidScheduler sched{sim};
   std::vector<std::unique_ptr<FluidResource>> resources;
   std::vector<FlowPtr> flows;
+  /// Brute-force consumption integral per resource: Σ over constant-rate
+  /// windows of (reference rate × weight × window). The production
+  /// scheduler instead tracks an aggregate rate at solve time and reads
+  /// consumed() in O(1); the two must agree within 1e-9.
+  std::vector<double> consumed_ref;
 };
 
-void check_against_reference(Topology& topo, std::uint32_t seed, int step) {
+/// The reference solver's view of the topology's current state.
+struct RefProblem {
   std::vector<double> capacity;
-  capacity.reserve(topo.resources.size());
+  std::vector<RefFlow> flows;
+};
+
+RefProblem build_ref(Topology& topo) {
+  RefProblem prob;
+  prob.capacity.reserve(topo.resources.size());
   for (const auto& r : topo.resources) {
-    capacity.push_back(r->capacity());
+    prob.capacity.push_back(r->capacity());
   }
-  std::vector<RefFlow> ref;
-  ref.reserve(topo.flows.size());
+  prob.flows.reserve(topo.flows.size());
   for (const auto& flow : topo.flows) {
     RefFlow rf;
     rf.cap = flow->max_rate();  // 0 while suspended
@@ -124,8 +137,28 @@ void check_against_reference(Topology& topo, std::uint32_t seed, int step) {
         }
       }
     }
-    ref.push_back(std::move(rf));
+    prob.flows.push_back(std::move(rf));
   }
+  return prob;
+}
+
+/// Integrates the brute-force consumption reference over a window during
+/// which no rate changes: consumed_ref[r] += rate × weight × dt.
+void integrate_reference(Topology& topo, Duration dt) {
+  const RefProblem prob = build_ref(topo);
+  const auto rates = reference_rates(prob.capacity, prob.flows);
+  for (std::size_t f = 0; f < prob.flows.size(); ++f) {
+    for (std::size_t s = 0; s < prob.flows[f].res.size(); ++s) {
+      topo.consumed_ref[prob.flows[f].res[s]] +=
+          rates[f] * prob.flows[f].weight[s] * dt.to_seconds();
+    }
+  }
+}
+
+void check_against_reference(Topology& topo, std::uint32_t seed, int step) {
+  const RefProblem prob = build_ref(topo);
+  const auto& capacity = prob.capacity;
+  const auto& ref = prob.flows;
   const auto expected = reference_rates(capacity, ref);
   for (std::size_t f = 0; f < topo.flows.size(); ++f) {
     const double got = topo.flows[f]->current_rate();
@@ -143,6 +176,18 @@ void check_against_reference(Topology& topo, std::uint32_t seed, int step) {
   for (std::size_t r = 0; r < capacity.size(); ++r) {
     EXPECT_LE(used[r], capacity[r] * (1.0 + 1e-9)) << "seed=" << seed << " res=" << r;
   }
+  // O(1) rate-tracked consumption vs the brute-force integral. consumed()
+  // is a pure read (extrapolation over the constant-rate window since the
+  // last solve), so sampling it here must not perturb anything the later
+  // steps observe.
+  for (std::size_t r = 0; r < topo.resources.size(); ++r) {
+    const double got = topo.resources[r]->consumed();
+    const double want = topo.consumed_ref[r];
+    const double tol = 1e-9 * std::max(1.0, std::max(std::abs(got), std::abs(want)));
+    EXPECT_NEAR(got, want, tol)
+        << "consumed() diverged from integral: seed=" << seed << " step=" << step
+        << " res=" << r;
+  }
 }
 
 void run_one_topology(std::uint32_t seed) {
@@ -154,6 +199,7 @@ void run_one_topology(std::uint32_t seed) {
     topo.resources.push_back(std::make_unique<FluidResource>(
         topo.sched, "r" + std::to_string(r), cap_dist(rng)));
   }
+  topo.consumed_ref.assign(r_count, 0.0);
   std::uniform_real_distribution<double> weight_dist(0.01, 2.0);
   std::uniform_real_distribution<double> flow_cap_dist(0.1, 100.0);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
@@ -186,9 +232,15 @@ void run_one_topology(std::uint32_t seed) {
   for (int step = 0; step < steps; ++step) {
     auto& flow = topo.flows[rng() % topo.flows.size()];
     switch (rng() % 5) {
-      case 0:
-        topo.sim.run_for(Duration::millis(1 + rng() % 100));
+      case 0: {
+        // Rates are constant across the window (mutations settle before
+        // time advances, work is inexhaustible): integrate the reference
+        // first, then advance the clock.
+        const Duration window = Duration::millis(1 + rng() % 100);
+        integrate_reference(topo, window);
+        topo.sim.run_for(window);
         break;
+      }
       case 1:
         flow->set_max_rate(unit(rng) < 0.3 ? FluidScheduler::kUncapped : flow_cap_dist(rng));
         break;

@@ -1,0 +1,242 @@
+// Sharding invariance: a testbed built over N FluidDomain shards must
+// produce a timeline *bit-identical* to the 1-shard build. Domains solve
+// independently and their timers merge through the one deterministic
+// (time, sequence) event queue, so any topology-valid partitioning — one
+// where no flow ever crosses domains — is exact, not approximate. These
+// tests pin that invariant for (a) the full fallback+recovery Ninja
+// episode at shard counts 1/2/4 (the ninja_integration_test invariants
+// re-checked per count) and (b) hand-built disjoint zones split across
+// two domains vs merged onto one scheduler.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/ninja.h"
+#include "core/testbed.h"
+#include "hw/cluster.h"
+#include "net/port.h"
+#include "sim/fluid.h"
+
+namespace nm::core {
+namespace {
+
+/// Everything observable about one fallback+recovery run, recorded exactly
+/// (raw doubles / nanosecond counts — compared with EXPECT_EQ, not NEAR).
+struct EpisodeTrace {
+  std::vector<double> iter_seconds;
+  std::int64_t fallback_detach_ns = 0;
+  std::int64_t fallback_migration_ns = 0;
+  std::int64_t fallback_total_ns = 0;
+  std::int64_t recovery_attach_ns = 0;
+  std::int64_t recovery_linkup_ns = 0;
+  std::int64_t recovery_total_ns = 0;
+  std::int64_t final_time_ns = 0;
+  double ib_cpu_consumed = 0.0;
+  std::string transport;
+  bool back_on_ib = false;
+  bool hca_in_use = false;
+};
+
+EpisodeTrace run_fallback_recovery(int fluid_shards) {
+  TestbedConfig tcfg;
+  tcfg.fluid_shards = fluid_shards;
+  Testbed tb(tcfg);
+  JobConfig cfg;
+  cfg.vm_count = 2;
+  cfg.ranks_per_vm = 1;
+  cfg.vm_template.memory = Bytes::gib(8);
+  cfg.vm_template.base_os_footprint = Bytes::gib(1);
+  MpiJob job(tb, cfg);
+  job.init();
+
+  EpisodeTrace trace;
+  auto& sim = tb.sim();
+  job.launch([&](mpi::RankId me) -> sim::Task {
+    for (int i = 0; i < 16; ++i) {
+      const TimePoint t0 = sim.now();
+      co_await job.world().bcast(me, 0, Bytes::mib(128));
+      co_await job.world().reduce(me, 0, Bytes::mib(128), 2e-10);
+      co_await job.world().barrier(me);
+      if (me == 0) {
+        trace.iter_seconds.push_back((sim.now() - t0).to_seconds());
+      }
+    }
+  });
+
+  NinjaStats fallback;
+  NinjaStats recovery;
+  sim.spawn([](Testbed& t, MpiJob& j, NinjaStats& fb, NinjaStats& rc) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(2.0));
+    co_await j.fallback_migration(2, &fb);
+    co_await t.sim().delay(Duration::seconds(2.0));
+    co_await j.recovery_migration(2, &rc);
+  }(tb, job, fallback, recovery));
+  sim.run();
+
+  trace.fallback_detach_ns = fallback.detach.count_nanos();
+  trace.fallback_migration_ns = fallback.migration.count_nanos();
+  trace.fallback_total_ns = fallback.total.count_nanos();
+  trace.recovery_attach_ns = recovery.attach.count_nanos();
+  trace.recovery_linkup_ns = recovery.linkup.count_nanos();
+  trace.recovery_total_ns = recovery.total.count_nanos();
+  trace.final_time_ns = (sim.now() - TimePoint::origin()).count_nanos();
+  trace.ib_cpu_consumed = tb.ib_host(0).node().cpu().consumed();
+  trace.transport = job.current_transport();
+  trace.back_on_ib = tb.ib_host(0).resident(*job.vms()[0]) &&
+                     tb.ib_host(1).resident(*job.vms()[1]);
+  trace.hca_in_use = !tb.ib_host(0).hca_available(Testbed::kHcaPciAddr);
+  return trace;
+}
+
+TEST(Sharding, FallbackRecoveryTimelineBitIdenticalAcrossShardCounts) {
+  const EpisodeTrace base = run_fallback_recovery(1);
+
+  // The 1-shard run itself must satisfy the integration invariants.
+  ASSERT_EQ(base.iter_seconds.size(), 16u);
+  EXPECT_EQ(base.transport, "openib");
+  EXPECT_TRUE(base.back_on_ib);
+  EXPECT_TRUE(base.hca_in_use);
+
+  for (const int shards : {2, 4}) {
+    const EpisodeTrace t = run_fallback_recovery(shards);
+    // Integration invariants re-hold at this shard count...
+    EXPECT_EQ(t.transport, "openib") << "shards=" << shards;
+    EXPECT_TRUE(t.back_on_ib) << "shards=" << shards;
+    EXPECT_TRUE(t.hca_in_use) << "shards=" << shards;
+    // ...and the timeline is bit-identical to the 1-shard build: exact
+    // integer nanoseconds and exact doubles, no tolerance.
+    ASSERT_EQ(t.iter_seconds.size(), base.iter_seconds.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < base.iter_seconds.size(); ++i) {
+      EXPECT_EQ(t.iter_seconds[i], base.iter_seconds[i])
+          << "shards=" << shards << " iteration=" << i;
+    }
+    EXPECT_EQ(t.fallback_detach_ns, base.fallback_detach_ns) << "shards=" << shards;
+    EXPECT_EQ(t.fallback_migration_ns, base.fallback_migration_ns) << "shards=" << shards;
+    EXPECT_EQ(t.fallback_total_ns, base.fallback_total_ns) << "shards=" << shards;
+    EXPECT_EQ(t.recovery_attach_ns, base.recovery_attach_ns) << "shards=" << shards;
+    EXPECT_EQ(t.recovery_linkup_ns, base.recovery_linkup_ns) << "shards=" << shards;
+    EXPECT_EQ(t.recovery_total_ns, base.recovery_total_ns) << "shards=" << shards;
+    EXPECT_EQ(t.final_time_ns, base.final_time_ns) << "shards=" << shards;
+    EXPECT_EQ(t.ib_cpu_consumed, base.ib_cpu_consumed) << "shards=" << shards;
+  }
+}
+
+// --- Disjoint zones genuinely split across domains ---------------------------
+
+struct Zone {
+  std::unique_ptr<hw::Cluster> cluster;
+  std::vector<std::unique_ptr<net::NicPort>> ports;
+};
+
+constexpr int kZoneNodes = 6;
+
+/// Builds one isolated zone (nodes + NIC ports) on `sched`.
+Zone build_zone(sim::FluidScheduler& sched, int z) {
+  Zone zone;
+  zone.cluster = std::make_unique<hw::Cluster>("zone" + std::to_string(z));
+  zone.ports.reserve(kZoneNodes);
+  for (int n = 0; n < kZoneNodes; ++n) {
+    hw::NodeSpec spec;
+    spec.name = "z" + std::to_string(z) + ":n" + std::to_string(n);
+    auto& node = zone.cluster->add_node(sched, spec);
+    zone.ports.push_back(std::make_unique<net::NicPort>(
+        node, spec.name + ":eth", Bandwidth::gib_per_sec(10.0), sched));
+  }
+  return zone;
+}
+
+/// Starts an intra-zone flow program (CPU flows + a NIC ring) and drains
+/// the merged timeline, recording every flow's completion stamp.
+std::vector<std::int64_t> run_zone_flows(sim::Simulation& sim,
+                                         std::vector<Zone>& zones,
+                                         const std::vector<sim::FluidScheduler*>& zone_sched) {
+  std::vector<sim::FlowPtr> flows;
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    auto& sched = *zone_sched[z];
+    for (int n = 0; n < kZoneNodes; ++n) {
+      auto& node = zones[z].cluster->node(static_cast<std::size_t>(n));
+      flows.push_back(sched.start((n + 1) * 0.25,
+                                  std::vector<sim::FluidResource*>{&node.cpu()},
+                                  /*max_rate=*/1.0));
+      flows.push_back(sched.start(
+          1e9 * (n + 1),
+          std::vector<sim::FluidResource*>{
+              &zones[z].ports[static_cast<std::size_t>(n)]->tx(),
+              &zones[z].ports[static_cast<std::size_t>((n + 1) % kZoneNodes)]->rx()}));
+    }
+  }
+  std::vector<std::int64_t> stamps(flows.size(), -1);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    sim.spawn([](sim::Simulation& s, sim::FlowPtr flow, std::int64_t& out) -> sim::Task {
+      co_await flow->completion().wait();
+      out = (s.now() - TimePoint::origin()).count_nanos();
+    }(sim, flows[f], stamps[f]));
+  }
+  sim.run();
+  for (const auto& flow : flows) {
+    EXPECT_TRUE(flow->finished());
+  }
+  return stamps;
+}
+
+TEST(Sharding, DisjointZonesOnSeparateDomainsMatchSingleScheduler) {
+  // Merged build: both zones on one scheduler (one domain).
+  std::vector<std::int64_t> merged;
+  {
+    sim::Simulation sim;
+    sim::FluidDomain domain(sim, "all-zones");
+    std::vector<Zone> zones;
+    std::vector<sim::FluidScheduler*> zone_sched;
+    for (int z = 0; z < 2; ++z) {
+      zones.push_back(build_zone(domain.scheduler(), z));
+      zone_sched.push_back(&domain.scheduler());
+    }
+    merged = run_zone_flows(sim, zones, zone_sched);
+  }
+
+  // Sharded build: each zone on its own FluidDomain over one shared clock.
+  std::vector<std::int64_t> sharded;
+  double consumed_z0 = 0.0;
+  {
+    sim::Simulation sim;
+    std::vector<std::unique_ptr<sim::FluidDomain>> domains;
+    std::vector<Zone> zones;
+    std::vector<sim::FluidScheduler*> zone_sched;
+    for (int z = 0; z < 2; ++z) {
+      domains.push_back(
+          std::make_unique<sim::FluidDomain>(sim, "zone" + std::to_string(z)));
+      zones.push_back(build_zone(domains.back()->scheduler(), z));
+      zone_sched.push_back(&domains.back()->scheduler());
+    }
+    sharded = run_zone_flows(sim, zones, zone_sched);
+    consumed_z0 = zones[0].cluster->node(0).cpu().consumed();
+  }
+
+  // Every flow completes at the identical instant, bit for bit.
+  ASSERT_EQ(merged.size(), sharded.size());
+  for (std::size_t f = 0; f < merged.size(); ++f) {
+    EXPECT_EQ(merged[f], sharded[f]) << "flow " << f;
+  }
+  // Node 0 ran one 0.25 core-second flow at rate 1: consumption accounting
+  // holds across the domain split.
+  EXPECT_NEAR(consumed_z0, 0.25, 1e-9);
+}
+
+TEST(Sharding, TestbedExposesRequestedDomains) {
+  TestbedConfig tcfg;
+  tcfg.fluid_shards = 3;
+  Testbed tb(tcfg);
+  EXPECT_EQ(tb.domain_count(), 3u);
+  EXPECT_EQ(&tb.zone_domain(), &tb.domain(0));
+  EXPECT_EQ(&tb.scheduler(), &tb.domain(0).scheduler());
+  // Spare shards are real, independently usable schedulers on the same clock.
+  EXPECT_EQ(&tb.domain(1).simulation(), &tb.sim());
+  EXPECT_NE(&tb.domain(1).scheduler(), &tb.domain(0).scheduler());
+}
+
+}  // namespace
+}  // namespace nm::core

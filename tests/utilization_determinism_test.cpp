@@ -3,13 +3,17 @@
 // and bit-level determinism of full scenarios.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/job.h"
+#include "core/ninja.h"
 #include "core/testbed.h"
 #include "sim/fluid.h"
+#include "symvirt/coordinator.h"
 #include "workloads/bcast_reduce.h"
+#include "workloads/memtest.h"
 #include "workloads/npb.h"
 
 namespace nm::core {
@@ -139,6 +143,197 @@ TEST(Determinism, IdenticalRunsProduceIdenticalTimings) {
   ASSERT_EQ(run1.size(), run2.size());
   for (std::size_t i = 0; i < run1.size(); ++i) {
     EXPECT_EQ(run1[i], run2[i]) << "iteration " << i;  // exact, not NEAR
+  }
+}
+
+TEST(Utilization, ConsumedReadsDoNotPerturbTimeline) {
+  // consumed() is a pure O(1) read: it extrapolates over the constant-rate
+  // window since the last solve without settling or integrating anything.
+  // Interleaving aggressive reads at arbitrary instants therefore must not
+  // move a single event — the timeline stays bit-identical to an unread run.
+  auto run_scenario = [](bool sample_reads, double* final_consumed) {
+    Testbed tb;
+    JobConfig cfg;
+    cfg.vm_count = 4;
+    cfg.ranks_per_vm = 2;
+    cfg.vm_template.memory = Bytes::gib(4);
+    cfg.vm_template.base_os_footprint = Bytes::mib(512);
+    MpiJob job(tb, cfg);
+    job.init();
+    workloads::BcastReduceConfig wcfg;
+    wcfg.per_node_bytes = Bytes::mib(512);
+    wcfg.iterations = 12;
+    auto bench = std::make_shared<workloads::BcastReduceBench>(job, wcfg);
+    job.launch([bench](mpi::RankId me) -> sim::Task { co_await bench->run_rank(me); });
+    tb.sim().spawn([](MpiJob& j, std::shared_ptr<workloads::BcastReduceBench> b) -> sim::Task {
+      co_await b->wait_step(3);
+      co_await j.fallback_migration(4);
+    }(job, bench));
+    if (sample_reads) {
+      double sink = 0.0;
+      for (int k = 1; k <= 400; ++k) {
+        tb.sim().run_until(TimePoint::origin() + Duration::millis(250 * k));
+        for (int h = 0; h < 4; ++h) {
+          sink += tb.ib_host(h).node().cpu().consumed();
+          sink += tb.ib_host(h).eth_uplink().tx().consumed();
+        }
+      }
+      EXPECT_GT(sink, 0.0);
+    }
+    tb.sim().run();
+    *final_consumed = tb.ib_host(0).node().cpu().consumed();
+    return bench->iteration_seconds();
+  };
+
+  double consumed_unread = 0.0;
+  double consumed_sampled = 0.0;
+  const auto unread = run_scenario(false, &consumed_unread);
+  const auto sampled = run_scenario(true, &consumed_sampled);
+  ASSERT_EQ(unread.size(), sampled.size());
+  for (std::size_t i = 0; i < unread.size(); ++i) {
+    EXPECT_EQ(unread[i], sampled[i]) << "iteration " << i;  // exact
+  }
+  EXPECT_EQ(consumed_unread, consumed_sampled);  // bit-equal accounting
+}
+
+// --- Bit-identity digests pinned against the seed ----------------------------
+// These replicate the bench_table2_hotplug and bench_fig6_memtest scenarios
+// and pin their phase durations to the exact nanosecond values the seed
+// build produced. Any change that moves Table II / Fig 6 output by even a
+// bit — event reordering, float summation order, timer jitter — fails here
+// inside ctest, without running the bench binaries.
+
+struct Table2Digest {
+  std::int64_t hotplug_ns;
+  std::int64_t linkup_ns;
+};
+
+Table2Digest run_table2_case(bool src_ib, bool dst_ib) {
+  Testbed tb;
+  JobConfig cfg;
+  cfg.name = "memtest";
+  cfg.vm_count = 8;
+  cfg.ranks_per_vm = 1;
+  cfg.on_ib_cluster = true;
+  cfg.with_hca = src_ib;
+  MpiJob job(tb, cfg);
+  job.init();
+
+  workloads::MemtestConfig mcfg;
+  mcfg.array_size = Bytes::gib(2);
+  mcfg.passes = 400;
+  job.launch([&job, mcfg](mpi::RankId me) -> sim::Task {
+    co_await workloads::run_memtest_rank(job, me, mcfg, nullptr);
+  });
+
+  MigrationPlan plan;
+  plan.vms = job.vms();
+  for (const auto& vm : plan.vms) {
+    plan.destinations.push_back(vm->host().name());
+  }
+  plan.ranks_per_vm = 1;
+  if (dst_ib) {
+    plan.attach_host_pci = Testbed::kHcaPciAddr;
+  }
+
+  NinjaStats stats;
+  tb.sim().spawn([](Testbed& t, MpiJob& j, MigrationPlan p, NinjaStats& st) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(2.0));
+    co_await j.ninja().execute(std::move(p), &st);
+  }(tb, job, plan, stats));
+  tb.sim().run_for(Duration::minutes(5));
+
+  const Duration confirm = symvirt::CoordinatorTiming{}.confirm;
+  return Table2Digest{stats.hotplug(confirm).count_nanos(),
+                      stats.linkup_excl_confirm(confirm).count_nanos()};
+}
+
+TEST(Determinism, Table2HotplugDigestPinnedToSeed) {
+  struct Case {
+    bool src_ib, dst_ib;
+    Table2Digest seed;
+  };
+  const Case cases[] = {
+      {true, true, {3820000000, 29800000000}},   // IB  -> IB
+      {true, false, {2800000000, 0}},            // IB  -> Eth
+      {false, true, {1150000000, 29800000000}},  // Eth -> IB
+      {false, false, {130000000, 0}},            // Eth -> Eth
+  };
+  for (const auto& c : cases) {
+    const auto got = run_table2_case(c.src_ib, c.dst_ib);
+    EXPECT_EQ(got.hotplug_ns, c.seed.hotplug_ns)
+        << "Table II hotplug drifted from the seed: src_ib=" << c.src_ib
+        << " dst_ib=" << c.dst_ib;
+    EXPECT_EQ(got.linkup_ns, c.seed.linkup_ns)
+        << "Table II link-up drifted from the seed: src_ib=" << c.src_ib
+        << " dst_ib=" << c.dst_ib;
+  }
+}
+
+struct Fig6Digest {
+  std::int64_t migration_ns;
+  std::int64_t hotplug_ns;
+  std::int64_t linkup_ns;
+};
+
+Fig6Digest run_fig6_case(Bytes array_size) {
+  TestbedConfig tcfg;
+  tcfg.hotplug.noise_factor = 3.0;
+  Testbed tb(tcfg);
+  JobConfig cfg;
+  cfg.name = "memtest";
+  cfg.vm_count = 8;
+  cfg.ranks_per_vm = 1;
+  MpiJob job(tb, cfg);
+  job.init();
+
+  workloads::MemtestConfig mcfg;
+  mcfg.array_size = array_size;
+  mcfg.passes = 1000;
+  job.launch([&job, mcfg](mpi::RankId me) -> sim::Task {
+    co_await workloads::run_memtest_rank(job, me, mcfg, nullptr);
+  });
+
+  MigrationPlan plan;
+  plan.vms = job.vms();
+  for (int i = 0; i < 8; ++i) {
+    plan.destinations.push_back(tb.ib_host((i + 1) % 8).name());
+  }
+  plan.attach_host_pci = Testbed::kHcaPciAddr;
+  plan.ranks_per_vm = 1;
+
+  NinjaStats stats;
+  tb.sim().spawn([](Testbed& t, MpiJob& j, MigrationPlan p, NinjaStats& st) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(5.0));
+    co_await j.ninja().execute(std::move(p), &st);
+  }(tb, job, plan, stats));
+  tb.sim().run_for(Duration::minutes(10));
+
+  const Duration confirm = symvirt::CoordinatorTiming{}.confirm;
+  return Fig6Digest{stats.migration.count_nanos(), stats.hotplug(confirm).count_nanos(),
+                    stats.linkup_excl_confirm(confirm).count_nanos()};
+}
+
+TEST(Determinism, Fig6MemtestDigestPinnedToSeed) {
+  struct Case {
+    Bytes array;
+    Fig6Digest seed;
+  };
+  // Migration is dominated by traversing all 20 GiB of (compressible)
+  // guest memory, so the digest is identical across array sizes — itself a
+  // pinned property of the model.
+  const Case cases[] = {
+      {Bytes::gib(2), {39658961047, 11200000000, 29800000000}},
+      {Bytes::gib(16), {39658961047, 11200000000, 29800000000}},
+  };
+  for (const auto& c : cases) {
+    const auto got = run_fig6_case(c.array);
+    EXPECT_EQ(got.migration_ns, c.seed.migration_ns)
+        << "Fig 6 migration drifted from the seed: array=" << c.array.count();
+    EXPECT_EQ(got.hotplug_ns, c.seed.hotplug_ns)
+        << "Fig 6 hotplug drifted from the seed: array=" << c.array.count();
+    EXPECT_EQ(got.linkup_ns, c.seed.linkup_ns)
+        << "Fig 6 link-up drifted from the seed: array=" << c.array.count();
   }
 }
 
