@@ -32,6 +32,7 @@
 #include "hw/cluster.h"
 #include "net/port.h"
 #include "sim/fluid.h"
+#include "sim/solve_pool.h"
 #include "util/table.h"
 #include "workloads/bcast_reduce.h"
 
@@ -91,11 +92,11 @@ struct Pod {
 // Builds one isolated pod (nodes + NIC ports) entirely inside `domain`.
 // Pure resource registration: no simulation posts, so pods on distinct
 // domains can be built from distinct threads.
-Pod build_pod(sim::FluidDomain& domain, int p) {
+Pod build_pod(sim::FluidDomain& domain, int p, int node_count = kNodesPerPod) {
   Pod pod;
   pod.cluster = std::make_unique<hw::Cluster>("pod" + std::to_string(p));
-  pod.ports.reserve(kNodesPerPod);
-  for (int n = 0; n < kNodesPerPod; ++n) {
+  pod.ports.reserve(static_cast<std::size_t>(node_count));
+  for (int n = 0; n < node_count; ++n) {
     hw::NodeSpec spec;
     spec.name = "pod" + std::to_string(p) + ":n" + std::to_string(n);
     auto& node = pod.cluster->add_node(domain, spec);
@@ -109,10 +110,11 @@ Pod build_pod(sim::FluidDomain& domain, int p) {
 // events on the shared clock) and drains the merged timeline. The returned
 // final time is the cross-pod digest: it covers every pod's completion.
 std::int64_t run_pod_flows(sim::Simulation& sim, std::vector<Pod>& pods,
-                           const std::vector<sim::FluidDomain*>& pod_domain) {
+                           const std::vector<sim::FluidDomain*>& pod_domain,
+                           int flow_nodes = kFlowNodes) {
   for (std::size_t p = 0; p < pods.size(); ++p) {
     auto& sched = pod_domain[p]->scheduler();
-    for (int n = 0; n < kFlowNodes; ++n) {
+    for (int n = 0; n < flow_nodes; ++n) {
       auto& node = pods[p].cluster->node(static_cast<std::size_t>(n));
       // A compute flow plus a ring transfer to the next node's NIC: the
       // slice forms one connected zone, so it must stay on one domain.
@@ -121,7 +123,7 @@ std::int64_t run_pod_flows(sim::Simulation& sim, std::vector<Pod>& pods,
       sched.start(1e8 * (n + 1),
                   std::vector<sim::FluidResource*>{
                       &pods[p].ports[static_cast<std::size_t>(n)]->tx(),
-                      &pods[p].ports[static_cast<std::size_t>((n + 1) % kFlowNodes)]->rx()});
+                      &pods[p].ports[static_cast<std::size_t>((n + 1) % flow_nodes)]->rx()});
     }
   }
   return sim.run().count_nanos();
@@ -178,6 +180,60 @@ ShardResult run_sharded(int pods, bool parallel) {
   res.construct_ms =
       std::chrono::duration<double, std::milli>(built_at - start).count();
   res.final_ns = run_pod_flows(sim, built, pod_domain);
+  return res;
+}
+
+// --- Sweep 6: parallel dirty-domain solving (SolvePool) ---------------------
+
+// Each pod is a ring of NIC flows plus per-node compute flows — one fat
+// ~N-flow component and N singletons per pod. Every pod runs the same
+// program, so each completion instant dirties all P domains at once: the
+// SolvePool's settle batches genuinely span domains, and the expensive
+// progressive-filling re-solve of each pod's ring runs on a different
+// worker. Workers=0 is the no-pool serial baseline.
+constexpr int kSolvePodNodes = 128;
+
+struct SolveSweepResult {
+  double wall_ms = 0.0;
+  std::int64_t final_ns = 0;
+  std::size_t parallel_settles = 0;
+  std::size_t max_batch = 0;
+};
+
+SolveSweepResult run_parallel_solve(int pods, int workers) {
+  sim::Simulation sim;
+  std::unique_ptr<sim::SolvePool> pool;
+  if (workers > 0) {
+    pool = std::make_unique<sim::SolvePool>(sim, workers);
+  }
+  std::vector<std::unique_ptr<sim::FluidDomain>> domains;
+  std::vector<sim::FluidDomain*> pod_domain;
+  for (int p = 0; p < pods; ++p) {
+    domains.push_back(std::make_unique<sim::FluidDomain>(sim, "pod" + std::to_string(p)));
+    if (pool != nullptr) {
+      pool->attach(domains.back()->scheduler());
+    }
+    pod_domain.push_back(domains.back().get());
+  }
+  std::vector<Pod> built;
+  built.reserve(static_cast<std::size_t>(pods));
+  for (int p = 0; p < pods; ++p) {
+    built.push_back(build_pod(*pod_domain[static_cast<std::size_t>(p)], p, kSolvePodNodes));
+  }
+
+  SolveSweepResult res;
+  const auto start = std::chrono::steady_clock::now();
+  res.final_ns = run_pod_flows(sim, built, pod_domain, kSolvePodNodes);
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  if (pool != nullptr) {
+    res.parallel_settles = pool->parallel_settle_count();
+    res.max_batch = pool->max_batch_size();
+  }
+  // Domains detach in ~Pod/domain destruction order; the pool (destroyed
+  // last among locals) must outlive them, which the declaration order above
+  // guarantees: pool > domains > built.
   return res;
 }
 
@@ -265,5 +321,31 @@ int main() {
                "single-scheduler build bit for bit. Build speedup tracks the host's\n"
                "core count (on a 1-core container the column only shows thread\n"
                "overhead); the timeline column is the invariant that matters.\n";
+
+  std::cout << "\n6. Parallel dirty-domain solving (" << kSolvePodNodes
+            << "-node rings, 1 FluidDomain per pod, SolvePool settle; host has "
+            << std::max(1U, std::thread::hardware_concurrency()) << " hw thread(s)):\n";
+  TextTable t6({"pods", "workers", "drain [ms]", "speedup", "par settles",
+                "max batch", "timeline"});
+  for (const int pods : {2, 4}) {
+    const auto baseline = run_parallel_solve(pods, /*workers=*/0);
+    t6.add_row({std::to_string(pods), "0 (serial)", TextTable::num(baseline.wall_ms, 2),
+                "1.00x", "-", "-", "baseline"});
+    for (const int workers : {2, 4}) {
+      const auto r = run_parallel_solve(pods, workers);
+      t6.add_row({std::to_string(pods), std::to_string(workers),
+                  TextTable::num(r.wall_ms, 2),
+                  TextTable::num(baseline.wall_ms / r.wall_ms, 2) + "x",
+                  std::to_string(r.parallel_settles), std::to_string(r.max_batch),
+                  r.final_ns == baseline.final_ns ? "bit-identical" : "DIVERGED"});
+    }
+  }
+  t6.render(std::cout);
+  std::cout << "Every completion instant dirties all P pods at once, so the pool's\n"
+               "settle batches span domains: compute runs on the workers, commits\n"
+               "replay in canonical (domain, component) order, and the timeline\n"
+               "stays bit-identical to the serial drain at every worker count.\n"
+               "Speedup tracks min(pods, cores); on a 1-core host the pool only\n"
+               "adds handoff overhead — the determinism column is the invariant.\n";
   return 0;
 }

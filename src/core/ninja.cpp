@@ -5,6 +5,84 @@
 
 namespace nm::core {
 
+namespace {
+
+// The three SymVirt windows shared by the MPI and generic episodes: park →
+// detach (A) → migrate (B) → re-attach (C) → quit. Runs after the caller
+// has requested quiesce; the caller then awaits its own completion path
+// (CRCP wait_complete vs per-coordinator waits) and stamps linkup/total.
+// Keeping one body is what guarantees the two paths never drift again —
+// the generic episode used to skip ctl.quit() and the timeline spans.
+sim::Task run_windows(sim::Simulation& sim, symvirt::Controller& ctl, const MigrationPlan& plan,
+                      vmm::Monitor::HostResolver& resolver, NinjaStats& stats, TimePoint t0) {
+  co_await ctl.wait_all();
+  stats.coordination = sim.now() - t0;
+  stats.timeline.add_span("coordination", t0, sim.now());
+
+  // Window A: detach VMM-bypass devices where present.
+  const TimePoint detach_start = sim.now();
+  const bool any_hca = [&] {
+    for (const auto& vm : plan.vms) {
+      if (vm->has_vmm_bypass_device()) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  if (any_hca) {
+    co_await ctl.device_detach(plan.hca_tag);
+  }
+  stats.detach = sim.now() - detach_start;
+  stats.timeline.add_span("detach (window A)", detach_start, sim.now());
+  ctl.signal();
+
+  // Window B: move every VM (concurrently) to its destination — live
+  // pre-copy through the monitors, or checkpoint/restore through the
+  // shared store for the proactive-FT mode.
+  co_await ctl.wait_all();
+  const TimePoint mig_start = sim.now();
+  if (plan.via_storage) {
+    std::vector<sim::TaskRef> refs;
+    for (std::size_t i = 0; i < plan.vms.size(); ++i) {
+      auto& vm = plan.vms[i];
+      vmm::Host* dst = resolver(plan.destinations[i % plan.destinations.size()]);
+      NM_CHECK(dst != nullptr, "unknown destination " << plan.destinations[i %
+                                                             plan.destinations.size()]);
+      refs.push_back(sim.spawn(
+          [](std::shared_ptr<vmm::Vm> v, vmm::Host* destination) -> sim::Task {
+            auto& engine = v->host().migration_engine();
+            vmm::Host& src = v->host();
+            co_await engine.checkpoint_to_storage(v, src);
+            co_await engine.restore_from_storage(v, *destination);
+          }(vm, dst),
+          "ckpt:" + vm->name()));
+    }
+    co_await sim::join_all(std::move(refs));
+    ctl.signal();
+  } else {
+    co_await ctl.migration(plan.destinations);  // signals the VMs itself
+    for (std::size_t i = 0; i < plan.vms.size(); ++i) {
+      stats.per_vm.push_back(ctl.agent(i).monitor().last_migration());
+    }
+  }
+  stats.migration = sim.now() - mig_start;
+  stats.timeline.add_span(plan.via_storage ? "ckpt/restore (window B)" : "migration (window B)",
+                          mig_start, sim.now());
+
+  // Window C: re-attach HCAs for a recovery migration.
+  co_await ctl.wait_all();
+  const TimePoint attach_start = sim.now();
+  if (!plan.attach_host_pci.empty()) {
+    co_await ctl.device_attach(plan.attach_host_pci, plan.hca_tag);
+  }
+  stats.attach = sim.now() - attach_start;
+  stats.timeline.add_span("re-attach (window C)", attach_start, sim.now());
+  ctl.signal();
+  ctl.quit();
+}
+
+}  // namespace
+
 NinjaMigrator::NinjaMigrator(sim::Simulation& sim, mpi::MpiRuntime& runtime,
                              vmm::Monitor::HostResolver resolver,
                              symvirt::CoordinatorTiming timing)
@@ -33,71 +111,10 @@ sim::Task NinjaMigrator::execute(MigrationPlan plan, NinjaStats* stats_out) {
   //    the VM in window A.
   const auto generation = runtime_->cr().request();
 
+  // 2)–4) The three windows (detach → migrate → re-attach), shared with
+  //    the generic episode.
   symvirt::Controller ctl(*sim_, plan.vms, plan.ranks_per_vm, resolver_);
-  co_await ctl.wait_all();
-  stats.coordination = sim_->now() - t0;
-  stats.timeline.add_span("coordination", t0, sim_->now());
-
-  // 2) Window A: detach VMM-bypass devices where present.
-  const TimePoint detach_start = sim_->now();
-  const bool any_hca = [&] {
-    for (const auto& vm : plan.vms) {
-      if (vm->has_vmm_bypass_device()) {
-        return true;
-      }
-    }
-    return false;
-  }();
-  if (any_hca) {
-    co_await ctl.device_detach(plan.hca_tag);
-  }
-  stats.detach = sim_->now() - detach_start;
-  stats.timeline.add_span("detach (window A)", detach_start, sim_->now());
-  ctl.signal();
-
-  // 3) Window B: move every VM (concurrently) to its destination — live
-  //    pre-copy through the monitors, or checkpoint/restore through the
-  //    shared store for the proactive-FT mode.
-  co_await ctl.wait_all();
-  const TimePoint mig_start = sim_->now();
-  if (plan.via_storage) {
-    std::vector<sim::TaskRef> refs;
-    for (std::size_t i = 0; i < plan.vms.size(); ++i) {
-      auto& vm = plan.vms[i];
-      vmm::Host* dst = resolver_(plan.destinations[i % plan.destinations.size()]);
-      NM_CHECK(dst != nullptr, "unknown destination " << plan.destinations[i %
-                                                             plan.destinations.size()]);
-      refs.push_back(sim_->spawn(
-          [](std::shared_ptr<vmm::Vm> v, vmm::Host* destination) -> sim::Task {
-            auto& engine = v->host().migration_engine();
-            vmm::Host& src = v->host();
-            co_await engine.checkpoint_to_storage(v, src);
-            co_await engine.restore_from_storage(v, *destination);
-          }(vm, dst),
-          "ckpt:" + vm->name()));
-    }
-    co_await sim::join_all(std::move(refs));
-    ctl.signal();
-  } else {
-    co_await ctl.migration(plan.destinations);  // signals the VMs itself
-    for (std::size_t i = 0; i < plan.vms.size(); ++i) {
-      stats.per_vm.push_back(ctl.agent(i).monitor().last_migration());
-    }
-  }
-  stats.migration = sim_->now() - mig_start;
-  stats.timeline.add_span(plan.via_storage ? "ckpt/restore (window B)" : "migration (window B)",
-                          mig_start, sim_->now());
-
-  // 4) Window C: re-attach HCAs for a recovery migration.
-  co_await ctl.wait_all();
-  const TimePoint attach_start = sim_->now();
-  if (!plan.attach_host_pci.empty()) {
-    co_await ctl.device_attach(plan.attach_host_pci, plan.hca_tag);
-  }
-  stats.attach = sim_->now() - attach_start;
-  stats.timeline.add_span("re-attach (window C)", attach_start, sim_->now());
-  ctl.signal();
-  ctl.quit();
+  co_await run_windows(*sim_, ctl, plan, resolver_, stats, t0);
 
   // 5) Guest side finishes: confirm, link-up wait, BTL reconstruction.
   const TimePoint linkup_start = sim_->now();
@@ -130,39 +147,19 @@ sim::Task run_generic_episode(
     generations.push_back(coord->generation());
   }
 
+  // The same three windows as the MPI path — including ctl.quit() and the
+  // timeline spans, which this path used to skip.
   symvirt::Controller ctl(sim, plan.vms, plan.ranks_per_vm, resolver);
-  co_await ctl.wait_all();
-  stats.coordination = sim.now() - t0;
+  co_await run_windows(sim, ctl, plan, resolver, stats, t0);
 
-  const TimePoint detach_start = sim.now();
-  bool any_hca = false;
-  for (const auto& vm : plan.vms) {
-    any_hca = any_hca || vm->has_vmm_bypass_device();
-  }
-  if (any_hca) {
-    co_await ctl.device_detach(plan.hca_tag);
-  }
-  stats.detach = sim.now() - detach_start;
-  ctl.signal();
-
-  co_await ctl.wait_all();
-  const TimePoint mig_start = sim.now();
-  co_await ctl.migration(plan.destinations);
-  stats.migration = sim.now() - mig_start;
-
-  co_await ctl.wait_all();
-  const TimePoint attach_start = sim.now();
-  if (!plan.attach_host_pci.empty()) {
-    co_await ctl.device_attach(plan.attach_host_pci, plan.hca_tag);
-  }
-  stats.attach = sim.now() - attach_start;
-  ctl.signal();
-
+  // Guest side finishes: each coordinator confirms independently (no CRCP
+  // — the apps resume through their own resume callbacks).
   const TimePoint linkup_start = sim.now();
   for (std::size_t i = 0; i < coordinators.size(); ++i) {
     co_await coordinators[i]->wait_complete(generations[i]);
   }
   stats.linkup = sim.now() - linkup_start;
+  stats.timeline.add_span("confirm+linkup", linkup_start, sim.now());
   stats.total = sim.now() - t0;
   if (stats_out != nullptr) {
     *stats_out = stats;

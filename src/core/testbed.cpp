@@ -18,10 +18,20 @@ std::vector<std::unique_ptr<sim::FluidDomain>> Testbed::make_domains(sim::Simula
 Testbed::Testbed(TestbedConfig config)
     : config_(std::move(config)),
       sim_(config_.seed),
+      solve_pool_(config_.solve_workers > 0
+                      ? std::make_unique<sim::SolvePool>(sim_, config_.solve_workers)
+                      : nullptr),
       domains_(make_domains(sim_, config_.fluid_shards)),
       storage_(zone_domain().scheduler(), "agc"),
       ib_cluster_("agc-ib"),
       eth_cluster_("agc-eth") {
+  if (solve_pool_ != nullptr) {
+    // Attach every shard before any flow can start; attach order fixes the
+    // canonical domain ids the pool commits in.
+    for (auto& d : domains_) {
+      solve_pool_->attach(d->scheduler());
+    }
+  }
   // Topology-aware placement: the enclosure is one connected zone — every
   // blade shares the 10 GbE switch and the NFS storage, so any blade's
   // flows can reach any other blade's resources. One zone → one scheduler;

@@ -17,6 +17,7 @@
 #include "net/port.h"
 #include "sim/fluid.h"
 #include "sim/simulation.h"
+#include "sim/solve_pool.h"
 #include "vmm/host.h"
 #include "vmm/storage.h"
 
@@ -40,6 +41,13 @@ struct TestbedConfig {
   /// for caller-built disjoint zones. Timelines are bit-identical at every
   /// shard count (sim_sharding_test pins this).
   int fluid_shards = 1;
+  /// Worker threads in the shared SolvePool that settles dirty fluid
+  /// domains in parallel at the end of each simulated instant. 0 (default)
+  /// disables the pool: every scheduler settles itself with the legacy
+  /// zero-delay post. Any worker count yields the same event timeline —
+  /// the pool commits in canonical (domain, component) order
+  /// (sim_sharding_test pins this).
+  int solve_workers = 0;
   std::uint64_t seed = 1;
 
   TestbedConfig() {
@@ -61,6 +69,8 @@ class Testbed {
   [[nodiscard]] sim::FluidScheduler& scheduler() { return zone_domain().scheduler(); }
   [[nodiscard]] std::size_t domain_count() const { return domains_.size(); }
   [[nodiscard]] sim::FluidDomain& domain(std::size_t i);
+  /// The parallel settle pool, or nullptr when solve_workers == 0.
+  [[nodiscard]] sim::SolvePool* solve_pool() { return solve_pool_.get(); }
   /// The domain holding every resource of the (fully connected) enclosure.
   [[nodiscard]] sim::FluidDomain& zone_domain() { return *domains_.front(); }
   [[nodiscard]] net::IbFabric& ib_fabric() { return *ib_fabric_; }
@@ -93,6 +103,10 @@ class Testbed {
 
   TestbedConfig config_;
   sim::Simulation sim_;
+  // Destruction order matters: domains detach from the pool first, then the
+  // pool joins its workers and removes its kernel hook, then the simulation
+  // dies — so the pool is declared after sim_ and before domains_.
+  std::unique_ptr<sim::SolvePool> solve_pool_;
   // Declared before storage_/fabrics: they register resources on domain 0.
   std::vector<std::unique_ptr<sim::FluidDomain>> domains_;
   vmm::SharedStorage storage_;

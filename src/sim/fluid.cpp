@@ -4,6 +4,8 @@
 #include <cmath>
 #include <iterator>
 
+#include "sim/solve_pool.h"
+
 namespace nm::sim {
 
 namespace {
@@ -123,6 +125,9 @@ void Flow::resume() {
 // --- FluidScheduler: lifecycle and registry --------------------------------
 
 FluidScheduler::~FluidScheduler() {
+  if (pool_ != nullptr) {
+    pool_->detach(*this);
+  }
   for (auto* res : res_slots_) {
     if (res != nullptr) {
       // Fold the pending constant-rate window into the prefix while the
@@ -310,11 +315,17 @@ void FluidScheduler::merge_into(Component& dst, Component& src) {
 }
 
 void FluidScheduler::mark_dirty(Component& comp) {
-  if (comp.dirty) {
+  if (!comp.dirty) {
+    comp.dirty = true;
+    dirty_comps_.push_back(comp.id);
+  }
+  if (pool_ != nullptr) {
+    // Pool mode: no zero-delay post — the kernel's settle hook fires the
+    // pool at the end of the current instant, batching marks from every
+    // attached domain into one parallel solve.
+    pool_->notify_dirty(*this);
     return;
   }
-  comp.dirty = true;
-  dirty_comps_.push_back(comp.id);
   if (!settle_pending_) {
     // Re-solve before any simulated time passes: rates are continuous in
     // time, so deferring to the end of the current instant is exact and
@@ -384,19 +395,24 @@ void FluidScheduler::integrate_component(Component& comp) {
 }
 
 void FluidScheduler::solve_component(Component& comp) {
+  compute_component(comp, serial_scratch_, serial_result_);
+  commit_component(comp, serial_result_);
+}
+
+void FluidScheduler::compute_component(Component& comp, SolveScratch& scratch, SolveResult& out) {
   const TimePoint now = sim_->now();
-  if (res_residual_.size() < res_slots_.size()) {
-    res_residual_.resize(res_slots_.size());
-    res_wsum_.resize(res_slots_.size());
-    res_unfrozen_.resize(res_slots_.size());
-    res_binding_.resize(res_slots_.size());
+  if (scratch.res_residual.size() < res_slots_.size()) {
+    scratch.res_residual.resize(res_slots_.size());
+    scratch.res_wsum.resize(res_slots_.size());
+    scratch.res_unfrozen.resize(res_slots_.size());
+    scratch.res_binding.resize(res_slots_.size());
   }
   for (const auto slot : comp.res_slots) {
     FluidResource* res = res_slots_[slot];
-    res_residual_[slot] = res->capacity_;
-    res_wsum_[slot] = 0.0;
-    res_unfrozen_[slot] = 0;
-    res_binding_[slot] = 0;
+    scratch.res_residual[slot] = res->capacity_;
+    scratch.res_wsum[slot] = 0.0;
+    scratch.res_unfrozen[slot] = 0;
+    scratch.res_binding[slot] = 0;
     // Close the constant-rate window: pass 1 below re-integrates consumed_
     // to `now` per flow-share, and assign_max_min_rates re-accumulates the
     // aggregate rate as it freezes flows at their new rates.
@@ -410,11 +426,12 @@ void FluidScheduler::solve_component(Component& comp) {
   // is done when its residual work cannot be represented on the nanosecond
   // clock (less than half a tick at the current rate) — this avoids endless
   // zero-delay reschedules.
-  scratch_finished_.clear();
-  scratch_unfrozen_.clear();
+  out.finished.clear();
+  out.next_completion_s = std::numeric_limits<double>::infinity();
+  scratch.unfrozen.clear();
   double first_cap = std::numeric_limits<double>::infinity();
   auto& cf = comp.flows;
-  std::size_t out = 0;  // stable compaction: completions fire in start order
+  std::size_t out_idx = 0;  // stable compaction: completions fire in start order
   for (std::size_t i = 0; i < cf.size(); ++i) {
     Flow* f = cf[i];
     const Duration elapsed = now - f->last_update_;
@@ -428,37 +445,48 @@ void FluidScheduler::solve_component(Component& comp) {
     f->last_update_ = now;
     const double sub_tick = f->rate_ * 0.5e-9;
     if (f->remaining_ <= std::max(kEpsilon, sub_tick)) {
-      scratch_finished_.push_back(flows_[f->global_index_]);
-      finish_flow_locked(*f);
+      // `flows_` is read-only during the compute phase (the swap-remove
+      // happens in commit), so taking the strong ref here is safe even when
+      // other components of this scheduler are computing concurrently.
+      out.finished.push_back(flows_[f->global_index_]);
+      finish_flow_local(*f);
       continue;
     }
-    cf[out] = f;
-    f->comp_index_ = static_cast<std::uint32_t>(out);
-    ++out;
+    cf[out_idx] = f;
+    f->comp_index_ = static_cast<std::uint32_t>(out_idx);
+    ++out_idx;
     f->rate_ = 0.0;
-    scratch_unfrozen_.push_back(f);
+    scratch.unfrozen.push_back(f);
     for (const auto& share : f->shares_) {
       const auto slot = share.resource->slot_;
-      res_wsum_[slot] += share.weight;
-      ++res_unfrozen_[slot];
+      scratch.res_wsum[slot] += share.weight;
+      ++scratch.res_unfrozen[slot];
     }
     first_cap = std::min(first_cap, f->max_rate_);
   }
-  cf.resize(out);
+  cf.resize(out_idx);
 
   // Pass 2: re-solve rates and find the earliest completion.
   comp.dirty = false;
   if (!cf.empty()) {
-    const double next_completion_s = assign_max_min_rates(comp, first_cap);
+    out.next_completion_s = assign_max_min_rates(comp, first_cap, scratch);
     // O(1)-read accounting: the filling left each resource's residual
     // behind, so its aggregate consumption rate is capacity − residual —
     // one deterministic subtraction per resource, valid until the next
     // solve (see FluidResource::consumed()).
     for (const auto slot : comp.res_slots) {
       FluidResource* res = res_slots_[slot];
-      res->consume_rate_ = res->capacity_ - res_residual_[slot];
+      res->consume_rate_ = res->capacity_ - scratch.res_residual[slot];
     }
-    arm_timer(comp, next_completion_s);
+  }
+}
+
+void FluidScheduler::commit_component(Component& comp, SolveResult& out) {
+  for (const auto& flow : out.finished) {
+    retire_flow_global(*flow);
+  }
+  if (!comp.flows.empty()) {
+    arm_timer(comp, out.next_completion_s);
   } else {
     // Dissolve: a later flow on these resources starts a fresh component.
     // Outstanding timers die on the null/generation check.
@@ -472,20 +500,25 @@ void FluidScheduler::solve_component(Component& comp) {
   }
 
   // Fire completions after bookkeeping so waiters observe a settled state.
-  for (auto& flow : scratch_finished_) {
+  for (auto& flow : out.finished) {
     flow->done_->set();
   }
-  scratch_finished_.clear();
+  out.finished.clear();
 }
 
-void FluidScheduler::finish_flow_locked(Flow& flow) {
+void FluidScheduler::finish_flow_local(Flow& flow) {
   flow.remaining_ = 0.0;
   flow.finished_ = true;
+  flow.comp_ = kNone;
+  flow.comp_index_ = Flow::kNoIndex;
   for (const auto& share : flow.shares_) {
     NM_CHECK(share.resource->active_flows_ > 0,
              "resource flow count underflow on " << share.resource->name());
     --share.resource->active_flows_;
   }
+}
+
+void FluidScheduler::retire_flow_global(Flow& flow) {
   const auto idx = flow.global_index_;
   if (idx + 1 != flows_.size()) {
     flows_[idx] = std::move(flows_.back());
@@ -493,36 +526,36 @@ void FluidScheduler::finish_flow_locked(Flow& flow) {
   }
   flows_.pop_back();
   flow.global_index_ = Flow::kNoIndex;
-  flow.comp_ = kNone;
-  flow.comp_index_ = Flow::kNoIndex;
   ++retired_since_rebuild_;
 }
 
-double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap) {
+double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap,
+                                            SolveScratch& scratch) {
   // Progressive filling with weighted consumption: in each round find the
   // tightest constraint — a resource's equal-rate share
   // (residual / Σ weights of unfrozen flows on it) or a flow's own cap —
   // freeze the flows it binds, subtract their consumption, repeat.
   // Slot-indexed scratch rows and the unfrozen list were prepared by
-  // solve_component's fused pass; `first_cap` is the round-1 cap minimum
+  // compute_component's fused pass; `first_cap` is the round-1 cap minimum
   // (later rounds must recompute it over the still-unfrozen flows).
   double next = std::numeric_limits<double>::infinity();
   bool first_round = true;
-  while (!scratch_unfrozen_.empty()) {
+  while (!scratch.unfrozen.empty()) {
     // Tightest constraint this round. Guard on the integer count, not
     // weight_sum: subtractive updates of tiny weights (1e-9 core-sec/byte)
     // leave fp residue behind.
     double bound = std::numeric_limits<double>::infinity();
     for (const auto slot : comp.res_slots) {
-      if (res_unfrozen_[slot] > 0 && res_wsum_[slot] > 0.0) {
-        bound = std::min(bound, std::max(0.0, res_residual_[slot]) / res_wsum_[slot]);
+      if (scratch.res_unfrozen[slot] > 0 && scratch.res_wsum[slot] > 0.0) {
+        bound = std::min(bound,
+                         std::max(0.0, scratch.res_residual[slot]) / scratch.res_wsum[slot]);
       }
     }
     if (first_round) {
       bound = std::min(bound, first_cap);
       first_round = false;
     } else {
-      for (const Flow* f : scratch_unfrozen_) {
+      for (const Flow* f : scratch.unfrozen) {
         bound = std::min(bound, f->max_rate_);
       }
     }
@@ -531,21 +564,22 @@ double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap) {
     // Freeze every flow bound at `bound`: flows whose cap equals the bound,
     // plus all flows on resources whose share equals the bound.
     for (const auto slot : comp.res_slots) {
-      res_binding_[slot] =
-          res_unfrozen_[slot] > 0 && res_wsum_[slot] > 0.0 &&
-          std::max(0.0, res_residual_[slot]) / res_wsum_[slot] <= bound * (1.0 + 1e-12);
+      scratch.res_binding[slot] =
+          scratch.res_unfrozen[slot] > 0 && scratch.res_wsum[slot] > 0.0 &&
+          std::max(0.0, scratch.res_residual[slot]) / scratch.res_wsum[slot] <=
+              bound * (1.0 + 1e-12);
     }
     // Flows frozen exactly at `bound` share one division: min(remaining)
     // over the group, divided once. Monotone, so bit-identical to dividing
     // each and taking the min.
     double bound_min_remaining = std::numeric_limits<double>::infinity();
     bool froze_any = false;
-    for (std::size_t i = 0; i < scratch_unfrozen_.size();) {
-      Flow* f = scratch_unfrozen_[i];
+    for (std::size_t i = 0; i < scratch.unfrozen.size();) {
+      Flow* f = scratch.unfrozen[i];
       bool freeze = f->max_rate_ <= bound * (1.0 + 1e-12);
       if (!freeze) {
         for (const auto& share : f->shares_) {
-          if (res_binding_[share.resource->slot_] != 0) {
+          if (scratch.res_binding[share.resource->slot_] != 0) {
             freeze = true;
             break;
           }
@@ -559,10 +593,10 @@ double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap) {
       f->rate_ = rate;
       for (const auto& share : f->shares_) {
         const auto slot = share.resource->slot_;
-        res_residual_[slot] -= rate * share.weight;
-        res_wsum_[slot] -= share.weight;
-        NM_CHECK(res_unfrozen_[slot] > 0, "fluid unfrozen-count underflow");
-        --res_unfrozen_[slot];
+        scratch.res_residual[slot] -= rate * share.weight;
+        scratch.res_wsum[slot] -= share.weight;
+        NM_CHECK(scratch.res_unfrozen[slot] > 0, "fluid unfrozen-count underflow");
+        --scratch.res_unfrozen[slot];
       }
       if (rate == bound) {
         bound_min_remaining = std::min(bound_min_remaining, f->remaining_);
@@ -570,8 +604,8 @@ double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap) {
         next = std::min(next, f->remaining_ / rate);
       }
       froze_any = true;
-      scratch_unfrozen_[i] = scratch_unfrozen_.back();
-      scratch_unfrozen_.pop_back();
+      scratch.unfrozen[i] = scratch.unfrozen.back();
+      scratch.unfrozen.pop_back();
     }
     if (bound > 0.0 && std::isfinite(bound_min_remaining)) {
       next = std::min(next, bound_min_remaining / bound);
@@ -604,6 +638,13 @@ void FluidScheduler::on_timer(std::uint64_t key) {
   auto* comp = id < comps_.size() ? comps_[id].get() : nullptr;
   if (comp == nullptr || comp->gen != gen) {
     return;  // superseded by a later solve, merge, or rebuild
+  }
+  if (pool_ != nullptr) {
+    // Pool mode: completion timers mark instead of solving inline, so every
+    // timer firing at this instant — across all attached domains — lands in
+    // one parallel settle (the pool also drives maybe_rebuild afterwards).
+    mark_dirty(*comp);
+    return;
   }
   solve_component(*comp);
   maybe_rebuild();

@@ -34,6 +34,7 @@
 namespace nm::sim {
 
 class FluidScheduler;
+class SolvePool;
 
 /// A capacity-bearing resource. Units are caller-defined (cores, bytes/s).
 /// A resource registers with exactly one scheduler — eagerly when
@@ -189,6 +190,7 @@ class FluidScheduler {
  private:
   friend class Flow;
   friend class FluidResource;
+  friend class SolvePool;
 
   static constexpr std::uint32_t kNone = 0xffffffffU;
 
@@ -201,6 +203,27 @@ class FluidScheduler {
     bool dirty = false;
     std::vector<Flow*> flows;
     std::vector<std::uint32_t> res_slots;
+  };
+
+  /// Scratch for the pure compute phase of a solve, owned per worker (and
+  /// once per scheduler for the serial path). Rows are slot-indexed into
+  /// the owning scheduler's resource registry and initialized per component
+  /// before use, so one scratch can serve components from any scheduler —
+  /// it only ever needs to be grown, never cleared.
+  struct SolveScratch {
+    std::vector<double> res_residual;
+    std::vector<double> res_wsum;
+    std::vector<std::uint32_t> res_unfrozen;
+    std::vector<std::uint8_t> res_binding;
+    std::vector<Flow*> unfrozen;
+  };
+
+  /// Everything a compute phase hands to the serial commit phase: the flows
+  /// that completed (strong refs, in component order) and the earliest
+  /// time-to-completion among the survivors.
+  struct SolveResult {
+    std::vector<FlowPtr> finished;
+    double next_completion_s = std::numeric_limits<double>::infinity();
   };
 
   void register_resource(FluidResource& res);
@@ -223,15 +246,31 @@ class FluidScheduler {
   /// Brings one flow's component up to date (getter entry point).
   void ensure_settled(const Flow& flow);
 
-  /// Integrate + complete + re-solve + re-arm timer for one component.
+  /// Integrate + complete + re-solve + re-arm timer for one component:
+  /// compute_component + commit_component back to back (the serial path).
   void solve_component(Component& comp);
+  /// The pure compute phase of a solve: integrates progress, detects
+  /// completions, compacts the component's flow list, and re-solves rates
+  /// and consumption stamps — touching only the component's own flows and
+  /// resources plus the caller's scratch, so distinct components (of this
+  /// or any other scheduler) can compute concurrently. Posts nothing and
+  /// mutates no scheduler-global state; completions and the next timer are
+  /// reported through `out` for commit_component.
+  void compute_component(Component& comp, SolveScratch& scratch, SolveResult& out);
+  /// The serial commit phase: retires finished flows from the global list,
+  /// arms the component's next-completion timer (or dissolves an emptied
+  /// component), then fires completion events. Callers running computes in
+  /// parallel must invoke commits one at a time, in canonical (domain id,
+  /// component id) order, so every post into the shared Simulation queue
+  /// draws the same sequence numbers as the single-threaded schedule.
+  void commit_component(Component& comp, SolveResult& out);
   /// Advances progress/consumption at current rates; no completions.
   void integrate_component(Component& comp);
   /// Weighted progressive-filling rounds over one component, consuming the
-  /// scratch state prepared by solve_component (`first_cap` = round-1 min
+  /// scratch state prepared by compute_component (`first_cap` = round-1 min
   /// over flow caps). Returns the earliest time-to-completion among its
   /// flows (seconds; +inf if none progress).
-  double assign_max_min_rates(Component& comp, double first_cap);
+  double assign_max_min_rates(Component& comp, double first_cap, SolveScratch& scratch);
   void arm_timer(Component& comp, double next_completion_s);
   void on_timer(std::uint64_t key);
 
@@ -241,7 +280,11 @@ class FluidScheduler {
   void maybe_rebuild();
   void rebuild_components();
 
-  void finish_flow_locked(Flow& flow);
+  /// Completion bookkeeping confined to the flow's own component/resources
+  /// (safe in the parallel compute phase).
+  void finish_flow_local(Flow& flow);
+  /// Scheduler-global completion bookkeeping (commit phase only).
+  void retire_flow_global(Flow& flow);
 
   Simulation* sim_;
   std::vector<FlowPtr> flows_;
@@ -257,17 +300,20 @@ class FluidScheduler {
   std::size_t live_comp_count_ = 0;
 
   // Deferred settling: mutations mark components dirty and a zero-delay
-  // callback re-solves them before any simulated time passes.
+  // callback re-solves them before any simulated time passes. When a
+  // SolvePool is attached, the pool's kernel settle hook takes over: marks
+  // notify the pool instead of posting, and dirty components are solved in
+  // parallel at the end of the instant.
   std::vector<std::uint32_t> dirty_comps_;
   bool settle_pending_ = false;
+  SolvePool* pool_ = nullptr;
+  bool pool_dirty_ = false;       // this scheduler has unsettled components
+  std::uint32_t pool_domain_ = 0;  // attach order = canonical domain id
 
-  // Solve scratch, reused across rebalances (indexed by resource slot).
-  std::vector<double> res_residual_;
-  std::vector<double> res_wsum_;
-  std::vector<std::uint32_t> res_unfrozen_;
-  std::vector<std::uint8_t> res_binding_;
-  std::vector<Flow*> scratch_unfrozen_;
-  std::vector<FlowPtr> scratch_finished_;
+  // Solve scratch/result for the serial path (ensure_settled, rebalance,
+  // and every solve when no pool is attached).
+  SolveScratch serial_scratch_;
+  SolveResult serial_result_;
 
   std::size_t retired_since_rebuild_ = 0;
   std::uint32_t next_gen_ = 0;

@@ -28,7 +28,19 @@ struct Simulation::Detached {
   std::string name;
 };
 
-Simulation::Simulation(std::uint64_t seed) : seed_(seed) {}
+namespace {
+// Initial slab for the queue and callback pool. Sized so short-lived
+// micro-episodes (a handful of flows plus their settle timers) never pay
+// the cold geometric growths; steady-state behavior is unchanged because
+// slots are free-listed and the vectors never shrink.
+constexpr std::size_t kInitialSlab = 128;
+}  // namespace
+
+Simulation::Simulation(std::uint64_t seed) : seed_(seed) {
+  queue_.reserve(kInitialSlab);
+  callback_pool_.reserve(kInitialSlab);
+  free_callback_slots_.reserve(kInitialSlab);
+}
 
 Simulation::~Simulation() {
   // Destroy any still-suspended detached tasks. Their frames may hold
@@ -119,10 +131,37 @@ void Simulation::drain_destroy_list() {
   destroy_list_.clear();
 }
 
-bool Simulation::step() {
-  if (queue_.empty()) {
-    return false;
+std::uint64_t Simulation::add_settle_hook(std::function<void()> hook) {
+  NM_CHECK(hook != nullptr, "null settle hook");
+  const std::uint64_t id = next_settle_hook_id_++;
+  settle_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Simulation::remove_settle_hook(std::uint64_t id) {
+  for (auto it = settle_hooks_.begin(); it != settle_hooks_.end(); ++it) {
+    if (it->first == id) {
+      settle_hooks_.erase(it);
+      return;
+    }
   }
+  NM_CHECK(false, "unknown settle hook " << id);
+}
+
+void Simulation::maybe_settle() {
+  if (!settle_requested_) {
+    return;
+  }
+  if (!queue_.empty() && queue_.front().at <= now_) {
+    return;  // the current instant is still playing out; defer
+  }
+  settle_requested_ = false;
+  for (auto& [id, hook] : settle_hooks_) {
+    hook();
+  }
+}
+
+void Simulation::dispatch_one() {
   const QueueEntry entry = pop_next();
   NM_CHECK(entry.at >= now_, "event queue went backwards");
   now_ = entry.at;
@@ -140,6 +179,16 @@ bool Simulation::step() {
     auto e = std::exchange(pending_exception_, nullptr);
     std::rethrow_exception(e);
   }
+}
+
+bool Simulation::step() {
+  // Settle hooks may arm timers (so the queue can refill) or complete
+  // flows at `now_`, so they must run before the empty check.
+  maybe_settle();
+  if (queue_.empty()) {
+    return false;
+  }
+  dispatch_one();
   return true;
 }
 
@@ -150,8 +199,14 @@ TimePoint Simulation::run() {
 }
 
 TimePoint Simulation::run_until(TimePoint deadline) {
-  while (!queue_.empty() && queue_.front().at <= deadline) {
-    step();
+  while (true) {
+    // A pending settle may arm timers at or before `deadline`, so it must
+    // run before deciding whether anything is left to execute.
+    maybe_settle();
+    if (queue_.empty() || queue_.front().at > deadline) {
+      break;
+    }
+    dispatch_one();
   }
   if (now_ < deadline) {
     now_ = deadline;

@@ -5,6 +5,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -82,6 +83,20 @@ class Simulation {
   TimePoint run_until(TimePoint deadline);
   TimePoint run_for(Duration d) { return run_until(now_ + d); }
 
+  /// Registers a settle hook: a callback the kernel runs at the *end* of a
+  /// simulated instant — after a settle was requested, just before the
+  /// clock would advance past `now()` (or the queue drains). Lazily-settled
+  /// models (the fluid SolvePool) use this to batch every same-instant
+  /// dirty mark into one settle point instead of posting zero-delay events.
+  /// Returns an id for remove_settle_hook(). Hooks run in registration
+  /// order; they may post new events at `now()`, which then execute before
+  /// time advances.
+  std::uint64_t add_settle_hook(std::function<void()> hook);
+  void remove_settle_hook(std::uint64_t id);
+  /// Arms the settle hooks for the current instant. Idempotent; cleared
+  /// once the hooks have run.
+  void request_settle() { settle_requested_ = true; }
+
   /// Number of spawned tasks that have not yet finished. Tests use this to
   /// assert that scenarios quiesce (no deadlocked activity).
   [[nodiscard]] std::size_t live_task_count() const { return live_tasks_; }
@@ -109,7 +124,12 @@ class Simulation {
 
   void enqueue(TimePoint at, std::coroutine_handle<> h, EventCallback fn);
   void on_detached_done(std::uint64_t id, std::exception_ptr exception);
-  bool step();  // executes one queue entry; returns false when queue empty
+  bool step();  // runs due settle hooks + one queue entry; false when empty
+  void dispatch_one();  // executes the front queue entry (queue non-empty)
+  // Runs the settle hooks if a settle is pending and the current instant is
+  // over (no queued entry at `now_`). Same-instant entries defer the settle
+  // so all marks from one instant batch into a single hook invocation.
+  void maybe_settle();
   void drain_destroy_list();
   QueueEntry pop_next();
 
@@ -134,6 +154,10 @@ class Simulation {
   std::vector<std::coroutine_handle<>> destroy_list_;
   std::size_t live_tasks_ = 0;
   std::exception_ptr pending_exception_;
+
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> settle_hooks_;
+  std::uint64_t next_settle_hook_id_ = 1;
+  bool settle_requested_ = false;
 };
 
 /// A broadcast event. `set()` wakes every waiter; waiting on an already-set

@@ -1,0 +1,186 @@
+#include "sim/solve_pool.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace nm::sim {
+
+SolvePool::SolvePool(Simulation& sim, int workers) : sim_(&sim) {
+  NM_CHECK(workers >= 1, "SolvePool needs at least one worker");
+  scratch_.resize(static_cast<std::size_t>(workers) + 1);  // + the sim thread
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(static_cast<std::size_t>(i)); });
+  }
+  hook_id_ = sim.add_settle_hook([this] { settle(); });
+}
+
+SolvePool::~SolvePool() {
+  for (auto* sched : attached_) {
+    if (sched != nullptr) {
+      detach(*sched);
+    }
+  }
+  sim_->remove_settle_hook(hook_id_);
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+void SolvePool::attach(FluidScheduler& scheduler) {
+  NM_CHECK(scheduler.pool_ == nullptr, "scheduler already attached to a pool");
+  NM_CHECK(scheduler.sim_ == sim_, "scheduler runs on a different simulation");
+  NM_CHECK(!scheduler.settle_pending_ && scheduler.dirty_comps_.empty(),
+           "attach the pool before the scheduler has pending settles");
+  scheduler.pool_ = this;
+  scheduler.pool_dirty_ = false;
+  scheduler.pool_domain_ = static_cast<std::uint32_t>(attached_.size());
+  attached_.push_back(&scheduler);
+}
+
+void SolvePool::detach(FluidScheduler& scheduler) {
+  NM_CHECK(scheduler.pool_ == this, "scheduler not attached to this pool");
+  attached_[scheduler.pool_domain_] = nullptr;
+  scheduler.pool_ = nullptr;
+  scheduler.pool_dirty_ = false;
+  // Hand any still-unsettled components back to the legacy zero-delay
+  // settle so nothing is stranded mid-instant.
+  if (!scheduler.dirty_comps_.empty() && !scheduler.settle_pending_) {
+    scheduler.settle_pending_ = true;
+    sim_->post(Duration::zero(), [sched = &scheduler] {
+      sched->settle_pending_ = false;
+      sched->settle_dirty();
+    });
+  }
+}
+
+void SolvePool::notify_dirty(FluidScheduler& scheduler) {
+  scheduler.pool_dirty_ = true;
+  sim_->request_settle();
+}
+
+void SolvePool::settle() {
+  // Phase 0 (serial): collect the batch in canonical order. Schedulers are
+  // walked in attach (= domain id) order and their dirty lists re-checked
+  // against the authoritative per-component flag (ensure_settled may have
+  // already solved some serially; merges retire components). Component ids
+  // are unique within a dirty list (the flag dedups marks) and ascending
+  // within it is not guaranteed, so sort below.
+  tasks_.clear();
+  for (std::uint32_t domain = 0; domain < attached_.size(); ++domain) {
+    FluidScheduler* sched = attached_[domain];
+    if (sched == nullptr || !sched->pool_dirty_) {
+      continue;
+    }
+    sched->pool_dirty_ = false;
+    for (const auto id : sched->dirty_comps_) {
+      auto* comp = id < sched->comps_.size() ? sched->comps_[id].get() : nullptr;
+      if (comp != nullptr && comp->dirty) {
+        TaskEntry entry;
+        entry.sched = sched;
+        entry.comp = comp;
+        entry.domain = domain;
+        tasks_.push_back(std::move(entry));
+      }
+    }
+    sched->dirty_comps_.clear();
+  }
+  if (tasks_.empty()) {
+    return;
+  }
+  std::sort(tasks_.begin(), tasks_.end(), [](const TaskEntry& a, const TaskEntry& b) {
+    return a.domain != b.domain ? a.domain < b.domain : a.comp->id < b.comp->id;
+  });
+
+  ++settles_;
+  solved_comps_ += tasks_.size();
+  max_batch_ = std::max(max_batch_, tasks_.size());
+
+  // Phase 1: compute. Single-task batches skip the handoff entirely — the
+  // common case for small episodes stays free of synchronization. For
+  // larger batches the simulation thread steals alongside the workers
+  // (scratch slot workers_.size() is reserved for it); indices are claimed
+  // under the mutex — batches are at most a few dozen components and the
+  // compute itself runs unlocked, so claim contention is noise, and the
+  // lock gives every thread a consistent view of the batch (no stale-epoch
+  // stealing) plus the happens-before edge the commit phase needs.
+  if (tasks_.size() == 1) {
+    run_compute(0, workers_.size());
+  } else {
+    ++parallel_settles_;
+    std::unique_lock<std::mutex> lk(mutex_);
+    task_count_ = tasks_.size();
+    next_task_ = 0;
+    done_tasks_ = 0;
+    ++epoch_;
+    work_cv_.notify_all();
+    while (next_task_ < task_count_) {
+      const std::size_t i = next_task_++;
+      lk.unlock();
+      run_compute(i, workers_.size());
+      lk.lock();
+      ++done_tasks_;
+    }
+    done_cv_.wait(lk, [this] { return done_tasks_ == task_count_; });
+    task_count_ = 0;
+    next_task_ = 0;
+  }
+
+  // Phase 2 (serial): commit in canonical order. This is the only phase
+  // that posts timers or fires events, so the sequence numbers drawn from
+  // the shared queue are independent of how phase 1 interleaved.
+  for (auto& task : tasks_) {
+    if (task.error) {
+      std::rethrow_exception(task.error);
+    }
+    task.sched->commit_component(*task.comp, task.result);
+  }
+  // Per-scheduler epilogue (epoch rebuilds), still in domain order.
+  FluidScheduler* last = nullptr;
+  for (auto& task : tasks_) {
+    if (task.sched != last) {
+      last = task.sched;
+      task.sched->maybe_rebuild();
+    }
+  }
+  tasks_.clear();
+}
+
+void SolvePool::run_compute(std::size_t task_index, std::size_t scratch_index) {
+  TaskEntry& task = tasks_[task_index];
+  try {
+    task.sched->compute_component(*task.comp, scratch_[scratch_index], task.result);
+  } catch (...) {
+    task.error = std::current_exception();
+  }
+}
+
+void SolvePool::worker_main(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lk(mutex_);
+  while (true) {
+    work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) {
+      return;
+    }
+    seen_epoch = epoch_;
+    while (next_task_ < task_count_) {
+      const std::size_t i = next_task_++;
+      lk.unlock();
+      run_compute(i, worker_index);
+      lk.lock();
+      ++done_tasks_;
+      if (done_tasks_ == task_count_) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace nm::sim

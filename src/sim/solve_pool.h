@@ -1,0 +1,106 @@
+// A persistent worker pool that parallelizes the fluid solve across dirty
+// components at each settle point, without perturbing the deterministic
+// event schedule.
+//
+// How it keeps the timeline bit-identical to the single-threaded run:
+//   1. Dirty marks never post: attached schedulers route mark_dirty (and
+//      completion-timer firings) to the pool, which arms the kernel's
+//      settle hook. The hook runs at the end of the simulated instant, so
+//      every component dirtied at that instant — across all domains — is
+//      collected into one batch.
+//   2. The batch is sorted by (domain id, component id) — a canonical
+//      order independent of mark order and of worker count.
+//   3. Workers (plus the simulation thread) run only the *pure compute*
+//      phase (FluidScheduler::compute_component): each task touches its own
+//      component's flows/resources and a per-worker scratch, nothing else.
+//   4. After a barrier, the simulation thread runs every *commit* phase
+//      serially in the canonical order. Commits are the only place timer
+//      posts and completion events enter the shared Simulation queue, so
+//      they draw exactly the sequence numbers the serial schedule would.
+// See DESIGN.md §5 "Parallel dirty-domain solving".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/fluid.h"
+#include "sim/simulation.h"
+
+namespace nm::sim {
+
+class SolvePool {
+ public:
+  /// Spawns `workers` persistent threads (>= 1) and registers the settle
+  /// hook with `sim`. The pool must outlive no scheduler attached to it and
+  /// must be destroyed before `sim`.
+  SolvePool(Simulation& sim, int workers);
+  ~SolvePool();
+  SolvePool(const SolvePool&) = delete;
+  SolvePool& operator=(const SolvePool&) = delete;
+
+  /// Takes over settling for `scheduler`. Attach order defines the
+  /// scheduler's canonical domain id. Must happen before the scheduler has
+  /// any pending settle (i.e. right after construction).
+  void attach(FluidScheduler& scheduler);
+  void detach(FluidScheduler& scheduler);
+
+  [[nodiscard]] int worker_count() const { return static_cast<int>(workers_.size()); }
+  /// Settle points executed so far, and how many of them had 2+ components
+  /// to solve (the ones where parallelism could help).
+  [[nodiscard]] std::size_t settle_count() const { return settles_; }
+  [[nodiscard]] std::size_t parallel_settle_count() const { return parallel_settles_; }
+  [[nodiscard]] std::size_t solved_component_count() const { return solved_comps_; }
+  [[nodiscard]] std::size_t max_batch_size() const { return max_batch_; }
+
+ private:
+  friend class FluidScheduler;
+
+  struct TaskEntry {
+    FluidScheduler* sched = nullptr;
+    FluidScheduler::Component* comp = nullptr;
+    std::uint32_t domain = 0;
+    FluidScheduler::SolveResult result;
+    std::exception_ptr error;
+  };
+
+  /// Called by an attached scheduler on every dirty mark; arms the kernel
+  /// settle hook for the current instant.
+  void notify_dirty(FluidScheduler& scheduler);
+  /// The settle hook body: collect → parallel compute → serial commit.
+  void settle();
+  void run_compute(std::size_t task_index, std::size_t scratch_index);
+  void worker_main(std::size_t worker_index);
+
+  Simulation* sim_;
+  std::uint64_t hook_id_ = 0;
+  /// Attach-ordered; detach leaves a null hole so domain ids stay stable.
+  std::vector<FluidScheduler*> attached_;
+
+  // The task batch for the current settle. Published to workers under
+  // `mutex_` by bumping `epoch_`; task indices are claimed under the same
+  // mutex (the compute runs unlocked), and the `done_tasks_` count both
+  // signals completion and gives the commit phase a happens-before edge
+  // over every compute phase.
+  std::vector<TaskEntry> tasks_;
+  std::vector<FluidScheduler::SolveScratch> scratch_;  // workers + sim thread
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  std::size_t task_count_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t done_tasks_ = 0;
+  bool stop_ = false;
+
+  std::size_t settles_ = 0;
+  std::size_t parallel_settles_ = 0;
+  std::size_t solved_comps_ = 0;
+  std::size_t max_batch_ = 0;
+};
+
+}  // namespace nm::sim

@@ -43,16 +43,21 @@ sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats*
   // --- Iterative pre-copy ----------------------------------------------
   while (true) {
     ++stats.rounds;
-    co_await drain_dirty(vm, src, dst, stats);
+    co_await drain_dirty(vm, src, dst, stats, stats_out);
     if (stats_out != nullptr) {
       *stats_out = stats;
     }
 
     const Bytes remaining_wire = mem.dirty_wire_size(config_.compress_dup_pages);
+    // The stop-and-copy estimate must not exceed what the wire can carry:
+    // even the CPU-bound TCP sender is capped by the uplink when the link
+    // is slower than the thread (and RDMA always runs at line rate). An
+    // uplink-blind estimate is optimistic on slow links, so the loop would
+    // stop pre-copying early and blow through max_downtime.
+    const double line_rate = src.eth_uplink().line_rate().bytes_per_second();
     const double est_rate =
-        std::min(config_.max_bandwidth,
-                 config_.use_rdma ? src.eth_uplink().line_rate().bytes_per_second()
-                                  : config_.thread_send_rate);
+        std::min({config_.max_bandwidth, line_rate,
+                  config_.use_rdma ? line_rate : config_.thread_send_rate});
     const Duration est_downtime =
         Duration::seconds(static_cast<double>(remaining_wire.count()) / est_rate);
     if (est_downtime <= config_.max_downtime) {
@@ -68,7 +73,11 @@ sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats*
   // --- Stop-and-copy -----------------------------------------------------
   const TimePoint pause_at = sim.now();
   vm.pause();
-  co_await drain_dirty(vm, src, dst, stats);
+  stats.pause_at = pause_at;
+  if (stats_out != nullptr) {
+    *stats_out = stats;  // readers see the blackout start immediately
+  }
+  co_await drain_dirty(vm, src, dst, stats, stats_out);
   mem.stop_dirty_logging();
 
   // Re-home the VM: storage is shared, the virtio NIC re-binds and keeps
@@ -157,7 +166,8 @@ sim::Task MigrationEngine::restore_from_storage(std::shared_ptr<Vm> vm, Host& ds
 
 bool MigrationEngine::has_image(const Vm& vm) const { return images_.contains(&vm); }
 
-sim::Task MigrationEngine::drain_dirty(Vm& vm, Host& src, Host& dst, MigrationStats& stats) {
+sim::Task MigrationEngine::drain_dirty(Vm& vm, Host& src, Host& dst, MigrationStats& stats,
+                                       MigrationStats* live) {
   auto& mem = vm.memory();
   // Self-migration (Table II's micro-benchmark): a fresh QEMU on the same
   // node receives over loopback — no fabric, but the sender thread still
@@ -193,16 +203,19 @@ sim::Task MigrationEngine::drain_dirty(Vm& vm, Host& src, Host& dst, MigrationSt
       co_await src.node().compute(
           static_cast<double>(wire.count()) /
           std::min(config_.thread_send_rate, config_.max_bandwidth));
-      continue;
+    } else {
+      net::TransferOptions opts;
+      opts.max_rate = config_.max_bandwidth;
+      if (!config_.use_rdma) {
+        opts.max_rate = std::min(opts.max_rate, config_.thread_send_rate);
+        // Sending at the cap keeps one core busy.
+        opts.src_cpu_per_byte = 1.0 / config_.thread_send_rate;
+      }
+      co_await src.eth_fabric().transfer(src_att, dst_addr, wire, opts);
     }
-    net::TransferOptions opts;
-    opts.max_rate = config_.max_bandwidth;
-    if (!config_.use_rdma) {
-      opts.max_rate = std::min(opts.max_rate, config_.thread_send_rate);
-      // Sending at the cap keeps one core busy.
-      opts.src_cpu_per_byte = 1.0 / config_.thread_send_rate;
+    if (live != nullptr) {
+      *live = stats;  // chunk landed: publish wire progress mid-drain
     }
-    co_await src.eth_fabric().transfer(src_att, dst_addr, wire, opts);
   }
 }
 

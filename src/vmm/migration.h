@@ -64,6 +64,10 @@ struct MigrationStats {
   Bytes dup_pages_saved = Bytes::zero();  // payload avoided by compression
   Duration total = Duration::zero();
   Duration downtime = Duration::zero();  // stop-and-copy pause
+  /// When the VM paused for stop-and-copy; origin() until the blackout
+  /// starts. A live reader can derive the in-progress pause as
+  /// `now - pause_at` while `in_progress && pause_at != origin()`.
+  TimePoint pause_at = TimePoint::origin();
 };
 
 class MigrationEngine {
@@ -94,8 +98,12 @@ class MigrationEngine {
   [[nodiscard]] bool has_image(const Vm& vm) const;
 
  private:
-  /// Ships every currently-dirty page; accumulates stats.
-  [[nodiscard]] sim::Task drain_dirty(Vm& vm, Host& src, Host& dst, MigrationStats& stats);
+  /// Ships every currently-dirty page; accumulates stats. When `live` is
+  /// non-null, mirrors the accumulated stats into it after every chunk so
+  /// an `info migrate`-style reader sees wire progress mid-drain (the
+  /// stop-and-copy blackout would otherwise look frozen).
+  [[nodiscard]] sim::Task drain_dirty(Vm& vm, Host& src, Host& dst, MigrationStats& stats,
+                                      MigrationStats* live = nullptr);
 
   MigrationConfig config_;
   std::map<const Vm*, Bytes> images_;  // checkpointed image sizes

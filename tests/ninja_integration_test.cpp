@@ -10,6 +10,7 @@
 //     on TCP (the paper's §III-C subtlety).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -242,6 +243,85 @@ TEST(NinjaIntegration, FullFallbackRecoveryCycleReturnsToStart) {
   EXPECT_TRUE(tb.ib_host(1).resident(*job.vms()[1]));
   // HCAs back in use on the IB hosts.
   EXPECT_FALSE(tb.ib_host(0).hca_available(Testbed::kHcaPciAddr));
+}
+
+TEST(NinjaIntegration, GenericEpisodeMatchesMpiPathInstrumentation) {
+  // Parity regression for run_generic_episode vs NinjaMigrator::execute:
+  // the generic path used to skip ctl.quit() and never filled
+  // stats.timeline, so a non-MPI episode looked phase-less to tooling and
+  // left the controller session open. Both paths now share run_windows.
+  Testbed tb;
+  std::vector<std::shared_ptr<vmm::Vm>> vms;
+  std::vector<std::shared_ptr<symvirt::GenericCoordinator>> coords;
+  for (int i = 0; i < 2; ++i) {
+    vmm::VmSpec spec;
+    spec.name = "gvm" + std::to_string(i);
+    spec.memory = Bytes::gib(4);
+    spec.base_os_footprint = Bytes::mib(512);
+    vms.push_back(tb.boot_vm(tb.ib_host(i), spec, /*with_hca=*/true));
+    coords.push_back(std::make_shared<symvirt::GenericCoordinator>(vms.back()));
+  }
+  tb.settle();
+
+  // The "app": a plain service loop per VM polling its coordinator. Counts
+  // iterations after the episode to prove the app was released (the old
+  // missing-quit path still resumed the guests, but nothing asserted it).
+  bool episode_done = false;
+  bool stop = false;
+  std::vector<int> loops_after_episode(2, 0);
+  for (int i = 0; i < 2; ++i) {
+    tb.sim().spawn([](Testbed& t, std::shared_ptr<symvirt::GenericCoordinator> c,
+                      const bool& done, const bool& stop_flag, int& after) -> sim::Task {
+      while (!stop_flag) {
+        co_await c->service_point();
+        if (done) {
+          ++after;
+        }
+        co_await t.sim().delay(Duration::millis(100));
+      }
+    }(tb, coords[static_cast<std::size_t>(i)], episode_done, stop,
+      loops_after_episode[static_cast<std::size_t>(i)]));
+  }
+
+  CloudScheduler scheduler(tb);
+  NinjaStats stats;
+  tb.sim().spawn([](Testbed& t, MigrationPlan p,
+                    std::vector<std::shared_ptr<symvirt::GenericCoordinator>> cs,
+                    NinjaStats& st, bool& done) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(1.0));
+    co_await run_generic_episode(t.sim(), cs, std::move(p),
+                                 [&t](const std::string& n) { return t.find_host(n); }, &st);
+    done = true;
+  }(tb, scheduler.fallback_plan(vms, 2, 1), coords, stats, episode_done));
+  tb.sim().post(Duration::minutes(2), [&] { stop = true; });
+  tb.sim().run();
+
+  // The same five-phase timeline the MPI path records, in order.
+  ASSERT_EQ(stats.timeline.spans().size(), 5u);
+  const auto& spans = stats.timeline.spans();
+  EXPECT_EQ(spans[0].name, "coordination");
+  EXPECT_EQ(spans[1].name, "detach (window A)");
+  EXPECT_EQ(spans[2].name, "migration (window B)");
+  EXPECT_EQ(spans[3].name, "re-attach (window C)");
+  EXPECT_EQ(spans[4].name, "confirm+linkup");
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].end, spans[i].begin) << "span " << i;
+  }
+  // Span lengths are the reported phase durations.
+  EXPECT_EQ(spans[1].length(), stats.detach);
+  EXPECT_EQ(spans[2].length(), stats.migration);
+  EXPECT_EQ(spans[3].length(), stats.attach);
+  EXPECT_EQ(spans[4].length(), stats.linkup);
+  EXPECT_EQ(spans[4].end - spans[0].begin, stats.total);
+  // Fallback decomposition: real detach (HCAs present), no re-attach.
+  EXPECT_GT(stats.detach.to_seconds(), 1.0);
+  EXPECT_NEAR(stats.attach.to_seconds(), 0.0, 1e-9);
+  EXPECT_GT(stats.migration.to_seconds(), 0.5);
+  // VMs really moved, and the service loops kept running afterwards.
+  EXPECT_TRUE(tb.eth_host(0).resident(*vms[0]));
+  EXPECT_TRUE(tb.eth_host(1).resident(*vms[1]));
+  EXPECT_GT(loops_after_episode[0], 5);
+  EXPECT_GT(loops_after_episode[1], 5);
 }
 
 TEST(NinjaIntegration, CheckpointRequiresFtEnableCr) {

@@ -41,9 +41,10 @@ struct EpisodeTrace {
   bool hca_in_use = false;
 };
 
-EpisodeTrace run_fallback_recovery(int fluid_shards) {
+EpisodeTrace run_fallback_recovery(int fluid_shards, int solve_workers = 0) {
   TestbedConfig tcfg;
   tcfg.fluid_shards = fluid_shards;
+  tcfg.solve_workers = solve_workers;
   Testbed tb(tcfg);
   JobConfig cfg;
   cfg.vm_count = 2;
@@ -122,6 +123,47 @@ TEST(Sharding, FallbackRecoveryTimelineBitIdenticalAcrossShardCounts) {
     EXPECT_EQ(t.recovery_total_ns, base.recovery_total_ns) << "shards=" << shards;
     EXPECT_EQ(t.final_time_ns, base.final_time_ns) << "shards=" << shards;
     EXPECT_EQ(t.ib_cpu_consumed, base.ib_cpu_consumed) << "shards=" << shards;
+  }
+}
+
+// --- Parallel solving: worker count must be unobservable ---------------------
+
+void expect_traces_identical(const EpisodeTrace& t, const EpisodeTrace& base,
+                             const std::string& label) {
+  ASSERT_EQ(t.iter_seconds.size(), base.iter_seconds.size()) << label;
+  for (std::size_t i = 0; i < base.iter_seconds.size(); ++i) {
+    EXPECT_EQ(t.iter_seconds[i], base.iter_seconds[i]) << label << " iteration=" << i;
+  }
+  EXPECT_EQ(t.fallback_detach_ns, base.fallback_detach_ns) << label;
+  EXPECT_EQ(t.fallback_migration_ns, base.fallback_migration_ns) << label;
+  EXPECT_EQ(t.fallback_total_ns, base.fallback_total_ns) << label;
+  EXPECT_EQ(t.recovery_attach_ns, base.recovery_attach_ns) << label;
+  EXPECT_EQ(t.recovery_linkup_ns, base.recovery_linkup_ns) << label;
+  EXPECT_EQ(t.recovery_total_ns, base.recovery_total_ns) << label;
+  EXPECT_EQ(t.final_time_ns, base.final_time_ns) << label;
+  EXPECT_EQ(t.ib_cpu_consumed, base.ib_cpu_consumed) << label;
+  EXPECT_EQ(t.transport, base.transport) << label;
+  EXPECT_EQ(t.back_on_ib, base.back_on_ib) << label;
+  EXPECT_EQ(t.hca_in_use, base.hca_in_use) << label;
+}
+
+TEST(Sharding, ParallelSolveMatrixBitIdenticalToSingleThread) {
+  // The single-threaded (no pool) run is the ground truth; every
+  // (workers, domains) combination must replay it exactly — the SolvePool
+  // batches each instant's dirty components, computes them on however many
+  // threads, and commits in canonical (domain, component) order, so the
+  // worker count can never be observed in the timeline.
+  const EpisodeTrace base = run_fallback_recovery(1);
+  ASSERT_EQ(base.iter_seconds.size(), 16u);
+  EXPECT_EQ(base.transport, "openib");
+  EXPECT_TRUE(base.back_on_ib);
+
+  for (const int workers : {1, 2, 4}) {
+    for (const int shards : {1, 2, 4}) {
+      const EpisodeTrace t = run_fallback_recovery(shards, workers);
+      expect_traces_identical(
+          t, base, "workers=" + std::to_string(workers) + " shards=" + std::to_string(shards));
+    }
   }
 }
 
@@ -224,6 +266,54 @@ TEST(Sharding, DisjointZonesOnSeparateDomainsMatchSingleScheduler) {
   // Node 0 ran one 0.25 core-second flow at rate 1: consumption accounting
   // holds across the domain split.
   EXPECT_NEAR(consumed_z0, 0.25, 1e-9);
+}
+
+TEST(Sharding, ParallelSolvePoolMatchesSerialOnDisjointZones) {
+  // Reference: two zones on separate domains, settled serially (no pool).
+  std::vector<std::int64_t> serial;
+  {
+    sim::Simulation sim;
+    std::vector<std::unique_ptr<sim::FluidDomain>> domains;
+    std::vector<Zone> zones;
+    std::vector<sim::FluidScheduler*> zone_sched;
+    for (int z = 0; z < 2; ++z) {
+      domains.push_back(std::make_unique<sim::FluidDomain>(sim, "zone" + std::to_string(z)));
+      zones.push_back(build_zone(domains.back()->scheduler(), z));
+      zone_sched.push_back(&domains.back()->scheduler());
+    }
+    serial = run_zone_flows(sim, zones, zone_sched);
+  }
+
+  // Same topology settled through a 2-worker SolvePool. The zones admit
+  // flows at the same instant, so the pool genuinely computes cross-domain
+  // batches — and the timeline must still replay the serial run exactly.
+  std::vector<std::int64_t> pooled;
+  std::size_t parallel_settles = 0;
+  {
+    sim::Simulation sim;
+    sim::SolvePool pool(sim, 2);
+    std::vector<std::unique_ptr<sim::FluidDomain>> domains;
+    std::vector<Zone> zones;
+    std::vector<sim::FluidScheduler*> zone_sched;
+    for (int z = 0; z < 2; ++z) {
+      domains.push_back(std::make_unique<sim::FluidDomain>(sim, "zone" + std::to_string(z)));
+      pool.attach(domains.back()->scheduler());
+      zones.push_back(build_zone(domains.back()->scheduler(), z));
+      zone_sched.push_back(&domains.back()->scheduler());
+    }
+    pooled = run_zone_flows(sim, zones, zone_sched);
+    parallel_settles = pool.parallel_settle_count();
+    EXPECT_GT(pool.settle_count(), 0u);
+  }
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t f = 0; f < serial.size(); ++f) {
+    EXPECT_EQ(serial[f], pooled[f]) << "flow " << f;
+  }
+  // The admission instant dirties both domains at once, so at least one
+  // settle must actually have run a multi-component batch (otherwise this
+  // test would be vacuous).
+  EXPECT_GT(parallel_settles, 0u);
 }
 
 TEST(Sharding, TestbedExposesRequestedDomains) {

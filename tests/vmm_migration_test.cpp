@@ -259,6 +259,100 @@ TEST(Migration, RdmaAblationIsFasterThanTcp) {
   EXPECT_GT(tcp_stats.total.to_seconds() / rdma_stats.total.to_seconds(), 2.0);
 }
 
+TEST(Migration, SlowUplinkDowntimeStaysBounded) {
+  // Regression for the uplink-blind stop-and-copy estimate: the migration
+  // thread can push 1.3 Gb/s, but this host's uplink carries only
+  // 0.5 Gb/s. The old estimator (min(max_bandwidth, thread_send_rate))
+  // believed the blackout would run at thread speed, entered stop-and-copy
+  // with ~2.6x more dirty data than max_downtime allows at wire speed, and
+  // realized ~50 ms of downtime against a 30 ms cap. Clamped by the line
+  // rate, the loop pre-copies one more round instead.
+  TestbedConfig cfg;
+  cfg.eth.line_rate = Bandwidth::gbps(0.5);
+  Testbed tb(cfg);
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(2)), false);
+  vm->memory().write_data(Bytes::zero(), Bytes::gib(1));
+  tb.settle();
+  // One mid-round write of 3 MiB: big enough that draining it at line rate
+  // (~50 ms) busts the 30 ms cap, small enough that the old estimator
+  // (3 MiB / 162.5 MB/s ~ 19 ms) called it converged.
+  tb.sim().spawn([](Testbed& t, Vm& v) -> sim::Task {
+    co_await t.sim().delay(Duration::seconds(2.0));  // round 1 is under way
+    v.memory().write_data(Bytes::zero(), Bytes::mib(3));
+  }(tb, *vm));
+  MigrationStats stats;
+  tb.sim().spawn([](Testbed& t, Vm& v, MigrationStats& st) -> sim::Task {
+    co_await t.ib_host(0).migrate(v, t.eth_host(0), &st);
+  }(tb, *vm, stats));
+  tb.sim().run();
+
+  // The fixed estimator spends one extra pre-copy round (± one round is
+  // the contract) and the realized blackout honors the cap.
+  EXPECT_EQ(stats.rounds, 2);
+  EXPECT_LE(stats.downtime, tb.ib_host(0).migration_engine().config().max_downtime);
+  EXPECT_TRUE(tb.eth_host(0).resident(*vm));
+  EXPECT_FALSE(stats.in_progress);
+}
+
+TEST(Migration, LiveStatsStayFreshDuringStopAndCopyBlackout) {
+  // An `info migrate`-style reader polls the stats mid-flight. Before the
+  // fix, the caller's stats snapshot was last refreshed before the
+  // stop-and-copy drain: during the whole blackout the reader saw
+  // in_progress=true with frozen wire counters and no way to tell the VM
+  // was paused. Now every drained chunk republishes, and pause_at marks
+  // the blackout start.
+  TestbedConfig cfg;
+  cfg.migration.max_rounds = 1;             // force a fat stop-and-copy
+  cfg.migration.chunk_pages = 4096;         // 16 MiB chunks -> many updates
+  Testbed tb(cfg);
+  auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(1)), false);
+  vm->memory().write_data(Bytes::zero(), Bytes::mib(256));
+  tb.settle();
+  // Dirty 512 MiB while round 1 transfers: with the round cap at 1, all of
+  // it drains inside the blackout.
+  tb.sim().spawn([](Testbed& t, Vm& v) -> sim::Task {
+    co_await t.sim().delay(Duration::millis(700));
+    v.memory().write_data(Bytes::zero(), Bytes::mib(512));
+  }(tb, *vm));
+
+  struct Sample {
+    MigrationStats stats;
+  };
+  std::vector<Sample> samples;
+  bool stop = false;
+  MigrationStats live;
+  tb.sim().spawn([](Testbed& t, MigrationStats& l, std::vector<Sample>& out,
+                    bool& stop_flag) -> sim::Task {
+    while (!stop_flag) {
+      out.push_back(Sample{l});
+      co_await t.sim().delay(Duration::millis(100));
+    }
+  }(tb, live, samples, stop));
+  tb.sim().spawn([](Testbed& t, Vm& v, MigrationStats& l, bool& stop_flag) -> sim::Task {
+    co_await t.ib_host(0).migrate(v, t.eth_host(0), &l);
+    stop_flag = true;
+  }(tb, *vm, live, stop));
+  tb.sim().run();
+
+  // Collect the samples taken inside the blackout window.
+  std::vector<const MigrationStats*> blackout;
+  for (const auto& s : samples) {
+    if (s.stats.in_progress && s.stats.pause_at != TimePoint::origin()) {
+      blackout.push_back(&s.stats);
+    }
+  }
+  ASSERT_GE(blackout.size(), 3u);  // the drain spans seconds; reader polls at 10 Hz
+  // pause_at is stable across the window and wire progress is visible.
+  for (const auto* s : blackout) {
+    EXPECT_EQ(s->pause_at, blackout.front()->pause_at);
+  }
+  EXPECT_GT(blackout.back()->wire_bytes.count(), blackout.front()->wire_bytes.count());
+  // The final report agrees with what the reader last saw.
+  EXPECT_FALSE(live.in_progress);
+  EXPECT_EQ(live.pause_at, blackout.front()->pause_at);
+  EXPECT_GT(live.downtime, Duration::seconds(1.0));  // 512 MiB at thread speed
+}
+
 TEST(Monitor, CommandsDriveTheVm) {
   Testbed tb;
   auto vm = tb.boot_vm(tb.ib_host(0), small_vm("vm0", Bytes::gib(1)), false);
