@@ -16,9 +16,21 @@
 //   5. sharded federated pods: P isolated pods, each on its own
 //      FluidDomain, constructed in parallel (one thread per pod) — the
 //      merged timeline must stay bit-identical to the single-scheduler
-//      serial build.
+//      serial build;
+//   6. parallel dirty-domain solving: the SolvePool computes dirty pods on
+//      worker threads, commits in canonical order — timeline bit-identical
+//      to the serial drain;
+//   7. cross-domain boundary flows: inter-pod transfers traverse a shared
+//      spine switch in a separate core domain, so every transfer is a
+//      boundary flow spanning three FluidDomains; the ghost-capacity
+//      exchange must converge to the same timeline at every worker count
+//      (`--sweep7` emits the machine-readable digest used by CI).
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -32,6 +44,7 @@
 #include "hw/cluster.h"
 #include "net/port.h"
 #include "sim/fluid.h"
+#include "sim/fluid_net.h"
 #include "sim/solve_pool.h"
 #include "util/table.h"
 #include "workloads/bcast_reduce.h"
@@ -118,12 +131,13 @@ std::int64_t run_pod_flows(sim::Simulation& sim, std::vector<Pod>& pods,
       auto& node = pods[p].cluster->node(static_cast<std::size_t>(n));
       // A compute flow plus a ring transfer to the next node's NIC: the
       // slice forms one connected zone, so it must stay on one domain.
-      sched.start((n + 1) * 0.05, std::vector<sim::FluidResource*>{&node.cpu()},
-                  /*max_rate=*/1.0);
-      sched.start(1e8 * (n + 1),
-                  std::vector<sim::FluidResource*>{
-                      &pods[p].ports[static_cast<std::size_t>(n)]->tx(),
-                      &pods[p].ports[static_cast<std::size_t>((n + 1) % flow_nodes)]->rx()});
+      sched.start(
+          sim::FlowSpec{.work = (n + 1) * 0.05, .max_rate = 1.0}.over(node.cpu()));
+      sched.start(sim::FlowSpec{.work = 1e8 * (n + 1)}
+                      .over(pods[p].ports[static_cast<std::size_t>(n)]->tx())
+                      .over(pods[p]
+                                .ports[static_cast<std::size_t>((n + 1) % flow_nodes)]
+                                ->rx()));
     }
   }
   return sim.run().count_nanos();
@@ -237,9 +251,130 @@ SolveSweepResult run_parallel_solve(int pods, int workers) {
   return res;
 }
 
+// --- Sweep 7: cross-domain boundary flows through a shared spine ------------
+
+// P pods, each its own FluidNet domain, plus a "core" domain holding one
+// shared spine-switch resource. Every inter-pod transfer crosses three
+// domains (source tx -> spine -> destination rx), so it is admitted as a
+// boundary flow and settled through the ghost-capacity exchange. The local
+// compute flows keep each pod's domain genuinely busy at the same instants,
+// making the exchange batches span domains. The invariant is the same as
+// sweeps 5/6: the merged timeline is bit-identical at every worker count.
+constexpr int kCrossPodNodes = 32;
+
+struct CrossDomainResult {
+  double wall_ms = 0.0;
+  std::int64_t final_ns = 0;
+  std::size_t peak_boundary = 0;    // boundary flows registered after admission
+  std::size_t exchange_rounds = 0;  // total exchange iterations across settles
+  std::size_t unconverged = 0;      // settles that hit the round cap (must be 0)
+};
+
+CrossDomainResult run_cross_domain(int pods, int workers) {
+  sim::Simulation sim;
+  sim::FluidNet net(sim, workers);
+  auto& core = net.add_domain("core");
+  sim::FluidResource spine(core.scheduler(), "spine", 40e9);
+  std::vector<sim::FluidDomain*> pod_domain;
+  pod_domain.reserve(static_cast<std::size_t>(pods));
+  for (int p = 0; p < pods; ++p) {
+    pod_domain.push_back(&net.add_domain("pod" + std::to_string(p)));
+  }
+  std::vector<Pod> built;
+  built.reserve(static_cast<std::size_t>(pods));
+  for (int p = 0; p < pods; ++p) {
+    built.push_back(build_pod(*pod_domain[static_cast<std::size_t>(p)], p, kCrossPodNodes));
+  }
+
+  for (int p = 0; p < pods; ++p) {
+    auto& pod = built[static_cast<std::size_t>(p)];
+    auto& next = built[static_cast<std::size_t>((p + 1) % pods)];
+    for (int n = 0; n < kCrossPodNodes; ++n) {
+      auto& node = pod.cluster->node(static_cast<std::size_t>(n));
+      // Pod-local compute: stays inside the pod's own domain.
+      net.start(sim::FlowSpec{.work = (n + 1) * 0.05, .max_rate = 1.0}.over(node.cpu()));
+      if (n % 4 == 0) {
+        // Inter-pod transfer to the neighbour pod through the spine: a
+        // boundary flow spanning pod p, core, and pod p+1.
+        net.start(sim::FlowSpec{.work = 1e8 * (n + 1)}
+                      .over(pod.ports[static_cast<std::size_t>(n)]->tx())
+                      .over(spine)
+                      .over(next.ports[static_cast<std::size_t>(n)]->rx()));
+      }
+    }
+  }
+
+  CrossDomainResult res;
+  res.peak_boundary = net.boundary_flow_count();
+  const auto start = std::chrono::steady_clock::now();
+  res.final_ns = sim.run().count_nanos();
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  res.exchange_rounds = net.exchange_round_count();
+  res.unconverged = net.unconverged_exchange_count();
+  return res;
+}
+
+// Deterministic digest of sweep 7 for the CI baseline diff: only the
+// simulated-time results (never wall-clock) go into the JSON.
+void write_sweep7_json(const std::vector<std::array<std::int64_t, 3>>& rows) {
+  std::ofstream out("BENCH_scalability_sweep7.json");
+  out << "{\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "  \"pods" << rows[i][0] << "_workers" << rows[i][1]
+        << "_final_ns\": " << rows[i][2] << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+}
+
+int run_sweep7(bool json_only) {
+  std::cout << "\n7. Cross-domain boundary flows (" << kCrossPodNodes
+            << "-node pods, shared spine in a core domain, inter-pod transfers\n"
+               "   span 3 domains via the ghost-capacity exchange):\n";
+  TextTable t7({"pods", "workers", "drain [ms]", "boundary flows", "exch rounds",
+                "timeline"});
+  std::vector<std::array<std::int64_t, 3>> json_rows;
+  bool diverged = false;
+  for (const int pods : {2, 4}) {
+    CrossDomainResult baseline;
+    for (const int workers : {0, 1, 2, 4}) {
+      const auto r = run_cross_domain(pods, workers);
+      if (workers == 0) {
+        baseline = r;
+      }
+      diverged = diverged || r.final_ns != baseline.final_ns || r.unconverged != 0;
+      t7.add_row({std::to_string(pods),
+                  workers == 0 ? "0 (serial)" : std::to_string(workers),
+                  TextTable::num(r.wall_ms, 2), std::to_string(r.peak_boundary),
+                  std::to_string(r.exchange_rounds),
+                  r.final_ns == baseline.final_ns
+                      ? (workers == 0 ? "baseline" : "bit-identical")
+                      : "DIVERGED"});
+      json_rows.push_back({pods, workers, r.final_ns});
+    }
+  }
+  if (!json_only) {
+    t7.render(std::cout);
+    std::cout << "Each transfer's home flow lives in its source pod; ghost flows\n"
+                 "mirror it onto the spine and the destination pod, and the settle\n"
+                 "loop iterates publish/re-solve until the boundary rates reach a\n"
+                 "fixed point. Commits still replay in canonical (domain, component)\n"
+                 "order, so the timeline is bit-identical at every worker count.\n";
+  }
+  write_sweep7_json(json_rows);
+  return diverged ? 1 : 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // `--sweep7` runs only the cross-domain sweep and emits its JSON digest
+  // (BENCH_scalability_sweep7.json); CI diffs it against the committed
+  // baseline. Exit code 1 on timeline divergence or unconverged exchange.
+  if (argc > 1 && std::strcmp(argv[1], "--sweep7") == 0) {
+    return run_sweep7(/*json_only=*/true);
+  }
   bench::print_header("Scalability", "episode cost sweeps (paper SS V discussion)");
 
   std::cout << "\n1. VM count (1 VM per destination host, 8 GiB guests):\n";
@@ -347,5 +482,5 @@ int main() {
                "stays bit-identical to the serial drain at every worker count.\n"
                "Speedup tracks min(pods, cores); on a 1-core host the pool only\n"
                "adds handoff overhead — the determinism column is the invariant.\n";
-  return 0;
+  return run_sweep7(/*json_only=*/false);
 }

@@ -4,47 +4,37 @@
 
 namespace nm::core {
 
-std::vector<std::unique_ptr<sim::FluidDomain>> Testbed::make_domains(sim::Simulation& sim,
-                                                                     int shards) {
+sim::FluidDomain& Testbed::init_shards(sim::FluidNet& net, int shards) {
   NM_CHECK(shards >= 1, "testbed needs at least one fluid shard, got " << shards);
-  std::vector<std::unique_ptr<sim::FluidDomain>> domains;
-  domains.reserve(static_cast<std::size_t>(shards));
   for (int i = 0; i < shards; ++i) {
-    domains.push_back(std::make_unique<sim::FluidDomain>(sim, "shard" + std::to_string(i)));
+    net.add_domain("shard" + std::to_string(i));
   }
-  return domains;
+  return net.domain(0);
 }
 
 Testbed::Testbed(TestbedConfig config)
     : config_(std::move(config)),
       sim_(config_.seed),
-      solve_pool_(config_.solve_workers > 0
-                      ? std::make_unique<sim::SolvePool>(sim_, config_.solve_workers)
-                      : nullptr),
-      domains_(make_domains(sim_, config_.fluid_shards)),
-      storage_(zone_domain().scheduler(), "agc"),
+      net_(sim_, config_.solve_workers),
+      storage_(net_, init_shards(net_, config_.fluid_shards).scheduler(), "agc"),
       ib_cluster_("agc-ib"),
       eth_cluster_("agc-eth") {
-  if (solve_pool_ != nullptr) {
-    // Attach every shard before any flow can start; attach order fixes the
-    // canonical domain ids the pool commits in.
-    for (auto& d : domains_) {
-      solve_pool_->attach(d->scheduler());
-    }
-  }
-  // Topology-aware placement: the enclosure is one connected zone — every
-  // blade shares the 10 GbE switch and the NFS storage, so any blade's
-  // flows can reach any other blade's resources. One zone → one scheduler;
-  // additional shards stay empty for caller-built disjoint zones.
-  auto& zone = zone_domain().scheduler();
-  ib_fabric_ = std::make_unique<net::IbFabric>(zone, "ib:m3601q", config_.ib);
-  eth_fabric_ = std::make_unique<net::EthFabric>(zone, "eth:m8024", config_.eth);
+  // Shared-resource placement: every blade hangs off the one 10 GbE switch
+  // and the NFS storage, so the fabrics and the store live on domain 0.
+  // With blade_domains off the blades land there too (one connected zone →
+  // one scheduler, additional shards stay empty for caller-built disjoint
+  // zones); with it on, each blade's CPU and ports get their own domain and
+  // the net bridges them at the shared switch via boundary flows.
+  ib_fabric_ = std::make_unique<net::IbFabric>(net_, "ib:m3601q", config_.ib);
+  eth_fabric_ = std::make_unique<net::EthFabric>(net_, "eth:m8024", config_.eth);
 
   auto make_host = [&](hw::Cluster& cluster, const std::string& name, bool with_hca) {
     hw::NodeSpec spec = config_.blade_spec;
     spec.name = name;
-    auto& node = cluster.add_node(zone_domain(), spec);
-    auto host = std::make_unique<vmm::Host>(sim_, zone, node, storage_, config_.hotplug,
+    sim::FluidDomain& home =
+        config_.blade_domains ? net_.add_domain("blade:" + name) : zone_domain();
+    auto& node = cluster.add_node(home, spec);
+    auto host = std::make_unique<vmm::Host>(sim_, net_, node, storage_, config_.hotplug,
                                             config_.migration);
     // 10 GbE uplink on every blade.
     ports_.push_back(
@@ -64,11 +54,6 @@ Testbed::Testbed(TestbedConfig config)
   for (int i = 0; i < config_.eth_nodes; ++i) {
     make_host(eth_cluster_, "eth" + std::to_string(i), /*with_hca=*/false);
   }
-}
-
-sim::FluidDomain& Testbed::domain(std::size_t i) {
-  NM_CHECK(i < domains_.size(), "fluid domain index " << i << " out of range");
-  return *domains_[i];
 }
 
 vmm::Host& Testbed::ib_host(int i) {

@@ -16,6 +16,7 @@
 #include "net/ib_fabric.h"
 #include "net/port.h"
 #include "sim/fluid.h"
+#include "sim/fluid_net.h"
 #include "sim/simulation.h"
 #include "sim/solve_pool.h"
 #include "vmm/host.h"
@@ -33,20 +34,25 @@ struct TestbedConfig {
   vmm::MigrationConfig migration;
   /// SR-IOV virtual functions per HCA (1 = plain PCI passthrough).
   int hca_vfs = 1;
-  /// Number of FluidDomain shards the testbed creates. Placement is
-  /// topology-aware: resources that one flow can cross must share a
-  /// scheduler, and the AGC enclosure is a single connected zone (every
-  /// blade hangs off the one 10 GbE switch and the shared NFS storage), so
-  /// the whole testbed lands on domain 0 and the remaining shards are free
-  /// for caller-built disjoint zones. Timelines are bit-identical at every
-  /// shard count (sim_sharding_test pins this).
-  int fluid_shards = 1;
-  /// Worker threads in the shared SolvePool that settles dirty fluid
-  /// domains in parallel at the end of each simulated instant. 0 (default)
-  /// disables the pool: every scheduler settles itself with the legacy
-  /// zero-delay post. Any worker count yields the same event timeline —
-  /// the pool commits in canonical (domain, component) order
+  /// Number of FluidDomain shards the testbed's FluidNet starts with. With
+  /// blade_domains off the whole (fully connected) enclosure lands on
+  /// domain 0 and the remaining shards are free for caller-built disjoint
+  /// zones. Timelines are bit-identical at every shard count
   /// (sim_sharding_test pins this).
+  int fluid_shards = 1;
+  /// Carve each blade — its CPU and its NIC ports — into its own fluid
+  /// domain, bridged to the shared zone (fabrics + NFS storage stay on
+  /// domain 0) by boundary flows: a transfer then crosses the source
+  /// blade's tx, the destination blade's rx, and the shared resources as a
+  /// cross-domain flow solved by the boundary exchange (DESIGN.md §6).
+  bool blade_domains = false;
+  /// Worker threads in the FluidNet's SolvePool, which settles dirty fluid
+  /// domains in parallel at the end of each simulated instant. 0 (default)
+  /// creates no threads; the pool itself exists only when workers > 0 or a
+  /// second domain is added (boundary flows need its exchange loop), so a
+  /// default testbed keeps the legacy zero-delay settle path exactly. Any
+  /// worker count yields the same event timeline — the pool commits in
+  /// canonical (domain, component) order (sim_sharding_test pins this).
   int solve_workers = 0;
   std::uint64_t seed = 1;
 
@@ -65,14 +71,18 @@ class Testbed {
 
   [[nodiscard]] const TestbedConfig& config() const { return config_; }
   [[nodiscard]] sim::Simulation& sim() { return sim_; }
-  /// The connected AGC zone's scheduler (domain 0).
-  [[nodiscard]] sim::FluidScheduler& scheduler() { return zone_domain().scheduler(); }
-  [[nodiscard]] std::size_t domain_count() const { return domains_.size(); }
-  [[nodiscard]] sim::FluidDomain& domain(std::size_t i);
-  /// The parallel settle pool, or nullptr when solve_workers == 0.
-  [[nodiscard]] sim::SolvePool* solve_pool() { return solve_pool_.get(); }
-  /// The domain holding every resource of the (fully connected) enclosure.
-  [[nodiscard]] sim::FluidDomain& zone_domain() { return *domains_.front(); }
+  /// The domain-aware flow façade: routes a FlowSpec to the domain owning
+  /// its resources, registering cross-domain specs as boundary flows.
+  [[nodiscard]] sim::FluidNet& net() { return net_; }
+  /// The domain owning `res` (nullptr when unregistered or foreign).
+  [[nodiscard]] sim::FluidDomain* domain_of(const sim::FluidResource& res) {
+    return net_.domain_of(res);
+  }
+  [[nodiscard]] std::size_t domain_count() const { return net_.domain_count(); }
+  [[nodiscard]] sim::FluidDomain& domain(std::size_t i) { return net_.domain(i); }
+  /// The parallel settle pool; nullptr for a single-domain, zero-worker
+  /// testbed (which settles via the legacy zero-delay path).
+  [[nodiscard]] sim::SolvePool* solve_pool() { return net_.pool(); }
   [[nodiscard]] net::IbFabric& ib_fabric() { return *ib_fabric_; }
   [[nodiscard]] net::EthFabric& eth_fabric() { return *eth_fabric_; }
   [[nodiscard]] vmm::SharedStorage& storage() { return storage_; }
@@ -98,17 +108,18 @@ class Testbed {
   void settle();
 
  private:
-  static std::vector<std::unique_ptr<sim::FluidDomain>> make_domains(sim::Simulation& sim,
-                                                                     int shards);
+  /// Adds the `shards` initial domains to `net` and returns domain 0 — the
+  /// zone every shared resource (fabrics, NFS) registers into. Runs in
+  /// storage_'s member initializer so domain 0 exists before any resource.
+  static sim::FluidDomain& init_shards(sim::FluidNet& net, int shards);
+  /// The domain holding the enclosure's shared resources (domain 0).
+  [[nodiscard]] sim::FluidDomain& zone_domain() { return net_.domain(0); }
 
   TestbedConfig config_;
   sim::Simulation sim_;
-  // Destruction order matters: domains detach from the pool first, then the
-  // pool joins its workers and removes its kernel hook, then the simulation
-  // dies — so the pool is declared after sim_ and before domains_.
-  std::unique_ptr<sim::SolvePool> solve_pool_;
-  // Declared before storage_/fabrics: they register resources on domain 0.
-  std::vector<std::unique_ptr<sim::FluidDomain>> domains_;
+  // Destroyed before sim_: the net's pool detaches every scheduler, joins
+  // its workers and removes its kernel hook while the simulation is alive.
+  sim::FluidNet net_;
   vmm::SharedStorage storage_;
   std::unique_ptr<net::IbFabric> ib_fabric_;
   std::unique_ptr<net::EthFabric> eth_fabric_;

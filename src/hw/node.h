@@ -45,8 +45,9 @@ class Node {
   /// Starts `core_seconds` of single-threaded work on this node's CPU.
   /// Over-commit slows it down via fair sharing.
   [[nodiscard]] sim::FlowPtr start_compute(double core_seconds) {
-    std::vector<sim::ResourceShare> shares{{&cpu_, 1.0}};
-    return scheduler_->start(core_seconds, std::move(shares), /*max_rate=*/1.0);
+    sim::FlowSpec spec{core_seconds, {}, /*max_rate=*/1.0, {}};
+    spec.over(cpu_);
+    return scheduler_->start(std::move(spec));
   }
 
   /// Coroutine: runs `core_seconds` of single-threaded work to completion.

@@ -13,7 +13,7 @@ FabricSpec make_spec(const std::string& name, const EthFabricConfig& config) {
 }
 }  // namespace
 
-EthFabric::EthFabric(sim::FluidScheduler& scheduler, std::string name, EthFabricConfig config)
-    : Fabric(scheduler, make_spec(name, config)), config_(config) {}
+EthFabric::EthFabric(sim::FlowRouter& router, std::string name, EthFabricConfig config)
+    : Fabric(router, make_spec(name, config)), config_(config) {}
 
 }  // namespace nm::net

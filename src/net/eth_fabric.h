@@ -18,7 +18,7 @@ struct EthFabricConfig {
 
 class EthFabric : public Fabric {
  public:
-  EthFabric(sim::FluidScheduler& scheduler, std::string name, EthFabricConfig config = {});
+  EthFabric(sim::FlowRouter& router, std::string name, EthFabricConfig config = {});
 
   [[nodiscard]] const EthFabricConfig& config() const { return config_; }
 

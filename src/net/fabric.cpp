@@ -19,8 +19,8 @@ std::string_view to_string(LinkState s) {
   return "?";
 }
 
-Fabric::Fabric(sim::FluidScheduler& scheduler, FabricSpec spec)
-    : scheduler_(&scheduler), spec_(std::move(spec)) {}
+Fabric::Fabric(sim::FlowRouter& router, FabricSpec spec)
+    : router_(&router), spec_(std::move(spec)) {}
 
 AttachmentPtr Fabric::attach(NicPort& port) {
   auto att = AttachmentPtr(new Attachment(simulation(), *this, port));
@@ -131,7 +131,12 @@ sim::Task Fabric::transfer(AttachmentPtr src, FabricAddress dst_addr, Bytes byte
   for (const auto& rx_extra : dst->rx_shares_) {
     shares.push_back(rx_extra);
   }
-  co_await scheduler_->run(static_cast<double>(bytes.count()), std::move(shares), opts.max_rate);
+  // Named spec, not a temporary: see the FlowLabel comment in fluid.h —
+  // GCC 12 miscompiles FlowSpec temporaries that live across a co_await.
+  sim::FlowSpec spec{.work = static_cast<double>(bytes.count()),
+                     .shares = std::move(shares),
+                     .max_rate = opts.max_rate};
+  co_await router_->run(std::move(spec));
 }
 
 }  // namespace nm::net

@@ -92,7 +92,11 @@ struct FabricSpec {
 
 class Fabric {
  public:
-  Fabric(sim::FluidScheduler& scheduler, FabricSpec spec);
+  /// `router` carries every transfer's bandwidth flow. A plain
+  /// FluidScheduler works when all endpoints live in one domain; a FluidNet
+  /// additionally lets a transfer span domains (src tx in one blade's
+  /// domain, dst rx in another's) as a boundary flow.
+  Fabric(sim::FlowRouter& router, FabricSpec spec);
   virtual ~Fabric() = default;
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -100,8 +104,8 @@ class Fabric {
   [[nodiscard]] const std::string& name() const { return spec_.name; }
   [[nodiscard]] const FabricSpec& spec() const { return spec_; }
   [[nodiscard]] Duration latency() const { return spec_.latency; }
-  [[nodiscard]] sim::Simulation& simulation() { return scheduler_->simulation(); }
-  [[nodiscard]] sim::FluidScheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] sim::Simulation& simulation() { return router_->simulation(); }
+  [[nodiscard]] sim::FlowRouter& router() { return *router_; }
 
   /// Plugs `port` into the fabric: allocates an address and starts link
   /// training. The returned attachment reaches Active after linkup_time.
@@ -126,7 +130,7 @@ class Fabric {
   [[nodiscard]] std::size_t attachment_count() const { return by_address_.size(); }
 
  protected:
-  sim::FluidScheduler* scheduler_;
+  sim::FlowRouter* router_;
   FabricSpec spec_;
 
  private:

@@ -189,19 +189,20 @@ std::size_t FluidScheduler::component_count() const { return live_comp_count_; }
 
 // --- FluidScheduler: flow admission ----------------------------------------
 
-FlowPtr FluidScheduler::start(double work, std::vector<ResourceShare> shares, double max_rate) {
-  NM_CHECK(work >= 0.0, "negative flow work");
-  NM_CHECK(!shares.empty(), "a flow must cross at least one resource");
-  for (const auto& share : shares) {
+FlowPtr FluidScheduler::start(FlowSpec spec) {
+  NM_CHECK(spec.work >= 0.0, "negative flow work");
+  NM_CHECK(!spec.shares.empty(), "a flow must cross at least one resource");
+  for (const auto& share : spec.shares) {
     NM_CHECK(share.resource != nullptr, "null resource in flow");
     NM_CHECK(share.weight > 0.0, "non-positive weight on " << share.resource->name());
     register_resource(*share.resource);
   }
-  auto flow = FlowPtr(new Flow(*sim_, work, std::move(shares), max_rate));
+  auto flow = FlowPtr(
+      new Flow(*sim_, spec.work, std::move(spec.shares), spec.max_rate, spec.name.str()));
   flow->scheduler_ = this;
   flow->last_update_ = sim_->now();
   flow->seq_ = next_flow_seq_++;
-  if (work <= kEpsilon) {
+  if (spec.work <= kEpsilon) {
     flow->finished_ = true;
     flow->remaining_ = 0.0;
     flow->done_->set();
@@ -247,6 +248,10 @@ FlowPtr FluidScheduler::start(double work, std::vector<ResourceShare> shares, do
   return flow;
 }
 
+FlowPtr FluidScheduler::start(double work, std::vector<ResourceShare> shares, double max_rate) {
+  return start(FlowSpec{work, std::move(shares), max_rate, {}});
+}
+
 FlowPtr FluidScheduler::start(double work, const std::vector<FluidResource*>& resources,
                               double max_rate) {
   std::vector<ResourceShare> shares;
@@ -254,18 +259,24 @@ FlowPtr FluidScheduler::start(double work, const std::vector<FluidResource*>& re
   for (auto* r : resources) {
     shares.push_back(ResourceShare{r, 1.0});
   }
-  return start(work, std::move(shares), max_rate);
+  return start(FlowSpec{work, std::move(shares), max_rate, {}});
 }
 
 Task FluidScheduler::run(double work, std::vector<ResourceShare> shares, double max_rate) {
-  auto flow = start(work, std::move(shares), max_rate);
-  if (!flow->finished()) {
-    co_await flow->completion().wait();
-  }
+  return run(FlowSpec{work, std::move(shares), max_rate, {}});
 }
 
 Task FluidScheduler::run(double work, std::vector<FluidResource*> resources, double max_rate) {
-  auto flow = start(work, resources, max_rate);
+  std::vector<ResourceShare> shares;
+  shares.reserve(resources.size());
+  for (auto* r : resources) {
+    shares.push_back(ResourceShare{r, 1.0});
+  }
+  return run(FlowSpec{work, std::move(shares), max_rate, {}});
+}
+
+Task FlowRouter::run(FlowSpec spec) {
+  auto flow = start(std::move(spec));
   if (!flow->finished()) {
     co_await flow->completion().wait();
   }
@@ -351,6 +362,19 @@ void FluidScheduler::settle_dirty() {
 }
 
 void FluidScheduler::ensure_settled(const Flow& flow) {
+  if (pool_ != nullptr && pool_->exchange_active()) {
+    // Boundary flows couple domains: dirt anywhere in the pool can move
+    // this flow's rate through the ghost-capacity exchange even while its
+    // own component is clean (e.g. a foreign capacity change releases a
+    // ghost, raising a local flow's fair share). A lone component solve
+    // could also observe rates the exchange would still move. Run the
+    // pool's full multi-round settle whenever anything is pending — it
+    // solves every dirty component to the coupled fixed point.
+    if (pool_->any_dirty()) {
+      pool_->settle();
+    }
+    return;
+  }
   if (auto* comp = component_of_flow(flow)) {
     if (comp->dirty) {
       solve_component(*comp);
@@ -359,6 +383,15 @@ void FluidScheduler::ensure_settled(const Flow& flow) {
 }
 
 void FluidScheduler::rebalance() {
+  if (pool_ != nullptr && pool_->exchange_active()) {
+    for (auto& comp : comps_) {
+      if (comp != nullptr) {
+        mark_dirty(*comp);
+      }
+    }
+    pool_->settle();
+    return;
+  }
   for (auto& comp : comps_) {
     if (comp != nullptr) {
       solve_component(*comp);
@@ -418,6 +451,9 @@ void FluidScheduler::compute_component(Component& comp, SolveScratch& scratch, S
     // aggregate rate as it freezes flows at their new rates.
     res->consume_rate_ = 0.0;
     res->rate_since_ = now;
+    // Re-stamped by assign_max_min_rates in the round (if any) where the
+    // resource binds; FluidNet offers read the post-solve value.
+    res->bound_level_ = -std::numeric_limits<double>::infinity();
   }
 
   // Pass 1 (fused): integrate progress at the rates valid since the last
@@ -462,7 +498,7 @@ void FluidScheduler::compute_component(Component& comp, SolveScratch& scratch, S
       scratch.res_wsum[slot] += share.weight;
       ++scratch.res_unfrozen[slot];
     }
-    first_cap = std::min(first_cap, f->max_rate_);
+    first_cap = std::min(first_cap, f->effective_cap());
   }
   cf.resize(out_idx);
 
@@ -556,7 +592,7 @@ double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap,
       first_round = false;
     } else {
       for (const Flow* f : scratch.unfrozen) {
-        bound = std::min(bound, f->max_rate_);
+        bound = std::min(bound, f->effective_cap());
       }
     }
     NM_CHECK(std::isfinite(bound), "unbounded fluid rate (flow with no finite constraint)");
@@ -564,10 +600,16 @@ double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap,
     // Freeze every flow bound at `bound`: flows whose cap equals the bound,
     // plus all flows on resources whose share equals the bound.
     for (const auto slot : comp.res_slots) {
-      scratch.res_binding[slot] =
+      const bool binding =
           scratch.res_unfrozen[slot] > 0 && scratch.res_wsum[slot] > 0.0 &&
           std::max(0.0, scratch.res_residual[slot]) / scratch.res_wsum[slot] <=
               bound * (1.0 + 1e-12);
+      scratch.res_binding[slot] = binding ? 1 : 0;
+      if (binding) {
+        // The max-min level this resource saturated at; stable until the
+        // next solve, so FluidNet's exchange can read it after compute.
+        res_slots_[slot]->bound_level_ = bound;
+      }
     }
     // Flows frozen exactly at `bound` share one division: min(remaining)
     // over the group, divided once. Monotone, so bit-identical to dividing
@@ -576,7 +618,7 @@ double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap,
     bool froze_any = false;
     for (std::size_t i = 0; i < scratch.unfrozen.size();) {
       Flow* f = scratch.unfrozen[i];
-      bool freeze = f->max_rate_ <= bound * (1.0 + 1e-12);
+      bool freeze = f->effective_cap() <= bound * (1.0 + 1e-12);
       if (!freeze) {
         for (const auto& share : f->shares_) {
           if (scratch.res_binding[share.resource->slot_] != 0) {
@@ -589,7 +631,7 @@ double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap,
         ++i;
         continue;
       }
-      const double rate = std::min(bound, f->max_rate_);
+      const double rate = std::min(bound, f->effective_cap());
       f->rate_ = rate;
       for (const auto& share : f->shares_) {
         const auto slot = share.resource->slot_;

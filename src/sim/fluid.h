@@ -34,7 +34,12 @@
 namespace nm::sim {
 
 class FluidScheduler;
+class FluidNet;
 class SolvePool;
+
+/// "No rate cap" for a flow. (`FluidScheduler::kUncapped` is a deprecated
+/// alias kept for one PR.)
+inline constexpr double kUncappedRate = std::numeric_limits<double>::infinity();
 
 /// A capacity-bearing resource. Units are caller-defined (cores, bytes/s).
 /// A resource registers with exactly one scheduler — eagerly when
@@ -72,11 +77,18 @@ class FluidResource {
 
  private:
   friend class FluidScheduler;
+  friend class FluidNet;
   static constexpr std::uint32_t kNoSlot = 0xffffffffU;
 
   std::string name_;
   double capacity_;
   std::size_t active_flows_ = 0;
+  /// The progressive-filling level at which this resource became binding in
+  /// its component's most recent solve (−inf when it never bound). A
+  /// resource binds in at most one filling round, so the stamp is unique
+  /// per solve. FluidNet's ghost-capacity offers read it to advertise the
+  /// max-min fair level a boundary flow could claim here.
+  double bound_level_ = -std::numeric_limits<double>::infinity();
   /// Consumption integrated up to `rate_since_` (written only at solve
   /// time, per flow-share in component-flow order, so the float summation
   /// order is independent of when readers sample).
@@ -98,6 +110,61 @@ struct ResourceShare {
   double weight = 1.0;
 };
 
+/// FlowSpec's diagnostic label. Deliberately NOT a std::string: GCC 12
+/// relocates temporaries that live across a co_await suspension point into
+/// the coroutine frame bitwise, which corrupts std::string's SSO
+/// self-pointer (the relocated copy still points at the old buffer and
+/// free()s a frame address on destruction). A FlowSpec temporary inside a
+/// `co_await router.run(FlowSpec{...}...)` statement is exactly such a
+/// temporary, so every member must tolerate a bitwise move — vectors do
+/// (heap pointers only), SSO strings do not. Empty labels (the hot path)
+/// never allocate.
+class FlowLabel {
+ public:
+  FlowLabel() = default;
+  FlowLabel(const char* s) : chars_(s, s + std::char_traits<char>::length(s)) {}
+  FlowLabel(const std::string& s) : chars_(s.begin(), s.end()) {}
+  [[nodiscard]] bool empty() const { return chars_.empty(); }
+  [[nodiscard]] std::string str() const { return {chars_.begin(), chars_.end()}; }
+
+ private:
+  std::vector<char> chars_;
+};
+
+/// Everything needed to start a flow, in one aggregate. Build it with
+/// designated initializers, or chain `over()` to add weighted shares:
+///
+///   router.start(FlowSpec{.work = bytes, .name = "tx"}
+///                    .over(tx).over(rx).over(cpu, 1e-9));
+///
+/// This is the one flow-creation entry point (see FlowRouter); the old
+/// `FluidScheduler::start(work, shares, max_rate)` overloads are shims.
+struct FlowSpec {
+  /// Work units to move (bytes, core-seconds, ...). Zero-work flows
+  /// complete immediately.
+  double work = 0.0;
+  /// Resources crossed, with consumption weight per unit of flow rate.
+  std::vector<ResourceShare> shares;
+  /// Rate cap; kUncappedRate for none.
+  double max_rate = kUncappedRate;
+  /// Diagnostic label carried by the flow (may be empty).
+  FlowLabel name;
+
+  FlowSpec& over(FluidResource& resource, double weight = 1.0) & {
+    shares.push_back(ResourceShare{&resource, weight});
+    return *this;
+  }
+  // By value, not FlowSpec&&: the rvalue chain must yield a prvalue so a
+  // coroutine parameter initialized from `FlowSpec{...}.over(r)` never
+  // binds a reference to the intermediate temporary (GCC 12 relocates such
+  // temporaries into the coroutine frame bitwise, which corrupts the SSO
+  // string's self-pointer).
+  FlowSpec over(FluidResource& resource, double weight = 1.0) && {
+    shares.push_back(ResourceShare{&resource, weight});
+    return std::move(*this);
+  }
+};
+
 /// Handle to an in-flight flow. Shared so both the issuing task and
 /// modelling code (e.g. "pause the VM") can reach it.
 class Flow {
@@ -106,6 +173,8 @@ class Flow {
   [[nodiscard]] double remaining() const;
   [[nodiscard]] double current_rate() const;
   [[nodiscard]] Event& completion() { return *done_; }
+  /// Diagnostic label from the FlowSpec (may be empty).
+  [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Caps this flow's rate; 0 pauses it (e.g. its VM was paused). While the
   /// flow is suspended the new cap is stored and applied on resume() — it
@@ -122,21 +191,35 @@ class Flow {
 
  private:
   friend class FluidScheduler;
-  Flow(Simulation& sim, double work, std::vector<ResourceShare> shares, double max_rate)
+  friend class FluidNet;
+  Flow(Simulation& sim, double work, std::vector<ResourceShare> shares, double max_rate,
+       std::string name)
       : remaining_(work),
         max_rate_(max_rate),
         shares_(std::move(shares)),
+        name_(std::move(name)),
         done_(std::make_unique<Event>(sim)) {}
 
   static constexpr std::uint32_t kNoIndex = 0xffffffffU;
+
+  /// The cap the solver actually honors: the user cap min the tightest
+  /// rate the foreign domains currently advertise (boundary flows only;
+  /// boundary_cap_ stays +inf for local flows, so the min is exact).
+  [[nodiscard]] double effective_cap() const { return std::min(max_rate_, boundary_cap_); }
 
   double remaining_;
   double rate_ = 0.0;
   double max_rate_;
   double saved_max_rate_ = 0.0;
+  /// Cross-domain coupling (FluidNet): a ghost flow mirrors a boundary
+  /// flow's demand into a foreign domain; the home flow's boundary_cap_
+  /// is refreshed by the settle-time exchange from the ghosts' offers.
+  double boundary_cap_ = std::numeric_limits<double>::infinity();
+  bool ghost_ = false;
   bool suspended_ = false;
   bool finished_ = false;
   std::vector<ResourceShare> shares_;
+  std::string name_;
   std::unique_ptr<Event> done_;
   FluidScheduler* scheduler_ = nullptr;
   TimePoint last_update_;
@@ -153,27 +236,49 @@ class Flow {
 
 using FlowPtr = std::shared_ptr<Flow>;
 
-class FluidScheduler {
+/// Anything that can admit a FlowSpec: a single FluidScheduler, or the
+/// multi-domain FluidNet façade (fluid_net.h) that routes each spec to the
+/// owning domain and registers specs whose resources span domains as
+/// boundary flows. Modelling code (fabrics, hosts, storage) holds a
+/// FlowRouter& so it works unchanged under any domain partitioning.
+class FlowRouter {
  public:
+  virtual ~FlowRouter() = default;
+  [[nodiscard]] virtual Simulation& simulation() = 0;
+  /// Starts the described flow. Every resource must outlive the flow.
+  virtual FlowPtr start(FlowSpec spec) = 0;
+  /// Coroutine helper: start the flow and wait for its completion.
+  [[nodiscard]] Task run(FlowSpec spec);
+};
+
+class FluidScheduler : public FlowRouter {
+ public:
+  /// Deprecated alias of sim::kUncappedRate; kept for one PR.
   static constexpr double kUncapped = std::numeric_limits<double>::infinity();
 
   explicit FluidScheduler(Simulation& sim) : sim_(&sim) {}
-  ~FluidScheduler();
+  ~FluidScheduler() override;
   FluidScheduler(const FluidScheduler&) = delete;
   FluidScheduler& operator=(const FluidScheduler&) = delete;
 
-  [[nodiscard]] Simulation& simulation() { return *sim_; }
+  [[nodiscard]] Simulation& simulation() override { return *sim_; }
 
-  /// Starts a flow of `work` units across weighted `shares`. A zero-work
-  /// flow completes immediately. Every resource must outlive the flow.
+  /// Starts a flow described by `spec`. A zero-work flow completes
+  /// immediately. Every resource must outlive the flow; every resource must
+  /// be unowned or owned by this scheduler (a spec that spans schedulers
+  /// must go through FluidNet, which owns the boundary-flow machinery).
+  FlowPtr start(FlowSpec spec) override;
+  using FlowRouter::run;
+
+  /// Deprecated shim (one PR): use start(FlowSpec).
   FlowPtr start(double work, std::vector<ResourceShare> shares, double max_rate = kUncapped);
-  /// Convenience overload: unit weight on every resource.
+  /// Deprecated shim (one PR): use start(FlowSpec) — unit weights.
   FlowPtr start(double work, const std::vector<FluidResource*>& resources,
                 double max_rate = kUncapped);
-
-  /// Coroutine helpers: start a flow and wait for completion.
+  /// Deprecated shim (one PR): use run(FlowSpec).
   [[nodiscard]] Task run(double work, std::vector<ResourceShare> shares,
                          double max_rate = kUncapped);
+  /// Deprecated shim (one PR): use run(FlowSpec) — unit weights.
   [[nodiscard]] Task run(double work, std::vector<FluidResource*> resources,
                          double max_rate = kUncapped);
 
@@ -190,6 +295,7 @@ class FluidScheduler {
  private:
   friend class Flow;
   friend class FluidResource;
+  friend class FluidNet;
   friend class SolvePool;
 
   static constexpr std::uint32_t kNone = 0xffffffffU;
@@ -321,16 +427,18 @@ class FluidScheduler {
 };
 
 /// A topology shard: one independently-solved FluidScheduler over a shared
-/// simulation clock. A valid sharding follows the modelled topology's
-/// connectivity — every resource a single flow can ever cross must live in
-/// the same domain, because a flow cannot span schedulers. Under that
-/// constraint the split is exact, not approximate: rates in one domain
-/// never depend on another domain's state, and every domain's timers drain
-/// through the one simulation's (time, sequence) event queue, so the merged
-/// timeline is bit-identical for every valid partitioning. That invariance
-/// is what makes domains safe to construct in parallel (each worker thread
-/// touches only its own scheduler; the shared Simulation takes no posts
-/// during the parallel phase) — see bench_scalability and sim_sharding_test.
+/// simulation clock. When the partition follows the modelled topology's
+/// connectivity (no flow ever spans domains) the split is exact: rates in
+/// one domain never depend on another domain's state, and every domain's
+/// timers drain through the one simulation's (time, sequence) event queue,
+/// so the merged timeline is bit-identical for every valid partitioning.
+/// Flows that do span domains are admitted through FluidNet (fluid_net.h)
+/// as boundary flows: the settle-time ghost-capacity exchange couples the
+/// domains' solves and converges to the same max-min rates the merged
+/// scheduler would compute — see DESIGN.md §6. Either way domains are safe
+/// to construct in parallel (each worker thread touches only its own
+/// scheduler; the shared Simulation takes no posts during the parallel
+/// phase) — see bench_scalability and sim_sharding_test.
 class FluidDomain {
  public:
   FluidDomain(Simulation& sim, std::string name)

@@ -7,7 +7,7 @@
 namespace nm::sim {
 
 SolvePool::SolvePool(Simulation& sim, int workers) : sim_(&sim) {
-  NM_CHECK(workers >= 1, "SolvePool needs at least one worker");
+  NM_CHECK(workers >= 0, "negative SolvePool worker count");
   scratch_.resize(static_cast<std::size_t>(workers) + 1);  // + the sim thread
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -60,6 +60,15 @@ void SolvePool::detach(FluidScheduler& scheduler) {
   }
 }
 
+bool SolvePool::any_dirty() const {
+  for (const auto* sched : attached_) {
+    if (sched != nullptr && sched->pool_dirty_) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void SolvePool::notify_dirty(FluidScheduler& scheduler) {
   scheduler.pool_dirty_ = true;
   sim_->request_settle();
@@ -94,51 +103,103 @@ void SolvePool::settle() {
   if (tasks_.empty()) {
     return;
   }
-  std::sort(tasks_.begin(), tasks_.end(), [](const TaskEntry& a, const TaskEntry& b) {
+  const auto canonical = [](const TaskEntry& a, const TaskEntry& b) {
     return a.domain != b.domain ? a.domain < b.domain : a.comp->id < b.comp->id;
-  });
+  };
+  std::sort(tasks_.begin(), tasks_.end(), canonical);
 
   ++settles_;
   solved_comps_ += tasks_.size();
   max_batch_ = std::max(max_batch_, tasks_.size());
-
-  // Phase 1: compute. Single-task batches skip the handoff entirely — the
-  // common case for small episodes stays free of synchronization. For
-  // larger batches the simulation thread steals alongside the workers
-  // (scratch slot workers_.size() is reserved for it); indices are claimed
-  // under the mutex — batches are at most a few dozen components and the
-  // compute itself runs unlocked, so claim contention is noise, and the
-  // lock gives every thread a consistent view of the batch (no stale-epoch
-  // stealing) plus the happens-before edge the commit phase needs.
-  if (tasks_.size() == 1) {
-    run_compute(0, workers_.size());
-  } else {
+  if (tasks_.size() > 1 && !workers_.empty()) {
     ++parallel_settles_;
-    std::unique_lock<std::mutex> lk(mutex_);
-    task_count_ = tasks_.size();
-    next_task_ = 0;
-    done_tasks_ = 0;
-    ++epoch_;
-    work_cv_.notify_all();
-    while (next_task_ < task_count_) {
-      const std::size_t i = next_task_++;
-      lk.unlock();
-      run_compute(i, workers_.size());
-      lk.lock();
-      ++done_tasks_;
+  }
+
+  // Phase 1: compute. Round 0 solves every collected component; when a
+  // SettleExchange with live boundary flows is registered, further rounds
+  // alternate a serial exchange (publish boundary rates, refresh ghost
+  // caps) with a recompute of whatever the exchange moved, until the
+  // coupled rates reach a fixed point. Nothing is committed until every
+  // round is done, so the event queue sees no posts mid-iteration.
+  pending_.resize(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    pending_[i] = i;
+  }
+  if (!exchange_active()) {
+    compute_pending();
+  } else {
+    std::size_t rounds = 0;
+    while (true) {
+      compute_pending();
+      ++rounds;
+      // Bank completions: a later recompute of the same component clears
+      // result.finished, so move them aside in canonical round order.
+      for (const auto i : pending_) {
+        auto& task = tasks_[i];
+        for (auto& flow : task.result.finished) {
+          task.finished_acc.push_back(std::move(flow));
+        }
+        task.result.finished.clear();
+      }
+      // The cap breaks *after* a full compute: every component the last
+      // exchange re-dirtied has been re-solved (its dirty flag cleared),
+      // so the commit below strands nothing.
+      if (rounds >= kMaxExchangeRounds) {
+        ++unconverged_exchanges_;
+        break;
+      }
+      dirtied_.clear();
+      exchange_->exchange(dirtied_);
+      if (dirtied_.empty()) {
+        break;  // fixed point
+      }
+      // Map the re-dirtied components onto tasks, appending entries for
+      // components first touched by the exchange (e.g. a ghost's foreign
+      // component that was clean when the batch was collected).
+      pending_.clear();
+      for (const auto& [sched, comp_id] : dirtied_) {
+        std::size_t idx = tasks_.size();
+        for (std::size_t t = 0; t < tasks_.size(); ++t) {
+          if (tasks_[t].sched == sched && tasks_[t].comp->id == comp_id) {
+            idx = t;
+            break;
+          }
+        }
+        if (idx == tasks_.size()) {
+          auto* comp = comp_id < sched->comps_.size() ? sched->comps_[comp_id].get() : nullptr;
+          NM_CHECK(comp != nullptr, "exchange dirtied a retired component");
+          TaskEntry entry;
+          entry.sched = sched;
+          entry.comp = comp;
+          entry.domain = sched->pool_domain_;
+          tasks_.push_back(std::move(entry));
+        }
+        if (std::find(pending_.begin(), pending_.end(), idx) == pending_.end()) {
+          pending_.push_back(idx);
+        }
+      }
+      std::sort(pending_.begin(), pending_.end(), [this](std::size_t a, std::size_t b) {
+        const TaskEntry& ta = tasks_[a];
+        const TaskEntry& tb = tasks_[b];
+        return ta.domain != tb.domain ? ta.domain < tb.domain : ta.comp->id < tb.comp->id;
+      });
+      solved_comps_ += pending_.size();
     }
-    done_cv_.wait(lk, [this] { return done_tasks_ == task_count_; });
-    task_count_ = 0;
-    next_task_ = 0;
+    exchange_rounds_ += rounds;
+    // Exchange-appended tasks arrived out of canonical order; restore it
+    // for the commit, then hand each task its banked completions.
+    std::sort(tasks_.begin(), tasks_.end(), canonical);
+    for (auto& task : tasks_) {
+      task.result.finished = std::move(task.finished_acc);
+      task.finished_acc.clear();
+    }
   }
 
   // Phase 2 (serial): commit in canonical order. This is the only phase
   // that posts timers or fires events, so the sequence numbers drawn from
-  // the shared queue are independent of how phase 1 interleaved.
+  // the shared queue are independent of how phase 1 interleaved (and, in
+  // exchange mode, of how many rounds it took to converge).
   for (auto& task : tasks_) {
-    if (task.error) {
-      std::rethrow_exception(task.error);
-    }
     task.sched->commit_component(*task.comp, task.result);
   }
   // Per-scheduler epilogue (epoch rebuilds), still in domain order.
@@ -150,6 +211,49 @@ void SolvePool::settle() {
     }
   }
   tasks_.clear();
+}
+
+void SolvePool::compute_pending() {
+  // Single-task rounds (the common case for small episodes) and 0-worker
+  // pools skip the handoff entirely; otherwise the simulation thread
+  // steals alongside the workers (scratch slot workers_.size() is reserved
+  // for it). Threads claim kClaimChunk pending indices per mutex
+  // round-trip — the compute itself runs unlocked, and the lock gives
+  // every thread a consistent view of the round (no stale-epoch stealing)
+  // plus the happens-before edge the commit phase needs.
+  if (pending_.size() == 1 || workers_.empty()) {
+    for (const auto idx : pending_) {
+      run_compute(idx, workers_.size());
+    }
+  } else {
+    std::unique_lock<std::mutex> lk(mutex_);
+    round_count_ = pending_.size();
+    next_claim_ = 0;
+    done_tasks_ = 0;
+    ++epoch_;
+    work_cv_.notify_all();
+    while (next_claim_ < round_count_) {
+      const std::size_t begin = next_claim_;
+      const std::size_t end = std::min(begin + kClaimChunk, round_count_);
+      next_claim_ = end;
+      lk.unlock();
+      for (std::size_t i = begin; i < end; ++i) {
+        run_compute(pending_[i], workers_.size());
+      }
+      lk.lock();
+      done_tasks_ += end - begin;
+    }
+    done_cv_.wait(lk, [this] { return done_tasks_ == round_count_; });
+    round_count_ = 0;
+    next_claim_ = 0;
+  }
+  // Surface the first compute error in canonical order (nothing has been
+  // committed yet, so the failure point is deterministic).
+  for (const auto idx : pending_) {
+    if (tasks_[idx].error) {
+      std::rethrow_exception(tasks_[idx].error);
+    }
+  }
 }
 
 void SolvePool::run_compute(std::size_t task_index, std::size_t scratch_index) {
@@ -170,13 +274,17 @@ void SolvePool::worker_main(std::size_t worker_index) {
       return;
     }
     seen_epoch = epoch_;
-    while (next_task_ < task_count_) {
-      const std::size_t i = next_task_++;
+    while (next_claim_ < round_count_) {
+      const std::size_t begin = next_claim_;
+      const std::size_t end = std::min(begin + kClaimChunk, round_count_);
+      next_claim_ = end;
       lk.unlock();
-      run_compute(i, worker_index);
+      for (std::size_t i = begin; i < end; ++i) {
+        run_compute(pending_[i], worker_index);
+      }
       lk.lock();
-      ++done_tasks_;
-      if (done_tasks_ == task_count_) {
+      done_tasks_ += end - begin;
+      if (done_tasks_ == round_count_) {
         done_cv_.notify_all();
       }
     }

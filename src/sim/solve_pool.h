@@ -25,6 +25,7 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sim/fluid.h"
@@ -32,9 +33,30 @@
 
 namespace nm::sim {
 
+/// Cross-domain coupling hook (implemented by FluidNet). When boundary
+/// flows exist the pool interleaves compute rounds with exchange() calls —
+/// solve dirty components against the current ghost caps, publish the
+/// boundary rates, re-solve whatever moved — until a fixed point, then
+/// commits every touched component exactly once in canonical order.
+class SettleExchange {
+ public:
+  virtual ~SettleExchange() = default;
+  /// True when at least one boundary flow is registered (enables
+  /// multi-round settling; with none the pool keeps its single-round path).
+  [[nodiscard]] virtual bool active() const = 0;
+  /// Runs one Jacobi exchange over the boundary registry: publish each
+  /// freshly-solved home rate into its ghosts' caps and fold the ghosts'
+  /// capacity offers back into the home flow's boundary cap. Appends every
+  /// (scheduler, component id) whose inputs moved to `dirtied`. Called
+  /// serially on the simulation thread between compute rounds.
+  virtual void exchange(std::vector<std::pair<FluidScheduler*, std::uint32_t>>& dirtied) = 0;
+};
+
 class SolvePool {
  public:
-  /// Spawns `workers` persistent threads (>= 1) and registers the settle
+  /// Spawns `workers` persistent threads (>= 0; with 0 the simulation
+  /// thread computes every batch itself — the pool then only provides the
+  /// settle-hook batching and the exchange loop) and registers the settle
   /// hook with `sim`. The pool must outlive no scheduler attached to it and
   /// must be destroyed before `sim`.
   SolvePool(Simulation& sim, int workers);
@@ -48,6 +70,16 @@ class SolvePool {
   void attach(FluidScheduler& scheduler);
   void detach(FluidScheduler& scheduler);
 
+  /// Registers (or clears, with nullptr) the cross-domain exchange driver.
+  void set_exchange(SettleExchange* exchange) { exchange_ = exchange; }
+  [[nodiscard]] bool exchange_active() const {
+    return exchange_ != nullptr && exchange_->active();
+  }
+  /// True when any attached scheduler has components waiting for the next
+  /// settle point. Readers use it to decide whether a coupled (exchange)
+  /// settle must run before rates can be observed.
+  [[nodiscard]] bool any_dirty() const;
+
   [[nodiscard]] int worker_count() const { return static_cast<int>(workers_.size()); }
   /// Settle points executed so far, and how many of them had 2+ components
   /// to solve (the ones where parallelism could help).
@@ -55,23 +87,48 @@ class SolvePool {
   [[nodiscard]] std::size_t parallel_settle_count() const { return parallel_settles_; }
   [[nodiscard]] std::size_t solved_component_count() const { return solved_comps_; }
   [[nodiscard]] std::size_t max_batch_size() const { return max_batch_; }
+  /// Compute rounds run inside exchanging settles (1 round = solve all
+  /// pending components once), and how many settles hit the round cap
+  /// before the exchange reached its fixed point.
+  [[nodiscard]] std::size_t exchange_round_count() const { return exchange_rounds_; }
+  [[nodiscard]] std::size_t unconverged_exchange_count() const { return unconverged_exchanges_; }
 
  private:
   friend class FluidScheduler;
+  friend class FluidNet;
+
+  /// Safety valve for a non-converging exchange: commit whatever the last
+  /// round produced (all dirty flags are already cleared by then, so
+  /// nothing is stranded) and count it in unconverged_exchange_count().
+  /// The Jacobi iteration contracts geometrically (observed worst case
+  /// ~0.7/round on coupled-bottleneck chains, ~75 rounds to 1e-12), so 256
+  /// leaves a wide margin while still bounding a pathological settle.
+  static constexpr std::size_t kMaxExchangeRounds = 256;
+  /// Indices a thread claims per mutex round-trip: batches of tiny
+  /// singleton components stop paying one lock handoff each.
+  static constexpr std::size_t kClaimChunk = 4;
 
   struct TaskEntry {
     FluidScheduler* sched = nullptr;
     FluidScheduler::Component* comp = nullptr;
     std::uint32_t domain = 0;
     FluidScheduler::SolveResult result;
+    /// Completions banked across exchange rounds (each recompute clears
+    /// result.finished); swapped back into result before the final commit.
+    std::vector<FlowPtr> finished_acc;
     std::exception_ptr error;
   };
 
   /// Called by an attached scheduler on every dirty mark; arms the kernel
   /// settle hook for the current instant.
   void notify_dirty(FluidScheduler& scheduler);
-  /// The settle hook body: collect → parallel compute → serial commit.
+  /// The settle hook body: collect → (parallel compute ↔ serial exchange)*
+  /// → serial commit in canonical order.
   void settle();
+  /// Computes every task listed in pending_ (parallel when workers exist
+  /// and the round has 2+ tasks), then rethrows the first compute error in
+  /// canonical order.
+  void compute_pending();
   void run_compute(std::size_t task_index, std::size_t scratch_index);
   void worker_main(std::size_t worker_index);
 
@@ -79,21 +136,27 @@ class SolvePool {
   std::uint64_t hook_id_ = 0;
   /// Attach-ordered; detach leaves a null hole so domain ids stay stable.
   std::vector<FluidScheduler*> attached_;
+  SettleExchange* exchange_ = nullptr;
 
   // The task batch for the current settle. Published to workers under
-  // `mutex_` by bumping `epoch_`; task indices are claimed under the same
-  // mutex (the compute runs unlocked), and the `done_tasks_` count both
-  // signals completion and gives the commit phase a happens-before edge
-  // over every compute phase.
+  // `mutex_` by bumping `epoch_`; pending indices are claimed under the
+  // same mutex (the compute runs unlocked), and the `done_tasks_` count
+  // both signals completion and gives the commit phase a happens-before
+  // edge over every compute phase.
   std::vector<TaskEntry> tasks_;
+  /// Indices into tasks_ to compute this round, in canonical order. Round
+  /// 0 lists every collected task; later (exchange) rounds list just the
+  /// components the exchange re-dirtied.
+  std::vector<std::size_t> pending_;
+  std::vector<std::pair<FluidScheduler*, std::uint32_t>> dirtied_;
   std::vector<FluidScheduler::SolveScratch> scratch_;  // workers + sim thread
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::uint64_t epoch_ = 0;
-  std::size_t task_count_ = 0;
-  std::size_t next_task_ = 0;
+  std::size_t round_count_ = 0;
+  std::size_t next_claim_ = 0;
   std::size_t done_tasks_ = 0;
   bool stop_ = false;
 
@@ -101,6 +164,8 @@ class SolvePool {
   std::size_t parallel_settles_ = 0;
   std::size_t solved_comps_ = 0;
   std::size_t max_batch_ = 0;
+  std::size_t exchange_rounds_ = 0;
+  std::size_t unconverged_exchanges_ = 0;
 };
 
 }  // namespace nm::sim

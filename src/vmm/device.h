@@ -114,7 +114,7 @@ class VirtioNetDevice final : public VmDevice {
       : VmDevice(std::move(tag), std::move(guest_pci_addr)),
         fabric_(&fabric),
         costs_(costs),
-        vhost_(fabric.scheduler(), "vhost:" + this->tag(), 1.0) {
+        vhost_(host_uplink.node().scheduler(), "vhost:" + this->tag(), 1.0) {
     attachment_ = fabric_->attach(host_uplink);  // IP assigned, stable
     // Inbound traffic also funnels through this VM's vhost thread.
     std::vector<sim::ResourceShare> rx{{&vhost_, costs_.vhost_cpu_per_byte}};

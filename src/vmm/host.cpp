@@ -6,10 +6,10 @@
 
 namespace nm::vmm {
 
-Host::Host(sim::Simulation& sim, sim::FluidScheduler& scheduler, hw::Node& node,
+Host::Host(sim::Simulation& sim, sim::FlowRouter& router, hw::Node& node,
            SharedStorage& storage, HotplugTiming timing, MigrationConfig migration)
     : sim_(&sim),
-      scheduler_(&scheduler),
+      router_(&router),
       node_(&node),
       storage_(&storage),
       timing_(timing),
@@ -56,7 +56,7 @@ net::IbFabric* Host::ib_fabric() {
 
 std::shared_ptr<Vm> Host::launch(VmSpec spec) {
   NM_CHECK(find_vm(spec.name) == nullptr, "VM name " << spec.name << " already in use");
-  auto vm = std::make_shared<Vm>(*sim_, *scheduler_, std::move(spec), *this);
+  auto vm = std::make_shared<Vm>(*sim_, node_->scheduler(), std::move(spec), *this);
   vms_.push_back(vm);
   NM_LOG_INFO("vmm") << name() << ": launched VM " << vm->name() << " (" << vm->spec().vcpus
                      << " vCPUs, " << vm->spec().memory << ")";

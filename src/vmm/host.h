@@ -39,7 +39,10 @@ struct HotplugTiming {
 
 class Host {
  public:
-  Host(sim::Simulation& sim, sim::FluidScheduler& scheduler, hw::Node& node,
+  /// `router` carries the host's guest-compute and shared-memory flows; a
+  /// FluidNet router lets them span domains when hosts are carved into
+  /// per-blade domains.
+  Host(sim::Simulation& sim, sim::FlowRouter& router, hw::Node& node,
        SharedStorage& storage, HotplugTiming timing = {}, MigrationConfig migration = {});
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
@@ -47,7 +50,7 @@ class Host {
   [[nodiscard]] const std::string& name() const { return node_->name(); }
   [[nodiscard]] hw::Node& node() { return *node_; }
   [[nodiscard]] sim::Simulation& simulation() { return *sim_; }
-  [[nodiscard]] sim::FluidScheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] sim::FlowRouter& router() { return *router_; }
   [[nodiscard]] SharedStorage& storage() { return *storage_; }
   [[nodiscard]] HotplugTiming& hotplug_timing() { return timing_; }
   [[nodiscard]] MigrationEngine& migration_engine() { return migration_; }
@@ -103,7 +106,7 @@ class Host {
   };
 
   sim::Simulation* sim_;
-  sim::FluidScheduler* scheduler_;
+  sim::FlowRouter* router_;
   hw::Node* node_;
   SharedStorage* storage_;
   HotplugTiming timing_;

@@ -17,11 +17,19 @@ namespace nm::vmm {
 
 class SharedStorage {
  public:
+  /// The throughput resource registers into `home` eagerly; `router`
+  /// carries the IO flows, which also cross the client node's CPU — with a
+  /// FluidNet router that CPU may live in another domain (boundary flow).
+  SharedStorage(sim::FlowRouter& router, sim::FluidScheduler& home, std::string name,
+                Bandwidth throughput = Bandwidth::mib_per_sec(300))
+      : router_(&router),
+        name_(std::move(name)),
+        throughput_(home, "nfs:" + name_, throughput.bytes_per_second()) {}
+  /// Single-domain storage: the scheduler both homes the resource and
+  /// routes the IO flows.
   SharedStorage(sim::FluidScheduler& scheduler, std::string name,
                 Bandwidth throughput = Bandwidth::mib_per_sec(300))
-      : scheduler_(&scheduler),
-        name_(std::move(name)),
-        throughput_(scheduler, "nfs:" + name_, throughput.bytes_per_second()) {}
+      : SharedStorage(scheduler, scheduler, std::move(name), throughput) {}
   SharedStorage(const SharedStorage&) = delete;
   SharedStorage& operator=(const SharedStorage&) = delete;
 
@@ -38,13 +46,15 @@ class SharedStorage {
   [[nodiscard]] sim::Task io(hw::Node& via, Bytes bytes) {
     // NFS over the shared server: server throughput shared by all
     // clients; client-side protocol cost ~1 core at 1 GiB/s.
-    std::vector<sim::ResourceShare> shares{
-        {&throughput_, 1.0},
-        {&via.cpu(), 1.0 / (1024.0 * 1024.0 * 1024.0)}};
-    co_await scheduler_->run(static_cast<double>(bytes.count()), std::move(shares));
+    // Named spec, not a temporary: see the FlowLabel comment in fluid.h —
+    // GCC 12 miscompiles FlowSpec temporaries that live across a co_await.
+    sim::FlowSpec spec{.work = static_cast<double>(bytes.count())};
+    spec.shares = {{&throughput_, 1.0},
+                   {&via.cpu(), 1.0 / (1024.0 * 1024.0 * 1024.0)}};
+    co_await router_->run(std::move(spec));
   }
 
-  sim::FluidScheduler* scheduler_;
+  sim::FlowRouter* router_;
   std::string name_;
   sim::FluidResource throughput_;
 };

@@ -67,7 +67,11 @@ void Vm::resume() {
 sim::Task Vm::compute(double core_seconds) {
   co_await run_gate_.opened();
   std::vector<sim::ResourceShare> shares{{&vcpu_, 1.0}, {&host_->node().cpu(), 1.0}};
-  auto flow = scheduler_->start(core_seconds, std::move(shares), /*max_rate=*/1.0);
+  // Routed through the host: after a migration the vCPU resource stays in
+  // its boot domain while the current host's cores may live in another, so
+  // guest work can be a boundary flow.
+  auto flow = host_->router().start(
+      sim::FlowSpec{core_seconds, std::move(shares), /*max_rate=*/1.0, {}});
   track_flow(flow);
   if (!flow->finished()) {
     co_await flow->completion().wait();

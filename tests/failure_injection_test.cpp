@@ -58,14 +58,14 @@ TEST(FailureInjection, UnknownDestinationHostAbortsEpisode) {
 TEST(FailureInjection, MigrationToHostWithoutSharedStorageRefused) {
   // Hand-build a 17th host on separate storage: live migration must refuse.
   Testbed tb;
-  vmm::SharedStorage other_storage(tb.scheduler(), "other-site");
+  vmm::SharedStorage other_storage(tb.domain(0).scheduler(), "other-site");
   hw::Cluster other_cluster("other");
-  auto& node = other_cluster.add_node(tb.scheduler(), [] {
+  auto& node = other_cluster.add_node(tb.domain(0), [] {
     hw::NodeSpec spec;
     spec.name = "alien0";
     return spec;
   }());
-  vmm::Host alien(tb.sim(), tb.scheduler(), node, other_storage);
+  vmm::Host alien(tb.sim(), tb.net(), node, other_storage);
   net::NicPort alien_eth(node, "alien0:eth", Bandwidth::gbps(10));
   alien.connect_eth(tb.eth_fabric(), alien_eth);
 

@@ -222,9 +222,9 @@ void run_one_topology(std::uint32_t seed) {
     for (const auto r : picks) {
       shares.push_back(ResourceShare{topo.resources[r].get(), weight_dist(rng)});
     }
-    const double cap = unit(rng) < 0.4 ? flow_cap_dist(rng) : FluidScheduler::kUncapped;
+    const double cap = unit(rng) < 0.4 ? flow_cap_dist(rng) : kUncappedRate;
     // Work far beyond what the mutation window can drain: no completions.
-    topo.flows.push_back(topo.sched.start(1e15, std::move(shares), cap));
+    topo.flows.push_back(topo.sched.start(FlowSpec{1e15, std::move(shares), cap, {}}));
   }
   check_against_reference(topo, seed, /*step=*/-1);
 
@@ -242,7 +242,7 @@ void run_one_topology(std::uint32_t seed) {
         break;
       }
       case 1:
-        flow->set_max_rate(unit(rng) < 0.3 ? FluidScheduler::kUncapped : flow_cap_dist(rng));
+        flow->set_max_rate(unit(rng) < 0.3 ? kUncappedRate : flow_cap_dist(rng));
         break;
       case 2:
         flow->suspend();

@@ -20,8 +20,7 @@ TEST(Fluid, SingleFlowUsesFullCapacity) {
   FluidResource nic("nic", 100.0);  // 100 units/s
   double done_at = -1;
   sim.spawn([](Simulation& s, FluidScheduler& sc, FluidResource& r, double& t) -> Task {
-    std::vector<FluidResource*> rs{&r};
-    co_await sc.run(500.0, rs);
+    co_await sc.run(FlowSpec{.work = 500.0}.over(r));
     t = s.now().to_seconds();
   }(sim, sched, nic, done_at));
   sim.run();
@@ -32,7 +31,7 @@ TEST(Fluid, ZeroWorkCompletesImmediately) {
   Simulation sim;
   FluidScheduler sched(sim);
   FluidResource r("r", 10.0);
-  auto flow = sched.start(0.0, std::vector<FluidResource*>{&r});
+  auto flow = sched.start(FlowSpec{.work = 0.0}.over(r));
   EXPECT_TRUE(flow->finished());
   EXPECT_EQ(r.active_flows(), 0u);
 }
@@ -44,8 +43,7 @@ TEST(Fluid, TwoFlowsShareEqually) {
   std::vector<double> done(2, -1);
   for (int i = 0; i < 2; ++i) {
     sim.spawn([](Simulation& s, FluidScheduler& sc, FluidResource& r, double& t) -> Task {
-      std::vector<FluidResource*> rs{&r};
-    co_await sc.run(500.0, rs);
+      co_await sc.run(FlowSpec{.work = 500.0}.over(r));
       t = s.now().to_seconds();
     }(sim, sched, nic, done[i]));
   }
@@ -62,13 +60,11 @@ TEST(Fluid, ShorterFlowFreesCapacityForLonger) {
   double short_done = -1;
   double long_done = -1;
   sim.spawn([](Simulation& s, FluidScheduler& sc, FluidResource& r, double& t) -> Task {
-    std::vector<FluidResource*> rs{&r};
-    co_await sc.run(100.0, rs);
+    co_await sc.run(FlowSpec{.work = 100.0}.over(r));
     t = s.now().to_seconds();
   }(sim, sched, nic, short_done));
   sim.spawn([](Simulation& s, FluidScheduler& sc, FluidResource& r, double& t) -> Task {
-    std::vector<FluidResource*> rs{&r};
-    co_await sc.run(500.0, rs);
+    co_await sc.run(FlowSpec{.work = 500.0}.over(r));
     t = s.now().to_seconds();
   }(sim, sched, nic, long_done));
   sim.run();
@@ -85,8 +81,7 @@ TEST(Fluid, PerFlowCapLimitsRate) {
   double done_at = -1;
   // One vCPU task: capped at 1 core even though 8 are free.
   sim.spawn([](Simulation& s, FluidScheduler& sc, FluidResource& r, double& t) -> Task {
-    std::vector<FluidResource*> rs{&r};
-    co_await sc.run(4.0, rs, /*max_rate=*/1.0);
+    co_await sc.run(FlowSpec{.work = 4.0, .max_rate = 1.0}.over(r));
     t = s.now().to_seconds();
   }(sim, sched, cpu, done_at));
   sim.run();
@@ -101,8 +96,7 @@ TEST(Fluid, OvercommitSharesFairly) {
   std::vector<double> done(16, -1);
   for (int i = 0; i < 16; ++i) {
     sim.spawn([](Simulation& s, FluidScheduler& sc, FluidResource& r, double& t) -> Task {
-      std::vector<FluidResource*> rs{&r};
-    co_await sc.run(2.0, rs, 1.0);
+      co_await sc.run(FlowSpec{.work = 2.0, .max_rate = 1.0}.over(r));
       t = s.now().to_seconds();
     }(sim, sched, cpu, done[i]));
   }
@@ -120,8 +114,7 @@ TEST(Fluid, MultiResourceFlowBottleneckedByTightest) {
   double done_at = -1;
   sim.spawn([](Simulation& s, FluidScheduler& sc, FluidResource& a, FluidResource& b,
                double& t) -> Task {
-    std::vector<FluidResource*> rs{&a, &b};
-    co_await sc.run(200.0, rs);
+    co_await sc.run(FlowSpec{.work = 200.0}.over(a).over(b));
     t = s.now().to_seconds();
   }(sim, sched, tx, rx, done_at));
   sim.run();
@@ -136,8 +129,8 @@ TEST(Fluid, CrossTrafficOnSharedResource) {
   FluidResource tx("tx", 100.0);
   FluidResource rx1("rx1", 100.0);
   FluidResource rx2("rx2", 30.0);
-  auto a = sched.start(700.0, std::vector<FluidResource*>{&tx, &rx1});
-  auto b = sched.start(300.0, std::vector<FluidResource*>{&tx, &rx2});
+  auto a = sched.start(FlowSpec{.work = 700.0}.over(tx).over(rx1));
+  auto b = sched.start(FlowSpec{.work = 300.0}.over(tx).over(rx2));
   EXPECT_NEAR(a->current_rate(), 70.0, 1e-9);
   EXPECT_NEAR(b->current_rate(), 30.0, 1e-9);
   sim.run();
@@ -151,8 +144,7 @@ TEST(Fluid, CapacityChangeRebalances) {
   FluidResource nic("nic", 100.0);
   double done_at = -1;
   sim.spawn([](Simulation& s, FluidScheduler& sc, FluidResource& r, double& t) -> Task {
-    std::vector<FluidResource*> rs{&r};
-    co_await sc.run(400.0, rs);
+    co_await sc.run(FlowSpec{.work = 400.0}.over(r));
     t = s.now().to_seconds();
   }(sim, sched, nic, done_at));
   sim.post(Duration::seconds(2.0), [&] { nic.set_capacity(50.0); });
@@ -165,14 +157,14 @@ TEST(Fluid, PauseAndResumeViaMaxRate) {
   Simulation sim;
   FluidScheduler sched(sim);
   FluidResource nic("nic", 100.0);
-  auto flow = sched.start(400.0, std::vector<FluidResource*>{&nic});
+  auto flow = sched.start(FlowSpec{.work = 400.0}.over(nic));
   double done_at = -1;
   sim.spawn([](Simulation& s, FlowPtr f, double& t) -> Task {
     co_await f->completion().wait();
     t = s.now().to_seconds();
   }(sim, flow, done_at));
   sim.post(Duration::seconds(1.0), [&] { flow->set_max_rate(0.0); });   // pause (VM paused)
-  sim.post(Duration::seconds(11.0), [&] { flow->set_max_rate(FluidScheduler::kUncapped); });
+  sim.post(Duration::seconds(11.0), [&] { flow->set_max_rate(kUncappedRate); });
   sim.run();
   // 100 done in 1 s, 10 s paused, 300 remaining at 100 -> t=14.
   EXPECT_NEAR(done_at, 14.0, 1e-6);
@@ -183,8 +175,8 @@ TEST(Fluid, FlowAcrossSchedulersRejected) {
   FluidScheduler s1(sim);
   FluidScheduler s2(sim);
   FluidResource r("r", 1.0);
-  auto f = s1.start(1.0, std::vector<FluidResource*>{&r});
-  EXPECT_THROW((void)s2.start(1.0, std::vector<FluidResource*>{&r}), LogicError);
+  auto f = s1.start(FlowSpec{.work = 1.0}.over(r));
+  EXPECT_THROW((void)s2.start(FlowSpec{.work = 1.0}.over(r)), LogicError);
   sim.run();
   EXPECT_TRUE(f->finished());
 }
@@ -217,8 +209,12 @@ TEST_P(FluidProperty, RatesAreFeasibleAndMaxMinFair) {
         rs.push_back(r);
       }
     }
-    const double cap = rng.bernoulli(0.3) ? rng.uniform(1.0, 50.0) : FluidScheduler::kUncapped;
-    flows.push_back(sched.start(rng.uniform(100.0, 1000.0), rs, cap));
+    const double cap = rng.bernoulli(0.3) ? rng.uniform(1.0, 50.0) : kUncappedRate;
+    FlowSpec spec{.work = rng.uniform(100.0, 1000.0), .max_rate = cap};
+    for (auto* r : rs) {
+      spec.over(*r);
+    }
+    flows.push_back(sched.start(std::move(spec)));
   }
 
   // Feasibility: per-resource usage never exceeds capacity; per-flow rate
@@ -284,8 +280,7 @@ TEST(Fluid, WeightedFlowChargesCpuPerByte) {
   FluidScheduler sched(sim);
   FluidResource nic("nic", 1250.0);
   FluidResource cpu("cpu", 1.0);
-  std::vector<ResourceShare> shares{{&nic, 1.0}, {&cpu, 1e-3}};
-  auto flow = sched.start(2000.0, shares);
+  auto flow = sched.start(FlowSpec{.work = 2000.0}.over(nic).over(cpu, 1e-3));
   EXPECT_NEAR(flow->current_rate(), 1000.0, 1e-9);
   sim.run();
   EXPECT_NEAR(sim.now().to_seconds(), 2.0, 1e-6);
@@ -299,10 +294,8 @@ TEST(Fluid, WeightedFlowsCompeteForCpuWithComputeJob) {
   FluidScheduler sched(sim);
   FluidResource nic("nic", 1e9);
   FluidResource cpu("cpu", 1.0);
-  std::vector<ResourceShare> net_shares{{&nic, 1.0}, {&cpu, 1e-3}};
-  auto xfer = sched.start(10000.0, net_shares);
-  std::vector<ResourceShare> cpu_shares{{&cpu, 1.0}};
-  auto job = sched.start(10.0, cpu_shares, 1.0);
+  auto xfer = sched.start(FlowSpec{.work = 10000.0}.over(nic).over(cpu, 1e-3));
+  auto job = sched.start(FlowSpec{.work = 10.0, .max_rate = 1.0}.over(cpu));
   // Equal-rate max-min would give both the same *rate*, which the transfer
   // cannot reach CPU-wise; the bound is cpu residual split by weights:
   // 1.0 / (1e-3 + 1.0) ~= 0.999 for the job, transfer gets the same rate.
@@ -318,7 +311,7 @@ TEST(Fluid, SuspendResumePreservesCap) {
   Simulation sim;
   FluidScheduler sched(sim);
   FluidResource nic("nic", 100.0);
-  auto flow = sched.start(400.0, std::vector<FluidResource*>{&nic}, /*max_rate=*/40.0);
+  auto flow = sched.start(FlowSpec{.work = 400.0, .max_rate = 40.0}.over(nic));
   EXPECT_NEAR(flow->current_rate(), 40.0, 1e-12);
   flow->suspend();
   EXPECT_TRUE(flow->suspended());
@@ -340,7 +333,7 @@ TEST(Fluid, SetMaxRateWhileSuspendedAppliesOnResume) {
   Simulation sim;
   FluidScheduler sched(sim);
   FluidResource nic("nic", 100.0);
-  auto flow = sched.start(400.0, std::vector<FluidResource*>{&nic}, /*max_rate=*/40.0);
+  auto flow = sched.start(FlowSpec{.work = 400.0, .max_rate = 40.0}.over(nic));
   EXPECT_NEAR(flow->current_rate(), 40.0, 1e-12);
   flow->suspend();
   flow->set_max_rate(10.0);
@@ -363,17 +356,17 @@ TEST(Fluid, ComponentsTrackConnectivity) {
   FluidResource a("a", 10.0);
   FluidResource b("b", 10.0);
   EXPECT_EQ(sched.component_count(), 0u);
-  auto fa = sched.start(10.0, std::vector<FluidResource*>{&a});
-  auto fb = sched.start(20.0, std::vector<FluidResource*>{&b});
+  auto fa = sched.start(FlowSpec{.work = 10.0}.over(a));
+  auto fb = sched.start(FlowSpec{.work = 20.0}.over(b));
   EXPECT_EQ(sched.component_count(), 2u);
-  auto fab = sched.start(5.0, std::vector<FluidResource*>{&a, &b});
+  auto fab = sched.start(FlowSpec{.work = 5.0}.over(a).over(b));
   EXPECT_EQ(sched.component_count(), 1u);
   sim.run();
   EXPECT_TRUE(fa->finished() && fb->finished() && fab->finished());
   EXPECT_EQ(sched.component_count(), 0u);
   // Fresh flows after dissolution get fresh components.
-  auto fa2 = sched.start(10.0, std::vector<FluidResource*>{&a});
-  auto fb2 = sched.start(10.0, std::vector<FluidResource*>{&b});
+  auto fa2 = sched.start(FlowSpec{.work = 10.0}.over(a));
+  auto fb2 = sched.start(FlowSpec{.work = 10.0}.over(b));
   EXPECT_EQ(sched.component_count(), 2u);
   sim.run();
   EXPECT_TRUE(fa2->finished() && fb2->finished());
@@ -387,8 +380,7 @@ TEST(Fluid, ManySequentialFlowsKeepClockExact) {
   double done_at = -1;
   sim.spawn([](Simulation& s, FluidScheduler& sc, FluidResource& r, double& t) -> Task {
     for (int i = 0; i < 1000; ++i) {
-      std::vector<FluidResource*> rs{&r};
-      co_await sc.run(10.0, rs);
+      co_await sc.run(FlowSpec{.work = 10.0}.over(r));
     }
     t = s.now().to_seconds();
   }(sim, sched, nic, done_at));

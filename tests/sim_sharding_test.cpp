@@ -41,10 +41,12 @@ struct EpisodeTrace {
   bool hca_in_use = false;
 };
 
-EpisodeTrace run_fallback_recovery(int fluid_shards, int solve_workers = 0) {
+EpisodeTrace run_fallback_recovery(int fluid_shards, int solve_workers = 0,
+                                   bool blade_domains = false) {
   TestbedConfig tcfg;
   tcfg.fluid_shards = fluid_shards;
   tcfg.solve_workers = solve_workers;
+  tcfg.blade_domains = blade_domains;
   Testbed tb(tcfg);
   JobConfig cfg;
   cfg.vm_count = 2;
@@ -201,14 +203,12 @@ std::vector<std::int64_t> run_zone_flows(sim::Simulation& sim,
     auto& sched = *zone_sched[z];
     for (int n = 0; n < kZoneNodes; ++n) {
       auto& node = zones[z].cluster->node(static_cast<std::size_t>(n));
-      flows.push_back(sched.start((n + 1) * 0.25,
-                                  std::vector<sim::FluidResource*>{&node.cpu()},
-                                  /*max_rate=*/1.0));
+      flows.push_back(
+          sched.start(sim::FlowSpec{.work = (n + 1) * 0.25, .max_rate = 1.0}.over(node.cpu())));
       flows.push_back(sched.start(
-          1e9 * (n + 1),
-          std::vector<sim::FluidResource*>{
-              &zones[z].ports[static_cast<std::size_t>(n)]->tx(),
-              &zones[z].ports[static_cast<std::size_t>((n + 1) % kZoneNodes)]->rx()}));
+          sim::FlowSpec{.work = 1e9 * (n + 1)}
+              .over(zones[z].ports[static_cast<std::size_t>(n)]->tx())
+              .over(zones[z].ports[static_cast<std::size_t>((n + 1) % kZoneNodes)]->rx())));
     }
   }
   std::vector<std::int64_t> stamps(flows.size(), -1);
@@ -321,11 +321,80 @@ TEST(Sharding, TestbedExposesRequestedDomains) {
   tcfg.fluid_shards = 3;
   Testbed tb(tcfg);
   EXPECT_EQ(tb.domain_count(), 3u);
-  EXPECT_EQ(&tb.zone_domain(), &tb.domain(0));
-  EXPECT_EQ(&tb.scheduler(), &tb.domain(0).scheduler());
+  // The enclosure's shared resources (and, without blade_domains, the
+  // blades) all live on domain 0 — the routing façade agrees.
+  EXPECT_EQ(tb.domain_of(tb.storage().throughput()), &tb.domain(0));
+  EXPECT_EQ(tb.domain_of(tb.ib_host(0).node().cpu()), &tb.domain(0));
   // Spare shards are real, independently usable schedulers on the same clock.
   EXPECT_EQ(&tb.domain(1).simulation(), &tb.sim());
   EXPECT_NE(&tb.domain(1).scheduler(), &tb.domain(0).scheduler());
+}
+
+// --- Boundary flows on the real topology -------------------------------------
+
+TEST(Sharding, BladeDomainEpisodeBitIdenticalAcrossWorkerCounts) {
+  // Carving every blade into its own domain turns each transfer (src tx on
+  // one blade domain, dst rx on another, NFS + vhost on the shared zone)
+  // into a boundary flow solved by the ghost-capacity exchange. The
+  // exchange runs serially between canonical-order compute rounds, so the
+  // whole episode must stay bit-identical at every worker count.
+  auto run_blades = [](int workers) {
+    return run_fallback_recovery(/*fluid_shards=*/1, workers, /*blade_domains=*/true);
+  };
+  const EpisodeTrace base = run_blades(0);
+  // The blade-domain run is a real episode in its own right.
+  ASSERT_EQ(base.iter_seconds.size(), 16u);
+  EXPECT_EQ(base.transport, "openib");
+  EXPECT_TRUE(base.back_on_ib);
+  EXPECT_TRUE(base.hca_in_use);
+  for (const int workers : {1, 2, 4}) {
+    const EpisodeTrace t = run_blades(workers);
+    expect_traces_identical(t, base, "blade-domains workers=" + std::to_string(workers));
+  }
+}
+
+TEST(Sharding, BladeDomainTestbedRegistersBoundaryFlows) {
+  TestbedConfig tcfg;
+  tcfg.blade_domains = true;
+  tcfg.ib_nodes = 2;
+  tcfg.eth_nodes = 0;
+  Testbed tb(tcfg);
+  // fluid_shards=1 zone domain + one domain per blade.
+  EXPECT_EQ(tb.domain_count(), 3u);
+  EXPECT_EQ(tb.domain_of(tb.ib_host(0).node().cpu()), &tb.domain(1));
+  EXPECT_EQ(tb.domain_of(tb.ib_host(1).node().cpu()), &tb.domain(2));
+  ASSERT_NE(tb.solve_pool(), nullptr);
+
+  auto vm0 = tb.boot_vm(tb.ib_host(0), [] {
+    vmm::VmSpec s;
+    s.name = "vm0";
+    s.memory = Bytes::gib(4);
+    return s;
+  }(), /*with_hca=*/false);
+  auto vm1 = tb.boot_vm(tb.ib_host(1), [] {
+    vmm::VmSpec s;
+    s.name = "vm1";
+    s.memory = Bytes::gib(4);
+    return s;
+  }(), /*with_hca=*/false);
+  tb.settle();
+
+  // An Ethernet transfer between the two blades crosses three domains; the
+  // net must register it as a boundary flow and still complete it.
+  bool done = false;
+  tb.sim().spawn([](Testbed& t, bool& flag) -> sim::Task {
+    auto src = t.ib_host(0).eth_attachment();
+    auto dst = t.ib_host(1).eth_attachment();
+    co_await t.eth_fabric().transfer(src, dst->address(), Bytes::mib(64));
+    flag = true;
+  }(tb, done));
+  tb.sim().run_for(Duration::seconds(0.001));
+  EXPECT_GT(tb.net().boundary_flow_count(), 0u);
+  tb.sim().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(tb.net().boundary_flow_count(), 0u);
+  EXPECT_GT(tb.net().exchange_round_count(), 0u);
+  EXPECT_EQ(tb.net().unconverged_exchange_count(), 0u);
 }
 
 }  // namespace

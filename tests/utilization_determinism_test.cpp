@@ -24,7 +24,7 @@ TEST(Utilization, FluidResourceIntegratesConsumption) {
   sim::FluidScheduler sched(sim);
   sim::FluidResource cpu("cpu", 8.0);
   // One 1-core job for 4 seconds: 4 core-seconds consumed, 12.5% mean util.
-  auto flow = sched.start(4.0, std::vector<sim::FluidResource*>{&cpu}, 1.0);
+  auto flow = sched.start(sim::FlowSpec{.work = 4.0, .max_rate = 1.0}.over(cpu));
   sim.run();
   EXPECT_TRUE(flow->finished());
   EXPECT_NEAR(cpu.consumed(), 4.0, 1e-6);
