@@ -24,7 +24,12 @@
 //      spine switch in a separate core domain, so every transfer is a
 //      boundary flow spanning three FluidDomains; the ghost-capacity
 //      exchange must converge to the same timeline at every worker count
-//      (`--sweep7` emits the machine-readable digest used by CI).
+//      (`--sweep7` emits the machine-readable digest used by CI);
+//   8. federated evacuation: two testbeds coupled by a calibrated 50 ms /
+//      1 Gbps / 0.1 % WanLink, four VMs live-migrated cross-site onto two
+//      hosts — the full §II disaster-recovery path with the WAN CapPolicy
+//      folding into every boundary offer; timeline must stay bit-identical
+//      at every worker count (`--sweep8` emits the CI digest).
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -38,6 +43,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "core/federation.h"
 #include "core/job.h"
 #include "core/ninja.h"
 #include "core/testbed.h"
@@ -366,6 +372,113 @@ int run_sweep7(bool json_only) {
   return diverged ? 1 : 0;
 }
 
+// --- Sweep 8: federated evacuation over a calibrated WAN --------------------
+
+struct FederatedResult {
+  std::int64_t final_ns = 0;
+  std::int64_t evac_done_ns = 0;
+  std::size_t exchange_rounds = 0;
+  std::size_t unconverged = 0;
+  double wall_ms = 0.0;
+};
+
+sim::Task evacuate_vm(vmm::Vm& vm, vmm::Host& dst) {
+  co_await vm.host().migrate(vm, dst);
+}
+
+FederatedResult run_federated_evacuation(int workers) {
+  core::FederationConfig fcfg;
+  fcfg.site_a.ib_nodes = 0;
+  fcfg.site_a.eth_nodes = 4;
+  fcfg.site_b.ib_nodes = 0;
+  fcfg.site_b.eth_nodes = 2;
+  fcfg.wan.line_rate = Bandwidth::gbps(1);    // the paper's continental target
+  fcfg.wan.rtt = Duration::millis(50);
+  fcfg.wan.loss = 0.001;
+  fcfg.solve_workers = workers;
+  core::Federation fed(fcfg);
+
+  std::vector<std::shared_ptr<vmm::Vm>> vms;
+  for (int i = 0; i < 4; ++i) {
+    vmm::VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    spec.memory = Bytes::gib(2);
+    spec.base_os_footprint = Bytes::mib(256);
+    auto vm = fed.site_a().boot_vm(fed.site_a().eth_host(i), spec, /*with_hca=*/false);
+    vm->memory().write_data(Bytes::zero(), Bytes::mib(512));
+    vms.push_back(std::move(vm));
+  }
+  fed.settle();
+
+  FederatedResult res;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<sim::TaskRef> refs;
+  for (int i = 0; i < 4; ++i) {
+    // Consolidate 4 VMs onto the safe site's 2 hosts, all concurrently
+    // sharing the Mathis-limited link.
+    vmm::Host* dst = fed.find_host(i % 2 == 0 ? "b:eth0" : "b:eth1");
+    refs.push_back(fed.sim().spawn(evacuate_vm(*vms[static_cast<std::size_t>(i)], *dst),
+                                   "evac" + std::to_string(i)));
+  }
+  fed.sim().spawn([](core::Federation& f, std::vector<sim::TaskRef> r,
+                     FederatedResult& out) -> sim::Task {
+    co_await sim::join_all(std::move(r));
+    out.evac_done_ns = f.sim().now().count_nanos();
+  }(fed, std::move(refs), res));
+  res.final_ns = fed.sim().run().count_nanos();
+  res.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  res.exchange_rounds = fed.exchange_round_count();
+  res.unconverged = fed.unconverged_exchange_count();
+  return res;
+}
+
+void write_sweep8_json(const std::vector<std::array<std::int64_t, 3>>& rows) {
+  std::ofstream out("BENCH_scalability_sweep8.json");
+  out << "{\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "  \"workers" << rows[i][0] << "_evac_done_ns\": " << rows[i][1] << ",\n"
+        << "  \"workers" << rows[i][0] << "_final_ns\": " << rows[i][2]
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+}
+
+int run_sweep8(bool json_only) {
+  std::cout << "\n8. Federated evacuation (two sites, 50 ms / 1 Gbps / 0.1 % WAN,\n"
+               "   4 VMs live-migrated cross-site onto 2 hosts):\n";
+  TextTable t8({"workers", "wall [ms]", "evac done [s]", "exch rounds", "timeline"});
+  std::vector<std::array<std::int64_t, 3>> json_rows;
+  bool diverged = false;
+  FederatedResult baseline;
+  for (const int workers : {0, 1, 2, 4}) {
+    const auto r = run_federated_evacuation(workers);
+    if (workers == 0) {
+      baseline = r;
+    }
+    diverged = diverged || r.final_ns != baseline.final_ns ||
+               r.evac_done_ns != baseline.evac_done_ns || r.unconverged != 0;
+    t8.add_row({workers == 0 ? "0 (serial)" : std::to_string(workers),
+                TextTable::num(r.wall_ms, 2),
+                TextTable::num(static_cast<double>(r.evac_done_ns) / 1e9, 3),
+                std::to_string(r.exchange_rounds),
+                r.final_ns == baseline.final_ns && r.evac_done_ns == baseline.evac_done_ns
+                    ? (workers == 0 ? "baseline" : "bit-identical")
+                    : "DIVERGED"});
+    json_rows.push_back({workers, r.evac_done_ns, r.final_ns});
+  }
+  if (!json_only) {
+    t8.render(std::cout);
+    std::cout << "Each pre-copy stream is a boundary flow through both sites' uplinks\n"
+                 "and the WanLink endpoint pair; the link's CapPolicy folds the Mathis\n"
+                 "ceiling into every published ghost cap, and the evacuation lands at\n"
+                 "the same nanosecond at every worker count.\n";
+  }
+  write_sweep8_json(json_rows);
+  return diverged ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -374,6 +487,11 @@ int main(int argc, char** argv) {
   // baseline. Exit code 1 on timeline divergence or unconverged exchange.
   if (argc > 1 && std::strcmp(argv[1], "--sweep7") == 0) {
     return run_sweep7(/*json_only=*/true);
+  }
+  // `--sweep8` likewise: only the federated evacuation, with its digest in
+  // BENCH_scalability_sweep8.json.
+  if (argc > 1 && std::strcmp(argv[1], "--sweep8") == 0) {
+    return run_sweep8(/*json_only=*/true);
   }
   bench::print_header("Scalability", "episode cost sweeps (paper SS V discussion)");
 
@@ -482,5 +600,7 @@ int main(int argc, char** argv) {
                "stays bit-identical to the serial drain at every worker count.\n"
                "Speedup tracks min(pods, cores); on a 1-core host the pool only\n"
                "adds handoff overhead — the determinism column is the invariant.\n";
-  return run_sweep7(/*json_only=*/false);
+  const int sweep7 = run_sweep7(/*json_only=*/false);
+  const int sweep8 = run_sweep8(/*json_only=*/false);
+  return sweep7 != 0 ? sweep7 : sweep8;
 }

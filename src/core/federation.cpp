@@ -1,0 +1,59 @@
+#include "core/federation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace nm::core {
+
+Federation::Federation(FederationConfig config)
+    : config_(std::move(config)), sim_(config_.seed), net_(sim_, config_.solve_workers) {
+  // The geo-replicated store lives in its own core domain: it is equally
+  // remote from both sites, and every VM's disk traffic reaches it as a
+  // boundary flow regardless of which site the VM runs on.
+  auto& core_domain = net_.add_domain("wan-core");
+  storage_ = std::make_unique<vmm::SharedStorage>(net_, core_domain.scheduler(), "geo",
+                                                  config_.geo_storage_rate);
+
+  site_a_ = std::make_unique<Testbed>(config_.site_a, sim_, net_, "a", storage_.get());
+  site_b_ = std::make_unique<Testbed>(config_.site_b, sim_, net_, "b", storage_.get());
+
+  // One WAN endpoint per site, registered in that site's zone domain, so a
+  // cross-site flow always finds exactly one of them foreign — the hook the
+  // exchange consults the link's CapPolicy through.
+  wan_ = std::make_unique<sim::WanLink>(sim_, site_a_->zone_domain().scheduler(),
+                                        site_b_->zone_domain().scheduler(), "geo", config_.wan);
+
+  // Each eth fabric exposes a switch uplink port as its federable edge.
+  auto add_uplink = [&](Testbed& site, const std::string& name) -> net::NicPort& {
+    hw::NodeSpec spec;
+    spec.name = name;
+    auto& node = gateways_.add_node(site.zone_domain(), spec);
+    uplinks_.push_back(
+        std::make_unique<net::NicPort>(node, name + ":uplink", config_.uplink_rate));
+    return *uplinks_.back();
+  };
+  site_a_->eth_fabric().set_uplink(add_uplink(*site_a_, "a:gw"));
+  site_b_->eth_fabric().set_uplink(add_uplink(*site_b_, "b:gw"));
+  site_a_->eth_fabric().peer_with(site_b_->eth_fabric(), *wan_);
+}
+
+vmm::Host* Federation::find_host(const std::string& name) {
+  if (vmm::Host* host = site_a_->find_host(name)) {
+    return host;
+  }
+  return site_b_->find_host(name);
+}
+
+vmm::Monitor::HostResolver Federation::resolver() {
+  return [this](const std::string& name) { return find_host(name); };
+}
+
+void Federation::settle() {
+  const auto window = [](const TestbedConfig& c) {
+    return c.ib.linkup_time + c.hotplug.attach_ib + Duration::seconds(1.0);
+  };
+  sim_.run_for(std::max(window(config_.site_a), window(config_.site_b)));
+}
+
+}  // namespace nm::core

@@ -1,0 +1,106 @@
+// Federation: two AGC testbeds coupled on one shared simulation clock by a
+// calibrated WAN link (paper §II's disaster-recovery use case — evacuate a
+// site across an inter-datacenter link, not across a hallway).
+//
+// Both sites are built inside one FluidNet, so a cross-site transfer is an
+// ordinary boundary flow: its shares cross the source blade's tx, the
+// site's switch uplink, the WanLink endpoint pair (whose CapPolicy folds
+// the latency/bandwidth/loss model into the published ghost caps —
+// DESIGN.md §7), the peer's uplink and the destination's rx. Determinism is
+// inherited wholesale: one event queue, canonical-order commits, timelines
+// bit-identical at every solve_workers count (wan_federation_test pins it).
+//
+// The sites mount one geo-replicated shared store (the cross-site
+// equivalent of the paper's NFS mount) — live migration requires source and
+// destination to share storage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "sim/wan_link.h"
+#include "vmm/monitor.h"
+
+namespace nm::core {
+
+struct FederationConfig {
+  TestbedConfig site_a;
+  TestbedConfig site_b;
+  /// The inter-datacenter link. Defaults to 1 Gbps with no impairments;
+  /// calibrate rtt/loss/schedule per scenario (EXPERIMENTS.md lists the
+  /// LAN / metro / WAN presets).
+  sim::WanLinkConfig wan;
+  /// Line rate of each site's WAN-facing switch uplink port.
+  Bandwidth uplink_rate = Bandwidth::gbps(10);
+  /// Throughput of the geo-replicated store both sites mount.
+  Bandwidth geo_storage_rate = Bandwidth::mib_per_sec(300);
+  /// Worker threads in the shared SolvePool (the per-site configs'
+  /// solve_workers/seed are ignored; the clock and pool are federation-
+  /// wide).
+  int solve_workers = 0;
+  std::uint64_t seed = 1;
+
+  FederationConfig() {
+    // Cross-site transfers resolve addresses locally first, so the sites'
+    // address spaces must be disjoint or a peer destination could shadow a
+    // local one and deliver to the wrong site.
+    site_b.eth.address_base = 1u << 16;
+  }
+};
+
+class Federation {
+ public:
+  explicit Federation(FederationConfig config = {});
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  [[nodiscard]] const FederationConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] sim::FluidNet& net() { return net_; }
+  [[nodiscard]] Testbed& site_a() { return *site_a_; }
+  [[nodiscard]] Testbed& site_b() { return *site_b_; }
+  [[nodiscard]] sim::WanLink& wan() { return *wan_; }
+  [[nodiscard]] vmm::SharedStorage& storage() { return *storage_; }
+
+  /// Looks a host up across both sites ("a:ib3", "b:eth0").
+  [[nodiscard]] vmm::Host* find_host(const std::string& name);
+  /// Resolver covering both sites — hand it to a CloudScheduler's
+  /// set_secondary_resolver so migration plans may name peer-site hosts.
+  [[nodiscard]] vmm::Monitor::HostResolver resolver();
+  /// The domain owning `res`, across every site (nullptr when foreign).
+  [[nodiscard]] sim::FluidDomain* domain_of(const sim::FluidResource& res) {
+    return net_.domain_of(res);
+  }
+
+  /// Lets every boot-time link on both sites finish training.
+  void settle();
+
+  /// Federation-wide boundary-exchange stats (same counters Testbed
+  /// exposes; here they aggregate both sites plus the WAN by construction
+  /// since the pool is shared).
+  [[nodiscard]] std::size_t exchange_round_count() const { return net_.exchange_round_count(); }
+  [[nodiscard]] std::size_t unconverged_exchange_count() const {
+    return net_.unconverged_exchange_count();
+  }
+  [[nodiscard]] std::size_t max_exchange_rounds_per_settle() const {
+    return net_.max_exchange_rounds_per_settle();
+  }
+
+ private:
+  FederationConfig config_;
+  sim::Simulation sim_;
+  // Destroyed after everything below: the net's pool detaches schedulers
+  // and joins workers while the simulation is alive.
+  sim::FluidNet net_;
+  std::unique_ptr<vmm::SharedStorage> storage_;
+  std::unique_ptr<Testbed> site_a_;
+  std::unique_ptr<Testbed> site_b_;
+  hw::Cluster gateways_{"wan-gw"};
+  std::vector<std::unique_ptr<net::NicPort>> uplinks_;
+  std::unique_ptr<sim::WanLink> wan_;
+};
+
+}  // namespace nm::core

@@ -200,8 +200,16 @@ MigrationPlan CloudScheduler::tcp_plan(std::vector<std::shared_ptr<vmm::Vm>> vms
 }
 
 vmm::Monitor::HostResolver CloudScheduler::resolver() const {
-  Testbed* tb = testbed_;
-  return [tb](const std::string& name) { return tb->find_host(name); };
+  // Captures the scheduler, not a snapshot: MpiJob builds its NinjaMigrator
+  // from this resolver at construction, and a federation wires its
+  // secondary resolver in afterwards — the lookup must see it.
+  const CloudScheduler* self = this;
+  return [self](const std::string& name) -> vmm::Host* {
+    if (vmm::Host* host = self->testbed_->find_host(name)) {
+      return host;
+    }
+    return self->secondary_ ? self->secondary_(name) : nullptr;
+  };
 }
 
 }  // namespace nm::core

@@ -122,10 +122,22 @@ class CloudScheduler {
                                        std::vector<std::string> destinations,
                                        std::size_t ranks_per_vm) const;
 
+  /// Resolver consulted by migration monitors: the owning testbed first,
+  /// then the secondary resolver (when set). Reads the secondary at call
+  /// time, so installing one after jobs were constructed still takes
+  /// effect.
   [[nodiscard]] vmm::Monitor::HostResolver resolver() const;
+
+  /// Extends destination-name resolution beyond the owning testbed — e.g.
+  /// a Federation::resolver() so evacuation plans may name peer-site hosts
+  /// ("b:eth0").
+  void set_secondary_resolver(vmm::Monitor::HostResolver fallback) {
+    secondary_ = std::move(fallback);
+  }
 
  private:
   Testbed* testbed_;
+  vmm::Monitor::HostResolver secondary_;
 };
 
 }  // namespace nm::core

@@ -4,37 +4,63 @@
 
 namespace nm::core {
 
-sim::FluidDomain& Testbed::init_shards(sim::FluidNet& net, int shards) {
-  NM_CHECK(shards >= 1, "testbed needs at least one fluid shard, got " << shards);
-  for (int i = 0; i < shards; ++i) {
-    net.add_domain("shard" + std::to_string(i));
+void Testbed::init_shards() {
+  NM_CHECK(config_.fluid_shards >= 1,
+           "testbed needs at least one fluid shard, got " << config_.fluid_shards);
+  for (int i = 0; i < config_.fluid_shards; ++i) {
+    net_->add_domain(prefix_ + "shard" + std::to_string(i));
   }
-  return net.domain(0);
 }
 
 Testbed::Testbed(TestbedConfig config)
     : config_(std::move(config)),
-      sim_(config_.seed),
-      net_(sim_, config_.solve_workers),
-      storage_(net_, init_shards(net_, config_.fluid_shards).scheduler(), "agc"),
+      owned_sim_(std::make_unique<sim::Simulation>(config_.seed)),
+      owned_net_(std::make_unique<sim::FluidNet>(*owned_sim_, config_.solve_workers)),
+      sim_(owned_sim_.get()),
+      net_(owned_net_.get()),
       ib_cluster_("agc-ib"),
       eth_cluster_("agc-eth") {
+  build();
+}
+
+Testbed::Testbed(TestbedConfig config, sim::Simulation& sim, sim::FluidNet& net, std::string site,
+                 vmm::SharedStorage* shared_storage)
+    : config_(std::move(config)),
+      sim_(&sim),
+      net_(&net),
+      prefix_(site.empty() ? std::string{} : site + ":"),
+      storage_(shared_storage),
+      ib_cluster_(prefix_ + "agc-ib"),
+      eth_cluster_(prefix_ + "agc-eth") {
+  build();
+}
+
+void Testbed::build() {
   // Shared-resource placement: every blade hangs off the one 10 GbE switch
-  // and the NFS storage, so the fabrics and the store live on domain 0.
-  // With blade_domains off the blades land there too (one connected zone →
-  // one scheduler, additional shards stay empty for caller-built disjoint
+  // and the NFS storage, so the fabrics and the store live on the zone
+  // domain — the first of this testbed's shards (domain 0 standalone; the
+  // net may already hold other sites' domains under a federation). With
+  // blade_domains off the blades land there too (one connected zone → one
+  // scheduler, additional shards stay empty for caller-built disjoint
   // zones); with it on, each blade's CPU and ports get their own domain and
   // the net bridges them at the shared switch via boundary flows.
-  ib_fabric_ = std::make_unique<net::IbFabric>(net_, "ib:m3601q", config_.ib);
-  eth_fabric_ = std::make_unique<net::EthFabric>(net_, "eth:m8024", config_.eth);
+  zone_index_ = net_->domain_count();
+  init_shards();
+  if (storage_ == nullptr) {
+    owned_storage_ =
+        std::make_unique<vmm::SharedStorage>(*net_, zone_domain().scheduler(), prefix_ + "agc");
+    storage_ = owned_storage_.get();
+  }
+  ib_fabric_ = std::make_unique<net::IbFabric>(*net_, prefix_ + "ib:m3601q", config_.ib);
+  eth_fabric_ = std::make_unique<net::EthFabric>(*net_, prefix_ + "eth:m8024", config_.eth);
 
   auto make_host = [&](hw::Cluster& cluster, const std::string& name, bool with_hca) {
     hw::NodeSpec spec = config_.blade_spec;
     spec.name = name;
     sim::FluidDomain& home =
-        config_.blade_domains ? net_.add_domain("blade:" + name) : zone_domain();
+        config_.blade_domains ? net_->add_domain("blade:" + name) : zone_domain();
     auto& node = cluster.add_node(home, spec);
-    auto host = std::make_unique<vmm::Host>(sim_, net_, node, storage_, config_.hotplug,
+    auto host = std::make_unique<vmm::Host>(*sim_, *net_, node, *storage_, config_.hotplug,
                                             config_.migration);
     // 10 GbE uplink on every blade.
     ports_.push_back(
@@ -49,10 +75,10 @@ Testbed::Testbed(TestbedConfig config)
   };
 
   for (int i = 0; i < config_.ib_nodes; ++i) {
-    make_host(ib_cluster_, "ib" + std::to_string(i), /*with_hca=*/true);
+    make_host(ib_cluster_, prefix_ + "ib" + std::to_string(i), /*with_hca=*/true);
   }
   for (int i = 0; i < config_.eth_nodes; ++i) {
-    make_host(eth_cluster_, "eth" + std::to_string(i), /*with_hca=*/false);
+    make_host(eth_cluster_, prefix_ + "eth" + std::to_string(i), /*with_hca=*/false);
   }
 }
 
@@ -92,13 +118,13 @@ std::shared_ptr<vmm::Vm> Testbed::boot_vm(vmm::Host& host, vmm::VmSpec spec, boo
              host.name() << " has no free HCA for " << vm->name());
     // Boot-time assignment (qemu -device on the command line): no hotplug
     // handshake, but the port still trains.
-    sim_.spawn(host.device_add(*vm, kHcaPciAddr, "vf0"), "boot-hca:" + vm->name());
+    sim_->spawn(host.device_add(*vm, kHcaPciAddr, "vf0"), "boot-hca:" + vm->name());
   }
   return vm;
 }
 
 void Testbed::settle() {
-  sim_.run_for(config_.ib.linkup_time + config_.hotplug.attach_ib + Duration::seconds(1.0));
+  sim_->run_for(config_.ib.linkup_time + config_.hotplug.attach_ib + Duration::seconds(1.0));
 }
 
 }  // namespace nm::core

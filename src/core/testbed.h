@@ -65,27 +65,55 @@ struct TestbedConfig {
 
 class Testbed {
  public:
+  /// Standalone testbed: owns its Simulation, FluidNet and NFS storage.
   explicit Testbed(TestbedConfig config = {});
+  /// Federated testbed: builds the same enclosure inside an externally
+  /// owned simulation/net (one shared clock across sites; see
+  /// core/federation.h). Every domain, fabric, host and node name is
+  /// prefixed with "<site>:" so the two sites' namespaces stay disjoint,
+  /// and `shared_storage` (when given) is mounted instead of a private NFS
+  /// store — cross-site migration requires the shared mount. The config's
+  /// `solve_workers` and `seed` are ignored here: both belong to the
+  /// federation's shared simulation.
+  Testbed(TestbedConfig config, sim::Simulation& sim, sim::FluidNet& net, std::string site,
+          vmm::SharedStorage* shared_storage = nullptr);
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
   [[nodiscard]] const TestbedConfig& config() const { return config_; }
-  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] sim::Simulation& sim() { return *sim_; }
   /// The domain-aware flow façade: routes a FlowSpec to the domain owning
   /// its resources, registering cross-domain specs as boundary flows.
-  [[nodiscard]] sim::FluidNet& net() { return net_; }
+  [[nodiscard]] sim::FluidNet& net() { return *net_; }
   /// The domain owning `res` (nullptr when unregistered or foreign).
   [[nodiscard]] sim::FluidDomain* domain_of(const sim::FluidResource& res) {
-    return net_.domain_of(res);
+    return net_->domain_of(res);
   }
-  [[nodiscard]] std::size_t domain_count() const { return net_.domain_count(); }
-  [[nodiscard]] sim::FluidDomain& domain(std::size_t i) { return net_.domain(i); }
+  [[nodiscard]] std::size_t domain_count() const { return net_->domain_count(); }
+  [[nodiscard]] sim::FluidDomain& domain(std::size_t i) { return net_->domain(i); }
   /// The parallel settle pool; nullptr for a single-domain, zero-worker
   /// testbed (which settles via the legacy zero-delay path).
-  [[nodiscard]] sim::SolvePool* solve_pool() { return net_.pool(); }
+  [[nodiscard]] sim::SolvePool* solve_pool() { return net_->pool(); }
   [[nodiscard]] net::IbFabric& ib_fabric() { return *ib_fabric_; }
   [[nodiscard]] net::EthFabric& eth_fabric() { return *eth_fabric_; }
-  [[nodiscard]] vmm::SharedStorage& storage() { return storage_; }
+  [[nodiscard]] vmm::SharedStorage& storage() { return *storage_; }
+  /// The domain holding this testbed's shared resources (fabrics, NFS):
+  /// domain 0 standalone, this site's first domain under a federation. A
+  /// WAN link's endpoint for this site registers here.
+  [[nodiscard]] sim::FluidDomain& zone_domain() { return net_->domain(zone_index_); }
+  /// "<site>:" under a federation, empty standalone.
+  [[nodiscard]] const std::string& name_prefix() const { return prefix_; }
+
+  /// Boundary-exchange visibility (DESIGN.md §6/§7): cumulative exchange
+  /// rounds, settles that hit the round-cap safety valve (should stay 0),
+  /// and the worst rounds a single settle needed.
+  [[nodiscard]] std::size_t exchange_round_count() const { return net_->exchange_round_count(); }
+  [[nodiscard]] std::size_t unconverged_exchange_count() const {
+    return net_->unconverged_exchange_count();
+  }
+  [[nodiscard]] std::size_t max_exchange_rounds_per_settle() const {
+    return net_->max_exchange_rounds_per_settle();
+  }
 
   [[nodiscard]] int ib_host_count() const { return config_.ib_nodes; }
   [[nodiscard]] int eth_host_count() const { return config_.eth_nodes; }
@@ -108,19 +136,30 @@ class Testbed {
   void settle();
 
  private:
-  /// Adds the `shards` initial domains to `net` and returns domain 0 — the
-  /// zone every shared resource (fabrics, NFS) registers into. Runs in
-  /// storage_'s member initializer so domain 0 exists before any resource.
-  static sim::FluidDomain& init_shards(sim::FluidNet& net, int shards);
-  /// The domain holding the enclosure's shared resources (domain 0).
-  [[nodiscard]] sim::FluidDomain& zone_domain() { return net_.domain(0); }
+  /// Adds this testbed's `fluid_shards` initial domains to the net. The
+  /// first one added (recorded as zone_index_) is the zone every shared
+  /// resource registers into; under a federation the net already holds the
+  /// other sites' domains, so the zone is not globally domain 0.
+  void init_shards();
+  /// Everything after simulation/net/prefix wiring: shards, storage (when
+  /// not shared), fabrics, blades, hosts. Identical for both ownership
+  /// modes so a standalone and a federated site are byte-for-byte the same
+  /// enclosure.
+  void build();
 
   TestbedConfig config_;
-  sim::Simulation sim_;
-  // Destroyed before sim_: the net's pool detaches every scheduler, joins
-  // its workers and removes its kernel hook while the simulation is alive.
-  sim::FluidNet net_;
-  vmm::SharedStorage storage_;
+  // Standalone mode owns these; a federated testbed aliases the
+  // federation's. Declared net-after-sim so destruction detaches the pool
+  // (joining workers, removing the kernel hook) while the simulation is
+  // alive — same invariant as before the Federation split.
+  std::unique_ptr<sim::Simulation> owned_sim_;
+  std::unique_ptr<sim::FluidNet> owned_net_;
+  sim::Simulation* sim_ = nullptr;
+  sim::FluidNet* net_ = nullptr;
+  std::string prefix_;
+  std::size_t zone_index_ = 0;
+  std::unique_ptr<vmm::SharedStorage> owned_storage_;
+  vmm::SharedStorage* storage_ = nullptr;
   std::unique_ptr<net::IbFabric> ib_fabric_;
   std::unique_ptr<net::EthFabric> eth_fabric_;
   hw::Cluster ib_cluster_;

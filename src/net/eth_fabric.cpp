@@ -9,6 +9,7 @@ FabricSpec make_spec(const std::string& name, const EthFabricConfig& config) {
   spec.latency = config.latency;
   spec.linkup_time = config.linkup_time;
   spec.stable_addresses = true;  // IPs follow the VM across hosts
+  spec.address_base = config.address_base;
   return spec;
 }
 }  // namespace

@@ -14,6 +14,9 @@ struct EthFabricConfig {
   Duration latency = Duration::micros(30);
   /// Link-up after (re-)plug is negligible for Ethernet (Table II).
   Duration linkup_time = Duration::zero();
+  /// Address-space offset; federated sites need disjoint bases (see
+  /// FabricSpec::address_base).
+  FabricAddress address_base = 0;
 };
 
 class EthFabric : public Fabric {

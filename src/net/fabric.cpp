@@ -1,8 +1,10 @@
 #include "net/fabric.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
+#include "sim/wan_link.h"
 #include "util/log.h"
 
 namespace nm::net {
@@ -20,7 +22,39 @@ std::string_view to_string(LinkState s) {
 }
 
 Fabric::Fabric(sim::FlowRouter& router, FabricSpec spec)
-    : router_(&router), spec_(std::move(spec)) {}
+    : router_(&router), spec_(std::move(spec)), next_address_(spec_.address_base + 1) {}
+
+void Fabric::peer_with(Fabric& other, sim::WanLink& wan) {
+  NM_CHECK(&other != this, spec_.name << ": cannot peer a fabric with itself");
+  NM_CHECK(uplink_ != nullptr, spec_.name << ": set_uplink before peer_with");
+  NM_CHECK(other.uplink_ != nullptr, other.spec_.name << ": set_uplink before peer_with");
+  NM_CHECK(spec_.address_base != other.spec_.address_base,
+           spec_.name << " and " << other.spec_.name
+                      << " share an address base; peer address spaces must be disjoint");
+  peer_ = &other;
+  wan_ = &wan;
+  other.peer_ = this;
+  other.wan_ = &wan;
+  NM_LOG_DEBUG("net") << spec_.name << ": peered with " << other.spec_.name << " over WAN link "
+                      << wan.name();
+}
+
+double Fabric::path_rate(const AttachmentPtr& src, FabricAddress dst_addr) const {
+  NM_CHECK(src != nullptr, "path_rate from null attachment");
+  const double src_rate = src->port_->line_rate().bytes_per_second();
+  if (AttachmentPtr dst = find(dst_addr)) {
+    return std::min(src_rate, dst->port_->line_rate().bytes_per_second());
+  }
+  if (peer_ != nullptr) {
+    if (AttachmentPtr dst = peer_->find(dst_addr)) {
+      return std::min({src_rate, uplink_->line_rate().bytes_per_second(),
+                       wan_->effective_rate(), peer_->uplink_->line_rate().bytes_per_second(),
+                       dst->port_->line_rate().bytes_per_second()});
+    }
+  }
+  throw OperationError(spec_.name + ": no attachment at address " + std::to_string(dst_addr) +
+                       " (stale address?)");
+}
 
 AttachmentPtr Fabric::attach(NicPort& port) {
   auto att = AttachmentPtr(new Attachment(simulation(), *this, port));
@@ -101,6 +135,12 @@ sim::Task Fabric::transfer(AttachmentPtr src, FabricAddress dst_addr, Bytes byte
                          " is not active (state " + std::string(to_string(src->state_)) + ")");
   }
   AttachmentPtr dst = find(dst_addr);
+  bool via_peer = false;
+  if (dst == nullptr && peer_ != nullptr) {
+    // Cross-site destination: ride the uplink and the WAN endpoint pair.
+    dst = peer_->find(dst_addr);
+    via_peer = dst != nullptr;
+  }
   if (dst == nullptr) {
     throw OperationError(spec_.name + ": no attachment at address " +
                          std::to_string(dst_addr) + " (stale address?)");
@@ -110,14 +150,29 @@ sim::Task Fabric::transfer(AttachmentPtr src, FabricAddress dst_addr, Bytes byte
                          " is not active");
   }
 
-  // Propagation/switching latency, then the bandwidth phase.
-  co_await simulation().delay(spec_.latency);
+  // Propagation/switching latency, then the bandwidth phase. A cross-site
+  // path additionally pays the WAN's one-way propagation and the peer's
+  // switching latency.
+  Duration lat = spec_.latency;
+  if (via_peer) {
+    lat += wan_->one_way_latency() + peer_->spec_.latency;
+  }
+  co_await simulation().delay(lat);
 
   if (bytes.is_zero()) {
     co_return;
   }
   std::vector<sim::ResourceShare> shares;
   shares.push_back({&src->port_->tx(), 1.0});
+  if (via_peer) {
+    // Both WAN endpoints are crossed (shared medium), so exactly one of
+    // them is always foreign to the flow's home domain and the link's
+    // CapPolicy governs the published boundary cap in either direction.
+    shares.push_back({&uplink_->tx(), 1.0});
+    shares.push_back({&wan_->a(), 1.0});
+    shares.push_back({&wan_->b(), 1.0});
+    shares.push_back({&peer_->uplink_->rx(), 1.0});
+  }
   shares.push_back({&dst->port_->rx(), 1.0});
   if (opts.src_cpu_per_byte > 0.0) {
     shares.push_back({&src->port_->node().cpu(), opts.src_cpu_per_byte});

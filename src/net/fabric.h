@@ -23,6 +23,10 @@
 #include "util/error.h"
 #include "util/units.h"
 
+namespace nm::sim {
+class WanLink;
+}  // namespace nm::sim
+
 namespace nm::net {
 
 class Fabric;
@@ -88,6 +92,10 @@ struct FabricSpec {
   Duration linkup_time = Duration::zero();
   /// Whether addresses survive detach/attach cycles (IP yes, LID no).
   bool stable_addresses = false;
+  /// First address handed out is address_base + 1. Federated fabrics give
+  /// each site a disjoint base (core/federation.cpp) so a cross-site
+  /// destination can never shadow a local one.
+  FabricAddress address_base = 0;
 };
 
 class Fabric {
@@ -129,14 +137,40 @@ class Fabric {
 
   [[nodiscard]] std::size_t attachment_count() const { return by_address_.size(); }
 
+  /// Declares `port` this fabric's federable edge: the switch uplink every
+  /// cross-site transfer rides (tx outbound, rx inbound). Required before
+  /// peer_with().
+  void set_uplink(NicPort& port) { uplink_ = &port; }
+  [[nodiscard]] NicPort* uplink() { return uplink_; }
+
+  /// Peers this fabric with `other` across a calibrated WAN link
+  /// (symmetric: registers the reverse direction on `other` too). After
+  /// peering, a destination address that does not resolve locally is looked
+  /// up on the peer, and such transfers cross uplink → WAN endpoint pair →
+  /// peer uplink in addition to the usual NIC/CPU shares.
+  void peer_with(Fabric& other, sim::WanLink& wan);
+  [[nodiscard]] Fabric* peer() { return peer_; }
+  [[nodiscard]] sim::WanLink* wan() { return wan_; }
+
+  /// Planning rate for src → dst_addr, bytes/s: the min line rate along the
+  /// path, folded with the WAN's current *effective* (model) rate when the
+  /// destination lives on the peer. Migration estimators must read this —
+  /// not the raw local line rate — or they under-estimate stop-and-copy
+  /// time across a lossy link. Throws OperationError for an unknown
+  /// address.
+  [[nodiscard]] double path_rate(const AttachmentPtr& src, FabricAddress dst_addr) const;
+
  protected:
   sim::FlowRouter* router_;
   FabricSpec spec_;
 
  private:
-  FabricAddress next_address_ = 1;
+  FabricAddress next_address_;
   std::map<FabricAddress, std::weak_ptr<Attachment>> by_address_;
   std::uint64_t epoch_counter_ = 0;
+  NicPort* uplink_ = nullptr;
+  Fabric* peer_ = nullptr;
+  sim::WanLink* wan_ = nullptr;
 };
 
 }  // namespace nm::net

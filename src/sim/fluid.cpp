@@ -248,33 +248,6 @@ FlowPtr FluidScheduler::start(FlowSpec spec) {
   return flow;
 }
 
-FlowPtr FluidScheduler::start(double work, std::vector<ResourceShare> shares, double max_rate) {
-  return start(FlowSpec{work, std::move(shares), max_rate, {}});
-}
-
-FlowPtr FluidScheduler::start(double work, const std::vector<FluidResource*>& resources,
-                              double max_rate) {
-  std::vector<ResourceShare> shares;
-  shares.reserve(resources.size());
-  for (auto* r : resources) {
-    shares.push_back(ResourceShare{r, 1.0});
-  }
-  return start(FlowSpec{work, std::move(shares), max_rate, {}});
-}
-
-Task FluidScheduler::run(double work, std::vector<ResourceShare> shares, double max_rate) {
-  return run(FlowSpec{work, std::move(shares), max_rate, {}});
-}
-
-Task FluidScheduler::run(double work, std::vector<FluidResource*> resources, double max_rate) {
-  std::vector<ResourceShare> shares;
-  shares.reserve(resources.size());
-  for (auto* r : resources) {
-    shares.push_back(ResourceShare{r, 1.0});
-  }
-  return run(FlowSpec{work, std::move(shares), max_rate, {}});
-}
-
 Task FlowRouter::run(FlowSpec spec) {
   auto flow = start(std::move(spec));
   if (!flow->finished()) {

@@ -37,9 +37,31 @@ class FluidScheduler;
 class FluidNet;
 class SolvePool;
 
-/// "No rate cap" for a flow. (`FluidScheduler::kUncapped` is a deprecated
-/// alias kept for one PR.)
+/// "No rate cap" for a flow.
 inline constexpr double kUncappedRate = std::numeric_limits<double>::infinity();
+
+class FluidResource;
+
+/// Pluggable published-capacity policy consulted by the FluidNet boundary
+/// exchange (DESIGN.md §7). When a resource carries one, the exchange folds
+/// the policy's offer into a ghost flow's capacity instead of publishing the
+/// plain fair-share offer — this is how a WAN link (sim/wan_link.h) makes
+/// its published caps follow a latency/bandwidth/loss model.
+///
+/// `fair_offer` is the fair-share offer the resource would extend to the
+/// boundary flow (flow-rate units); `weight` is the ghost's consumption
+/// weight on the resource, so a policy expressing a wire-rate model returns
+/// `model_rate / weight` to convert into flow-rate units. Implementations
+/// must be deterministic functions of simulation state (they run inside the
+/// serial exchange, between parallel compute rounds), and must never offer
+/// *more* than `fair_offer` would in steady state if the split-vs-merged
+/// equivalence is to be preserved for the unimpaired case.
+class CapPolicy {
+ public:
+  virtual ~CapPolicy() = default;
+  [[nodiscard]] virtual double offer(const FluidResource& res, double weight, double fair_offer,
+                                     TimePoint now) = 0;
+};
 
 /// A capacity-bearing resource. Units are caller-defined (cores, bytes/s).
 /// A resource registers with exactly one scheduler — eagerly when
@@ -75,6 +97,13 @@ class FluidResource {
   /// Mean utilization (fraction of capacity) over [since, until].
   [[nodiscard]] double utilization_over(double consumed_before, Duration window) const;
 
+  /// Attaches a published-capacity policy consulted by the FluidNet ghost
+  /// exchange when this resource hosts ghost shares (a WanLink attaches
+  /// itself to its endpoint pair; see sim/wan_link.h). nullptr detaches.
+  /// Plain single-scheduler solves never consult the policy.
+  void set_cap_policy(CapPolicy* policy) { cap_policy_ = policy; }
+  [[nodiscard]] CapPolicy* cap_policy() const { return cap_policy_; }
+
  private:
   friend class FluidScheduler;
   friend class FluidNet;
@@ -99,6 +128,7 @@ class FluidResource {
   double consume_rate_ = 0.0;
   TimePoint rate_since_;
   FluidScheduler* scheduler_ = nullptr;
+  CapPolicy* cap_policy_ = nullptr;
   /// Stable dense index in the owning scheduler's resource registry.
   std::uint32_t slot_ = kNoSlot;
 };
@@ -138,7 +168,7 @@ class FlowLabel {
 ///                    .over(tx).over(rx).over(cpu, 1e-9));
 ///
 /// This is the one flow-creation entry point (see FlowRouter); the old
-/// `FluidScheduler::start(work, shares, max_rate)` overloads are shims.
+/// `FluidScheduler::start(work, shares, max_rate)` overloads are gone.
 struct FlowSpec {
   /// Work units to move (bytes, core-seconds, ...). Zero-work flows
   /// complete immediately.
@@ -253,9 +283,6 @@ class FlowRouter {
 
 class FluidScheduler : public FlowRouter {
  public:
-  /// Deprecated alias of sim::kUncappedRate; kept for one PR.
-  static constexpr double kUncapped = std::numeric_limits<double>::infinity();
-
   explicit FluidScheduler(Simulation& sim) : sim_(&sim) {}
   ~FluidScheduler() override;
   FluidScheduler(const FluidScheduler&) = delete;
@@ -270,17 +297,14 @@ class FluidScheduler : public FlowRouter {
   FlowPtr start(FlowSpec spec) override;
   using FlowRouter::run;
 
-  /// Deprecated shim (one PR): use start(FlowSpec).
-  FlowPtr start(double work, std::vector<ResourceShare> shares, double max_rate = kUncapped);
-  /// Deprecated shim (one PR): use start(FlowSpec) — unit weights.
-  FlowPtr start(double work, const std::vector<FluidResource*>& resources,
-                double max_rate = kUncapped);
-  /// Deprecated shim (one PR): use run(FlowSpec).
-  [[nodiscard]] Task run(double work, std::vector<ResourceShare> shares,
-                         double max_rate = kUncapped);
-  /// Deprecated shim (one PR): use run(FlowSpec) — unit weights.
-  [[nodiscard]] Task run(double work, std::vector<FluidResource*> resources,
-                         double max_rate = kUncapped);
+  // Compile-time guard: the legacy start/run(work, shares-or-resources,
+  // max_rate) shims served their one-PR deprecation window and were removed.
+  // Any resurrected call site trips these deleted overloads instead of
+  // silently re-growing the old surface — build the FlowSpec instead.
+  template <typename... Args>
+  FlowPtr start(double, Args&&...) = delete;
+  template <typename... Args>
+  Task run(double, Args&&...) = delete;
 
   [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
   /// Number of connected flow/resource components currently tracked.

@@ -194,7 +194,14 @@ void FluidNet::exchange(std::vector<std::pair<FluidScheduler*, std::uint32_t>>& 
       for (const auto& share : ghost.shares_) {
         const FluidResource& res = *share.resource;
         const double headroom = std::max(0.0, res.capacity_ - res.consume_rate_);
-        const double offer = std::max(res.bound_level_, ghost.rate_ + headroom / share.weight);
+        double offer = std::max(res.bound_level_, ghost.rate_ + headroom / share.weight);
+        if (res.cap_policy_ != nullptr) {
+          // Calibrated boundary (e.g. a WanLink endpoint): the published cap
+          // follows the policy's latency/bandwidth model instead of the raw
+          // fair-share offer. Policies only ever tighten the offer, so the
+          // Jacobi iteration keeps its fixed point and contraction.
+          offer = res.cap_policy_->offer(res, share.weight, offer, sim_->now());
+        }
         cap = std::min(cap, offer);
       }
     }

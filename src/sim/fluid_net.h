@@ -69,6 +69,15 @@ class FluidNet final : public FlowRouter, private SettleExchange {
   [[nodiscard]] std::size_t unconverged_exchange_count() const {
     return pool_ != nullptr ? pool_->unconverged_exchange_count() : 0;
   }
+  /// Exchange rounds the most recent coupled settle needed, and the worst
+  /// any settle has needed — the regression gate for the round-cap safety
+  /// valve (a healthy scenario stays far below SolvePool's cap).
+  [[nodiscard]] std::size_t last_settle_exchange_rounds() const {
+    return pool_ != nullptr ? pool_->last_settle_exchange_rounds() : 0;
+  }
+  [[nodiscard]] std::size_t max_exchange_rounds_per_settle() const {
+    return pool_ != nullptr ? pool_->max_exchange_rounds_per_settle() : 0;
+  }
 
  private:
   /// One registered boundary flow: the home flow plus one ghost per

@@ -186,6 +186,8 @@ void SolvePool::settle() {
       solved_comps_ += pending_.size();
     }
     exchange_rounds_ += rounds;
+    last_settle_rounds_ = rounds;
+    max_settle_rounds_ = std::max(max_settle_rounds_, rounds);
     // Exchange-appended tasks arrived out of canonical order; restore it
     // for the commit, then hand each task its banked completions.
     std::sort(tasks_.begin(), tasks_.end(), canonical);

@@ -92,6 +92,13 @@ class SolvePool {
   /// before the exchange reached its fixed point.
   [[nodiscard]] std::size_t exchange_round_count() const { return exchange_rounds_; }
   [[nodiscard]] std::size_t unconverged_exchange_count() const { return unconverged_exchanges_; }
+  /// Per-settle visibility on the same counter: rounds of the most recent
+  /// exchanging settle, and the worst settle observed since construction.
+  /// A healthy scenario stays far below kMaxExchangeRounds; tests gate on
+  /// the max to catch convergence regressions before the safety valve
+  /// silently absorbs them.
+  [[nodiscard]] std::size_t last_settle_exchange_rounds() const { return last_settle_rounds_; }
+  [[nodiscard]] std::size_t max_exchange_rounds_per_settle() const { return max_settle_rounds_; }
 
  private:
   friend class FluidScheduler;
@@ -166,6 +173,8 @@ class SolvePool {
   std::size_t max_batch_ = 0;
   std::size_t exchange_rounds_ = 0;
   std::size_t unconverged_exchanges_ = 0;
+  std::size_t last_settle_rounds_ = 0;
+  std::size_t max_settle_rounds_ = 0;
 };
 
 }  // namespace nm::sim

@@ -1,0 +1,88 @@
+#include "sim/wan_link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace nm::sim {
+
+WanLink::WanLink(Simulation& sim, FluidScheduler& side_a, FluidScheduler& side_b, std::string name,
+                 WanLinkConfig config)
+    : sim_(&sim),
+      name_(std::move(name)),
+      config_(std::move(config)),
+      rtt_(config_.rtt),
+      a_(side_a, "wan:" + name_ + ":a", config_.line_rate.bytes_per_second()),
+      b_(side_b, "wan:" + name_ + ":b", config_.line_rate.bytes_per_second()) {
+  NM_CHECK(&side_a != &side_b, "WAN link " << name_ << " endpoints must be in different domains");
+  NM_CHECK(config_.loss >= 0.0 && config_.loss < 1.0,
+           "WAN link " << name_ << " loss " << config_.loss << " outside [0, 1)");
+  NM_CHECK(config_.mss_bytes > 0.0, "WAN link " << name_ << " needs a positive MSS");
+  NM_CHECK(!config_.rtt.is_negative(), "WAN link " << name_ << " has a negative RTT");
+  a_.set_cap_policy(this);
+  b_.set_cap_policy(this);
+
+  Duration prev = Duration::zero();
+  for (std::size_t i = 0; i < config_.schedule.size(); ++i) {
+    const WanLinkPhase& phase = config_.schedule[i];
+    NM_CHECK(phase.at >= prev, "WAN link " << name_ << " schedule must be time-ordered");
+    NM_CHECK(phase.capacity_factor >= 0.0,
+             "WAN link " << name_ << " phase has a negative capacity factor");
+    NM_CHECK(!phase.rtt.is_negative(), "WAN link " << name_ << " phase has a negative RTT");
+    prev = phase.at;
+    if (phase.at.is_zero()) {
+      apply_phase(i);
+    } else {
+      sim_->post(phase.at, [this, i, alive = std::weak_ptr<bool>(alive_)] {
+        if (alive.lock() != nullptr) {
+          apply_phase(i);
+        }
+      });
+    }
+  }
+}
+
+WanLink::~WanLink() {
+  a_.set_cap_policy(nullptr);
+  b_.set_cap_policy(nullptr);
+}
+
+double WanLink::mathis_rate() const {
+  if (config_.loss <= 0.0 || rtt_.is_zero()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return config_.mss_bytes * std::sqrt(1.5 / config_.loss) / rtt_.to_seconds();
+}
+
+double WanLink::effective_rate() const {
+  return std::min(config_.line_rate.bytes_per_second() * factor_, mathis_rate());
+}
+
+double WanLink::offer(const FluidResource& /*res*/, double weight, double fair_offer,
+                      TimePoint /*now*/) {
+  // fair_offer is in flow-rate units; the model rate is a wire rate, so a
+  // share with weight w may progress at most effective_rate() / w. Taking
+  // the min (never the model rate alone) keeps the exchange's fixed point
+  // at or below the merged solver's rate, so an unimpaired link is exactly
+  // the fair-share boundary pair.
+  return std::min(fair_offer, effective_rate() / weight);
+}
+
+void WanLink::apply_phase(std::size_t index) {
+  const WanLinkPhase& phase = config_.schedule[index];
+  factor_ = phase.capacity_factor;
+  if (!phase.rtt.is_zero()) {
+    rtt_ = phase.rtt;
+  }
+  // Republish through set_capacity on both endpoints even when only the RTT
+  // moved: set_capacity unconditionally marks the owning components dirty,
+  // so the settle at this instant re-folds every crossing boundary cap
+  // against the new effective rate before any simulated time passes.
+  const double cap = config_.line_rate.bytes_per_second() * factor_;
+  a_.set_capacity(cap);
+  b_.set_capacity(cap);
+}
+
+}  // namespace nm::sim

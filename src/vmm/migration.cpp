@@ -50,17 +50,24 @@ sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats*
 
     const Bytes remaining_wire = mem.dirty_wire_size(config_.compress_dup_pages);
     // The stop-and-copy estimate must not exceed what the wire can carry:
-    // even the CPU-bound TCP sender is capped by the uplink when the link
-    // is slower than the thread (and RDMA always runs at line rate). An
-    // uplink-blind estimate is optimistic on slow links, so the loop would
-    // stop pre-copying early and blow through max_downtime.
-    const double line_rate = src.eth_uplink().line_rate().bytes_per_second();
+    // even the CPU-bound TCP sender is capped by the path when the link is
+    // slower than the thread (and RDMA always runs at path rate). The path
+    // rate is the fabric's planning rate to the destination — for a
+    // cross-site destination that folds in the WAN's *effective* (RTT/loss
+    // model) rate, not the raw line rate; a model-blind estimate is
+    // optimistic on lossy links, so the loop would stop pre-copying early
+    // and blow through max_downtime.
+    const double path_rate =
+        src.eth_fabric().path_rate(src.eth_attachment(), dst.eth_attachment()->address());
     const double est_rate =
-        std::min({config_.max_bandwidth, line_rate,
-                  config_.use_rdma ? line_rate : config_.thread_send_rate});
-    const Duration est_downtime =
-        Duration::seconds(static_cast<double>(remaining_wire.count()) / est_rate);
-    if (est_downtime <= config_.max_downtime) {
+        std::min({config_.max_bandwidth, path_rate,
+                  config_.use_rdma ? path_rate : config_.thread_send_rate});
+    // est_rate can hit 0 on a partitioned WAN path; treat the estimate as
+    // unbounded (keep pre-copying — the drain itself stalls until heal)
+    // instead of overflowing Duration.
+    if (est_rate > 0.0 &&
+        static_cast<double>(remaining_wire.count()) / est_rate <=
+            config_.max_downtime.to_seconds()) {
       break;
     }
     if (stats.rounds >= config_.max_rounds) {

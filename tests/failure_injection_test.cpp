@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "core/federation.h"
 #include "core/job.h"
 #include "core/ninja.h"
 #include "core/testbed.h"
@@ -176,6 +177,120 @@ TEST_P(RandomTriggerProperty, EpisodeCompletesFromAnyTriggerPoint) {
 
 INSTANTIATE_TEST_SUITE_P(TriggerSteps, RandomTriggerProperty,
                          ::testing::Values(1, 2, 3, 5, 7, 9, 11, 13));
+
+// --- WAN failures mid-protocol ----------------------------------------------
+
+FederationConfig eth_only_federation() {
+  FederationConfig cfg;
+  cfg.site_a.ib_nodes = 0;
+  cfg.site_a.eth_nodes = 2;
+  cfg.site_b.ib_nodes = 0;
+  cfg.site_b.eth_nodes = 2;
+  return cfg;
+}
+
+// When Federation::settle() returns — WAN schedule phases that must land
+// mid-migration are placed relative to this.
+Duration settle_window(const FederationConfig& cfg) {
+  return cfg.site_a.ib.linkup_time + cfg.site_a.hotplug.attach_ib + Duration::seconds(1.0);
+}
+
+TEST(FailureInjection, WanPartitionMidMigrationStallsThenCompletesOnHeal) {
+  // The inter-datacenter link partitions (capacity factor 0) while a
+  // cross-site pre-copy is in flight: the transfer must freeze — not
+  // error — with MigrationStats still live for an `info migrate` reader,
+  // and the same migration must complete once a later phase heals the
+  // link.
+  FederationConfig fcfg = eth_only_federation();
+  const Duration t0 = settle_window(fcfg);
+  fcfg.wan.schedule.push_back({.at = t0 + Duration::seconds(7.0), .capacity_factor = 0.0});
+  fcfg.wan.schedule.push_back({.at = t0 + Duration::seconds(37.0), .capacity_factor = 1.0});
+  Federation fed(fcfg);
+
+  vmm::VmSpec spec;
+  spec.name = "vm0";
+  spec.memory = Bytes::gib(4);
+  spec.base_os_footprint = Bytes::mib(512);
+  auto vm = fed.site_a().boot_vm(fed.site_a().eth_host(0), spec, false);
+  vm->memory().write_data(Bytes::zero(), Bytes::gib(2) + Bytes::mib(512));
+  fed.settle();
+
+  // ~3 GiB on the wire at 125 MB/s: round 1 is mid-flight at the +7 s cut
+  // and cannot finish before the +37 s heal.
+  vmm::MigrationStats stats;
+  fed.sim().spawn([](Federation& f, vmm::Vm& v, vmm::MigrationStats& st) -> sim::Task {
+    co_await f.site_a().eth_host(0).migrate(v, *f.find_host("b:eth0"), &st);
+  }(fed, *vm, stats));
+
+  bool checked_mid_partition = false;
+  fed.sim().spawn([](Federation& f, vmm::Vm& v, vmm::MigrationStats& st,
+                     bool& checked) -> sim::Task {
+    co_await f.sim().delay(Duration::seconds(22.0));  // inside the partition
+    EXPECT_NEAR(f.wan().current_factor(), 0.0, 1e-12);
+    EXPECT_TRUE(st.in_progress);                     // stalled, not aborted
+    EXPECT_TRUE(f.site_a().eth_host(0).resident(v)); // still on the source
+    EXPECT_GE(st.wire_bytes, Bytes::mib(256));       // progress before cut
+    EXPECT_EQ(st.pause_at, TimePoint::origin());     // not in stop-and-copy
+    checked = true;
+  }(fed, *vm, stats, checked_mid_partition));
+
+  fed.sim().run();
+  EXPECT_TRUE(checked_mid_partition);
+  EXPECT_FALSE(stats.in_progress);
+  EXPECT_TRUE(fed.find_host("b:eth0")->resident(*vm));
+  EXPECT_FALSE(fed.site_a().eth_host(0).resident(*vm));
+  // Finished only after the heal.
+  EXPECT_GT(fed.sim().now().to_seconds(), (t0 + Duration::seconds(37.0)).to_seconds());
+  EXPECT_EQ(fed.unconverged_exchange_count(), 0u);
+}
+
+TEST(FailureInjection, WanRttSpikeDuringMigrationKeepsDowntimeBounded) {
+  // Cross-site cousin of Migration.SlowUplinkDowntimeStaysBounded: an RTT
+  // spike mid-migration drops the Mathis-effective WAN rate to ~32 MB/s
+  // while the thread could push 162.5 MB/s. The stop-and-copy estimate
+  // reads the path rate through Fabric::path_rate — which folds the WAN's
+  // *current* effective rate — so the loop pre-copies one more round
+  // instead of entering the blackout with ~98 ms of dirty data against the
+  // 30 ms cap. A model-blind estimate (line rate, 125 MB/s) would have
+  // called 3 MiB converged at 24 ms and busted the cap.
+  FederationConfig fcfg = eth_only_federation();
+  const Duration t0 = settle_window(fcfg);
+  fcfg.wan.rtt = Duration::millis(10);
+  fcfg.wan.loss = 0.0001;
+  // Same capacity factor; only the RTT moves (250 ms => Mathis ~32 MB/s).
+  fcfg.wan.schedule.push_back({.at = t0 + Duration::seconds(9.0), .capacity_factor = 1.0,
+                               .rtt = Duration::millis(250)});
+  Federation fed(fcfg);
+
+  vmm::VmSpec spec;
+  spec.name = "vm0";
+  spec.memory = Bytes::gib(4);
+  spec.base_os_footprint = Bytes::mib(512);
+  auto vm = fed.site_a().boot_vm(fed.site_a().eth_host(0), spec, false);
+  vm->memory().write_data(Bytes::zero(), Bytes::gib(2) + Bytes::mib(512));
+  fed.settle();
+
+  // One mid-round write after the spike: it becomes round 2's work, and
+  // draining it at the spiked rate busts the cap unless the estimator sees
+  // the spike.
+  fed.sim().spawn([](Federation& f, vmm::Vm& v) -> sim::Task {
+    co_await f.sim().delay(Duration::seconds(17.0));  // post-spike, round 1
+    v.memory().write_data(Bytes::zero(), Bytes::mib(3));
+  }(fed, *vm));
+
+  vmm::MigrationStats stats;
+  fed.sim().spawn([](Federation& f, vmm::Vm& v, vmm::MigrationStats& st) -> sim::Task {
+    co_await f.site_a().eth_host(0).migrate(v, *f.find_host("b:eth0"), &st);
+  }(fed, *vm, stats));
+  fed.sim().run();
+
+  EXPECT_EQ(stats.rounds, 2);
+  EXPECT_LE(stats.downtime,
+            fed.site_a().eth_host(0).migration_engine().config().max_downtime);
+  EXPECT_TRUE(fed.find_host("b:eth0")->resident(*vm));
+  EXPECT_FALSE(stats.in_progress);
+  EXPECT_EQ(fed.unconverged_exchange_count(), 0u);
+}
 
 }  // namespace
 }  // namespace nm::core

@@ -15,6 +15,7 @@
 #include <limits>
 #include <memory>
 #include <random>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "sim/fluid_net.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
+#include "sim/wan_link.h"
 
 namespace nm::sim {
 namespace {
@@ -159,8 +161,9 @@ struct MergedTopo {
 
   explicit MergedTopo(const TopoDesc& t) {
     for (std::size_t r = 0; r < t.capacity.size(); ++r) {
-      res.push_back(std::make_unique<FluidResource>(sched, "r" + std::to_string(r),
-                                                    t.capacity[r]));
+      std::string name = "r";
+      name += std::to_string(r);
+      res.push_back(std::make_unique<FluidResource>(sched, std::move(name), t.capacity[r]));
     }
     for (const auto& fd : t.flows) {
       FlowSpec spec{fd.work, {}, fd.cap, {}};
@@ -180,12 +183,16 @@ struct SplitTopo {
 
   SplitTopo(const TopoDesc& t, int domains, int workers) : net(sim, workers) {
     for (int d = 0; d < domains; ++d) {
-      net.add_domain("d" + std::to_string(d));
+      std::string name = "d";
+      name += std::to_string(d);
+      net.add_domain(std::move(name));
     }
     for (std::size_t r = 0; r < t.capacity.size(); ++r) {
       auto& dom = net.domain(r % static_cast<std::size_t>(domains));
-      res.push_back(std::make_unique<FluidResource>(dom.scheduler(), "r" + std::to_string(r),
-                                                    t.capacity[r]));
+      std::string name = "r";
+      name += std::to_string(r);
+      res.push_back(
+          std::make_unique<FluidResource>(dom.scheduler(), std::move(name), t.capacity[r]));
     }
     for (const auto& fd : t.flows) {
       FlowSpec spec{fd.work, {}, fd.cap, {}};
@@ -364,6 +371,47 @@ TEST(CrossDomain, SplitMatchesMergedOn4WayPartitions) {
       break;
     }
   }
+}
+
+// --- Exchange-round visibility with a WAN cap policy active ------------------
+
+TEST(CrossDomain, WanPolicyScenariosConvergeWellUnderRoundCap) {
+  // Paper-style disaster-recovery shape: two sites with local contention,
+  // coupled by a lossy, congestion-scheduled WanLink whose CapPolicy folds
+  // into every boundary offer. The per-settle exchange-round counters
+  // (surfaced through FluidNet for Testbed/Federation stats) must show the
+  // settles converging — never hitting the 256-round safety valve.
+  Simulation sim;
+  FluidNet net(sim, 0);
+  auto& a = net.add_domain("site-a");
+  auto& b = net.add_domain("site-b");
+  WanLinkConfig cfg;
+  cfg.line_rate = Bandwidth::bytes_per_sec(100.0);
+  cfg.rtt = Duration::millis(50);
+  cfg.loss = 0.001;
+  cfg.mss_bytes = 0.1;  // Mathis ceiling ~77.5: binds below the line rate
+  cfg.schedule.push_back({.at = Duration::seconds(1.0), .capacity_factor = 0.4});
+  cfg.schedule.push_back({.at = Duration::seconds(2.0), .capacity_factor = 1.0,
+                          .rtt = Duration::millis(200)});
+  WanLink wan(sim, a.scheduler(), b.scheduler(), "w", cfg);
+  FluidResource tx(a.scheduler(), "tx", 120.0);
+  FluidResource rx(b.scheduler(), "rx", 90.0);
+  FluidResource disk(b.scheduler(), "disk", 60.0);
+  std::vector<FlowPtr> flows;
+  for (int i = 0; i < 4; ++i) {  // evacuation streams crossing the link
+    flows.push_back(
+        net.start(FlowSpec{.work = 150.0}.over(tx).over(wan.a()).over(wan.b()).over(rx)));
+  }
+  flows.push_back(net.start(FlowSpec{.work = 80.0}.over(rx).over(disk)));  // local load
+  flows.push_back(net.start(FlowSpec{.work = 50.0}.over(tx)));
+  sim.run();
+  for (const auto& f : flows) {
+    EXPECT_TRUE(f->finished());
+  }
+  EXPECT_GT(net.exchange_round_count(), 0u);
+  EXPECT_EQ(net.unconverged_exchange_count(), 0u);
+  EXPECT_LT(net.max_exchange_rounds_per_settle(), 256u);
+  EXPECT_GE(net.max_exchange_rounds_per_settle(), net.last_settle_exchange_rounds());
 }
 
 // --- Timeline bit-identity across worker counts ------------------------------

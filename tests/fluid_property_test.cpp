@@ -196,8 +196,12 @@ void run_one_topology(std::uint32_t seed) {
   std::uniform_real_distribution<double> cap_dist(0.5, 200.0);
   const std::size_t r_count = 1 + rng() % 8;
   for (std::size_t r = 0; r < r_count; ++r) {
+    // Named string sidesteps a GCC 12 -Wrestrict false positive on the
+    // "literal + to_string" temporary under heavy inlining.
+    std::string name = "r";
+    name += std::to_string(r);
     topo.resources.push_back(std::make_unique<FluidResource>(
-        topo.sched, "r" + std::to_string(r), cap_dist(rng)));
+        topo.sched, std::move(name), cap_dist(rng)));
   }
   topo.consumed_ref.assign(r_count, 0.0);
   std::uniform_real_distribution<double> weight_dist(0.01, 2.0);

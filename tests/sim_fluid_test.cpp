@@ -196,8 +196,12 @@ TEST_P(FluidProperty, RatesAreFeasibleAndMaxMinFair) {
   std::vector<std::unique_ptr<FluidResource>> resources;
   resources.reserve(kResources);
   for (int i = 0; i < kResources; ++i) {
+    // Named string sidesteps a GCC 12 -Wrestrict false positive on the
+    // "literal + to_string" temporary under heavy inlining.
+    std::string name = "r";
+    name += std::to_string(i);
     resources.push_back(
-        std::make_unique<FluidResource>("r" + std::to_string(i), rng.uniform(10.0, 200.0)));
+        std::make_unique<FluidResource>(std::move(name), rng.uniform(10.0, 200.0)));
   }
   std::vector<FlowPtr> flows;
   for (int i = 0; i < kFlows; ++i) {
