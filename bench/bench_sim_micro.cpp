@@ -12,11 +12,15 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <new>
+#include <string>
+#include <vector>
 
 #include "core/job.h"
 #include "core/testbed.h"
 #include "sim/fluid.h"
+#include "sim/fluid_net.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 #include "util/interval_map.h"
@@ -131,7 +135,7 @@ void BM_FluidRebalance(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * flows);
 }
-BENCHMARK(BM_FluidRebalance)->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK(BM_FluidRebalance)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
 
 // Asymptotics guard for the component-partitioned scheduler: H hosts each
 // carry a steady background of flows on their own NIC, and one host churns
@@ -176,6 +180,111 @@ void BM_FluidRebalanceMultiHost(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kChurn);
 }
 BENCHMARK(BM_FluidRebalanceMultiHost)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Exchange-aware batching guard: a depth-D domain chain with a tight head
+// resource, slack middle resources soaked by local load, and one boundary
+// flow spanning the whole chain. Every head-capacity toggle moves all the
+// middle domains' capacity offers, but they stay far above the achieved
+// rate — the exchange must store them and skip the re-solves, so the
+// per-toggle settle cost grows only with the publish fan-out, not with
+// extra re-solve rounds per domain.
+void BM_DeepChainExchange(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  constexpr int kToggles = 64;
+  struct Env {
+    sim::Simulation sim;
+    sim::FluidNet net{sim, 0};
+    std::vector<std::unique_ptr<sim::FluidResource>> res;
+    std::vector<sim::FlowPtr> flows;
+    explicit Env(int d) {
+      for (int i = 0; i < d; ++i) {
+        auto& dom = net.add_domain("d" + std::to_string(i));
+        res.push_back(std::make_unique<sim::FluidResource>(
+            dom.scheduler(), "r" + std::to_string(i), i == 0 ? 1e9 : 1e12));
+      }
+      sim::FlowSpec spec{.work = 1e15};
+      for (auto& r : res) {
+        spec.over(*r);
+      }
+      flows.push_back(net.start(std::move(spec)));
+      for (int i = 1; i < d; ++i) {  // local load: offers track the ghost rate
+        flows.push_back(net.start(sim::FlowSpec{.work = 1e15}.over(*res[i])));
+      }
+      sim.run_for(Duration::millis(1));  // converge the initial exchange
+    }
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto env = std::make_unique<Env>(depth);
+    state.ResumeTiming();
+    for (int t = 0; t < kToggles; ++t) {
+      env->res[0]->set_capacity(t % 2 == 0 ? 1.1e9 : 1e9);
+      env->sim.run_for(Duration::millis(1));
+    }
+    state.PauseTiming();
+    env.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * kToggles);
+}
+BENCHMARK(BM_DeepChainExchange)->Arg(4)->Arg(16)->Arg(64);
+
+// Timer-wheel guard, far-horizon side: 32k timers parked an hour-plus out
+// (level 2 and the overflow list) while the near-term path churns. The
+// parked population must cost the hot path nothing — near posts see one
+// wheel_min comparison per sync — and the loop must stay allocation-free,
+// extending the allocs_per_event=0 gate over the wheel code path.
+void BM_TimerWheelFarHorizon(benchmark::State& state) {
+  constexpr int kFar = 32 * 1024;
+  constexpr int kBatch = 1024;
+  sim::Simulation sim;
+  sim.post(Duration::nanos(1), [] {});  // anchor: far posts park behind it
+  for (int i = 0; i < kFar; ++i) {
+    sim.post(Duration::minutes(60.0 + i % 300), [] {});
+  }
+  for (int i = 0; i < 4 * kBatch; ++i) {  // warm the near-path storage
+    sim.post(Duration::nanos(i + 2), [] {});
+  }
+  sim.run_for(Duration::millis(1));  // drain anchor + warm batch; far stays parked
+
+  std::int64_t events = 0;
+  std::uint64_t sink = 0;
+  std::uint64_t* sink_p = &sink;
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  for (auto _ : state) {
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    for (int i = 0; i < kBatch; ++i) {
+      sim.post(Duration::nanos(i + 1),
+               [sink_p, a = static_cast<std::uint64_t>(i), b = events] { *sink_p += a + b; });
+    }
+    sim.run_for(Duration::micros(2));
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    events += kBatch;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(events);
+  state.counters["allocs_per_event"] =
+      benchmark::Counter(static_cast<double>(g_alloc_count.load(std::memory_order_relaxed)) /
+                         static_cast<double>(events));
+}
+BENCHMARK(BM_TimerWheelFarHorizon);
+
+// Timer-wheel guard, cascade side: timers spread from 3ms to an hour all
+// park, refile down the levels as their buckets come due, and promote back
+// into the heap — the full flush machinery per timer.
+void BM_TimerWheelCascade(benchmark::State& state) {
+  const int timers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim.post(Duration::nanos(1), [] {});
+    for (int i = 0; i < timers; ++i) {
+      sim.post(Duration::millis(3 + (i * 977) % 3'600'000), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * timers);
+}
+BENCHMARK(BM_TimerWheelCascade)->Arg(32768);
 
 void BM_IntervalMapDirtyTracking(benchmark::State& state) {
   for (auto _ : state) {

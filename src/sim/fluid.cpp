@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <iterator>
+#include <sstream>
+#include <utility>
 
 #include "sim/solve_pool.h"
 
@@ -176,6 +179,7 @@ void FluidScheduler::unregister_resource(FluidResource& res) {
     if (it != rs.end()) {
       *it = rs.back();
       rs.pop_back();
+      ++comp->admission_gen;  // local resource indices shifted
     }
   }
   slot_comp_[slot] = kNone;
@@ -197,19 +201,28 @@ FlowPtr FluidScheduler::start(FlowSpec spec) {
     NM_CHECK(share.weight > 0.0, "non-positive weight on " << share.resource->name());
     register_resource(*share.resource);
   }
-  auto flow = FlowPtr(
-      new Flow(*sim_, spec.work, std::move(spec.shares), spec.max_rate, spec.name.str()));
+  // One allocation per flow: make_shared fuses the control block with the
+  // (64-byte aligned) Flow. The local subclass just re-exports the private
+  // constructor to make_shared; it adds no members.
+  struct FlowMaker : Flow {
+    FlowMaker(Simulation& sim, double work, std::vector<ResourceShare> shares, double max_rate,
+              std::string name)
+        : Flow(sim, work, std::move(shares), max_rate, std::move(name)) {}
+  };
+  FlowPtr flow = std::make_shared<FlowMaker>(*sim_, spec.work, std::move(spec.shares),
+                                             spec.max_rate, spec.name.str());
   flow->scheduler_ = this;
   flow->last_update_ = sim_->now();
   flow->seq_ = next_flow_seq_++;
   if (spec.work <= kEpsilon) {
     flow->finished_ = true;
     flow->remaining_ = 0.0;
-    flow->done_->set();
+    flow->done_.set();
     return flow;
   }
   for (const auto& share : flow->shares_) {
     ++share.resource->active_flows_;
+    share.resource->active_wsum_ += share.weight;
   }
   flow->global_index_ = static_cast<std::uint32_t>(flows_.size());
   flows_.push_back(flow);
@@ -244,6 +257,7 @@ FlowPtr FluidScheduler::start(FlowSpec spec) {
   flow->comp_ = target->id;
   flow->comp_index_ = static_cast<std::uint32_t>(target->flows.size());
   target->flows.push_back(flow.get());
+  ++target->admission_gen;
   mark_dirty(*target);
   return flow;
 }
@@ -268,11 +282,16 @@ FluidScheduler::Component& FluidScheduler::make_component() {
   }
   comps_[id] = std::make_unique<Component>();
   comps_[id]->id = id;
+  comps_[id]->last_solved = sim_->now();
   ++live_comp_count_;
   return *comps_[id];
 }
 
 void FluidScheduler::merge_into(Component& dst, Component& src) {
+  // The two sides were last solved at different instants; bank progress to
+  // `now` on both so the merged component has one uniform rate window.
+  integrate_component(dst);
+  integrate_component(src);
   // Both lists are sorted by admission seq; keep the merged list sorted so
   // solves sum floats in the same order the seed's global solver did.
   std::vector<Flow*> merged;
@@ -289,6 +308,7 @@ void FluidScheduler::merge_into(Component& dst, Component& src) {
     slot_comp_[slot] = dst.id;
     dst.res_slots.push_back(slot);
   }
+  ++dst.admission_gen;
   if (src.dirty) {
     mark_dirty(dst);
   }
@@ -376,6 +396,7 @@ void FluidScheduler::rebalance() {
 
 void FluidScheduler::integrate_component(Component& comp) {
   const TimePoint now = sim_->now();
+  comp.last_solved = now;
   // Rates are unchanged, so each resource's aggregate consume_rate_ stays
   // valid; the prefix just advances to `now`, so re-stamp the window start
   // (otherwise readers would double-count the integrated span).
@@ -406,7 +427,449 @@ void FluidScheduler::solve_component(Component& comp) {
 }
 
 void FluidScheduler::compute_component(Component& comp, SolveScratch& scratch, SolveResult& out) {
+  if (solve_method_ == SolveMethod::kFullScanReference) {
+    compute_component_reference(comp, scratch, out);
+    return;
+  }
   const TimePoint now = sim_->now();
+  const auto nslots = res_slots_.size();
+  if (scratch.res_residual.size() < nslots) {
+    scratch.res_residual.resize(nslots);
+    scratch.res_wsum.resize(nslots);
+    scratch.res_unfrozen.resize(nslots);
+    scratch.res_binding.resize(nslots);
+  }
+  // Pass 1 (fused): integrate progress at the rates valid since the last
+  // solve, collect completions, compact the flow list, and gather the dense
+  // filling inputs (caps, residual work, heap seeds) for the survivors in
+  // one walk. The elapsed window is hoisted: every member with a nonzero
+  // rate was last integrated at comp.last_solved (the solve that assigned
+  // the rate, or integrate_component on a merge/retire), and flows admitted
+  // since then carry rate 0, so one uniform `rate * el` per flow is exact.
+  // A flow is done when its residual work cannot be represented on the
+  // nanosecond clock (less than half a tick at the current rate) — this
+  // avoids endless zero-delay reschedules.
+  out.finished.clear();
+  out.next_completion_s = std::numeric_limits<double>::infinity();
+  const double el = (now - comp.last_solved).to_seconds();
+  comp.last_solved = now;
+  auto& cf = comp.flows;
+  if (scratch.f_frozen.size() < cf.size()) {
+    scratch.f_frozen.resize(cf.size());
+  }
+  scratch.cap_heap.clear();
+  std::size_t out_idx = 0;  // stable compaction: completions fire in start order
+  for (std::size_t i = 0; i < cf.size(); ++i) {
+    Flow* f = cf[i];
+    f->remaining_ -= f->rate_ * el;
+    f->last_update_ = now;
+    const double sub_tick = f->rate_ * 0.5e-9;
+    if (f->remaining_ <= std::max(kEpsilon, sub_tick)) {
+      // `flows_` is read-only during the compute phase (the swap-remove
+      // happens in commit), so taking the strong ref here is safe even when
+      // other components of this scheduler are computing concurrently.
+      out.finished.push_back(flows_[f->global_index_]);
+      finish_flow_local(*f);
+      continue;
+    }
+    cf[out_idx] = f;
+    f->comp_index_ = static_cast<std::uint32_t>(out_idx);
+    const double cap = f->effective_cap();
+    if (std::isfinite(cap)) {
+      scratch.cap_heap.emplace_back(cap, static_cast<std::uint32_t>(out_idx));
+    }
+    ++out_idx;
+  }
+  if (out_idx != cf.size()) {
+    cf.resize(out_idx);
+    ++comp.admission_gen;  // membership changed: the cached layout is stale
+  }
+  std::fill_n(scratch.f_frozen.begin(), cf.size(), std::uint8_t{0});
+  for (const auto slot : comp.res_slots) {
+    FluidResource* res = res_slots_[slot];
+    // Close the constant-rate window with one fused multiply per resource:
+    // rates are piecewise constant since the last solve, so the aggregate
+    // consume_rate_ integrates the whole window exactly (flows admitted at
+    // this instant carry rate 0 and contribute nothing). This replaces the
+    // reference path's per-flow-share consumed_ accumulation.
+    if (res->consume_rate_ != 0.0) {
+      const Duration elapsed = now - res->rate_since_;
+      if (!elapsed.is_zero()) {
+        res->consumed_ += res->consume_rate_ * elapsed.to_seconds();
+      }
+    }
+    res->consume_rate_ = 0.0;
+    res->rate_since_ = now;
+    // Re-stamped by water_fill in the round (if any) where the resource
+    // binds; FluidNet offers read the post-solve value.
+    res->bound_level_ = -std::numeric_limits<double>::infinity();
+    scratch.res_residual[slot] = res->capacity_;
+    // Seeded from the incrementally maintained aggregates (start /
+    // finish_flow_local), read after pass 1 so this solve's completions are
+    // already reflected — pass 1 needs no per-share walk at all.
+    scratch.res_wsum[slot] = res->active_wsum_;
+    scratch.res_unfrozen[slot] = static_cast<std::uint32_t>(res->active_flows_);
+    scratch.res_binding[slot] = 0;
+  }
+  comp.dirty = false;
+  if (cf.empty()) {
+    return;
+  }
+
+  // (cap, admission index) min-heap: the partial sort. Pair comparison
+  // breaks cap ties by admission index.
+  std::make_heap(scratch.cap_heap.begin(), scratch.cap_heap.end(), std::greater<>{});
+  scratch.r_live.clear();
+  for (std::uint32_t j = 0; j < comp.res_slots.size(); ++j) {
+    if (scratch.res_unfrozen[comp.res_slots[j]] > 0) {
+      scratch.r_live.push_back(j);
+    }
+  }
+  ensure_layout(comp, scratch);
+
+  out.next_completion_s = water_fill(comp, scratch);
+
+  // Resource writeback (flow rates were written as their freeze batches
+  // ran): the filling left each resource's residual behind, so its
+  // aggregate consumption rate is capacity − residual — one deterministic
+  // subtraction per resource, valid until the next solve (see
+  // FluidResource::consumed()).
+  for (const auto slot : comp.res_slots) {
+    FluidResource* res = res_slots_[slot];
+    res->consume_rate_ = res->capacity_ - scratch.res_residual[slot];
+  }
+}
+
+void FluidScheduler::ensure_layout(Component& comp, SolveScratch& scratch) {
+  auto& lay = comp.layout;
+  if (lay.built_gen == comp.admission_gen) {
+    return;
+  }
+  if (lay.seen_gen != comp.admission_gen) {
+    // First solve at this membership: don't build — churning components
+    // (admissions or completions every solve) would pay a full transpose
+    // rebuild per solve only to use it once. water_fill falls back to the
+    // admission-order flow scan until the membership proves stable.
+    lay.seen_gen = comp.admission_gen;
+    return;
+  }
+  const auto nf = static_cast<std::uint32_t>(comp.flows.size());
+  const auto nr = static_cast<std::uint32_t>(comp.res_slots.size());
+  lay.n_res = nr;
+  if (scratch.slot_local.size() < res_slots_.size()) {
+    scratch.slot_local.resize(res_slots_.size());
+  }
+  for (std::uint32_t j = 0; j < nr; ++j) {
+    scratch.slot_local[comp.res_slots[j]] = j;
+  }
+  // Transpose via counting sort: per-resource flow lists, admission order.
+  lay.rflow_off.assign(nr + 1, 0);
+  std::uint32_t total = 0;
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    for (const auto& share : comp.flows[i]->shares_) {
+      ++lay.rflow_off[scratch.slot_local[share.resource->slot_] + 1];
+      ++total;
+    }
+  }
+  for (std::uint32_t j = 0; j < nr; ++j) {
+    lay.rflow_off[j + 1] += lay.rflow_off[j];
+  }
+  lay.rflow_ids.resize(total);
+  if (scratch.rflow_cursor.size() < nr) {
+    scratch.rflow_cursor.resize(nr);
+  }
+  std::copy(lay.rflow_off.begin(), lay.rflow_off.begin() + nr, scratch.rflow_cursor.begin());
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    for (const auto& share : comp.flows[i]->shares_) {
+      lay.rflow_ids[scratch.rflow_cursor[scratch.slot_local[share.resource->slot_]]++] = i;
+    }
+  }
+  lay.built_gen = comp.admission_gen;
+}
+
+double FluidScheduler::water_fill(Component& comp, SolveScratch& scratch) {
+  // Water-level filling over the dense arrays: each round takes the
+  // tightest constraint (a resource's equal-share or the heap-top cap),
+  // freezing tied capped flows straight off the cap heap and every flow
+  // crossing a binding resource — through the cached transpose list when
+  // the membership is stable, or an admission-order flow scan when it is
+  // churning. Across a whole solve each flow is batched exactly once and
+  // each heap entry pops once.
+  const auto& lay = comp.layout;
+  const bool transposed = lay.built_gen == comp.admission_gen;
+  auto& cf = comp.flows;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const auto heap_cmp = std::greater<>{};
+  auto& heap = scratch.cap_heap;
+  double next = kInf;
+  std::uint32_t left = static_cast<std::uint32_t>(cf.size());
+  while (left > 0) {
+    // Resource water level: the tightest equal-share among live resources,
+    // compacting out resources whose flows all froze in earlier rounds.
+    // Guard on the integer count, not wsum: subtractive updates of tiny
+    // weights (1e-9 core-sec/byte) leave fp residue behind.
+    auto& live = scratch.r_live;
+    double bound_r = kInf;
+    std::size_t lw = 0;
+    for (const std::uint32_t j : live) {
+      const auto slot = comp.res_slots[j];
+      if (scratch.res_unfrozen[slot] == 0) {
+        continue;
+      }
+      live[lw++] = j;
+      if (scratch.res_wsum[slot] > 0.0) {
+        bound_r = std::min(bound_r,
+                           std::max(0.0, scratch.res_residual[slot]) / scratch.res_wsum[slot]);
+      }
+    }
+    live.resize(lw);
+    // Lazy deletion: drop already-frozen flows off the cap heap.
+    while (!heap.empty() && scratch.f_frozen[heap.front().second] != 0) {
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      heap.pop_back();
+    }
+    const double cap_min = heap.empty() ? kInf : heap.front().first;
+    NM_CHECK(std::isfinite(std::min(bound_r, cap_min)),
+             "unbounded fluid rate (flow with no finite constraint) in "
+                 << describe_component(comp));
+
+    const double bound = std::min(bound_r, cap_min);
+    if (heap.empty() && live.size() == 1) {
+      // Fast round: a single live resource and no unfrozen capped flows. A
+      // live flow keeps every resource it crosses live, so each unfrozen
+      // flow has exactly one share, on this resource — the whole remainder
+      // freezes at `bound` in one admission-order sweep over the dense
+      // arrays, no binding flags or batch needed. The residual subtractions
+      // run in the same per-flow sequence as the general path, so the
+      // committed consume_rate_ is bit-identical.
+      const auto slot = comp.res_slots[live.front()];
+      res_slots_[slot]->bound_level_ = bound;
+      const auto nf = static_cast<std::uint32_t>(cf.size());
+      double bound_min_remaining = kInf;
+      double residual = scratch.res_residual[slot];
+      for (std::uint32_t i = 0; i < nf; ++i) {
+        if (scratch.f_frozen[i] != 0) {
+          continue;
+        }
+        Flow* f = cf[i];
+        const double rate = std::min(bound, f->effective_cap());
+        f->rate_ = rate;
+        residual -= rate * f->w0_;
+        if (rate == bound) {
+          bound_min_remaining = std::min(bound_min_remaining, f->remaining_);
+        } else if (rate > 0.0) {
+          next = std::min(next, f->remaining_ / rate);
+        }
+      }
+      scratch.res_residual[slot] = residual;
+      scratch.res_unfrozen[slot] = 0;
+      if (bound > 0.0 && std::isfinite(bound_min_remaining)) {
+        next = std::min(next, bound_min_remaining / bound);
+      }
+      break;  // every remaining flow froze this round
+    }
+    auto& batch = scratch.freeze_batch;
+    batch.clear();
+    // Tied caps (the tiny-flow fast path) come straight off the heap: one
+    // pop per capped flow across the whole solve, no scan over the rest.
+    while (!heap.empty()) {
+      const auto [cap, idx] = heap.front();
+      if (scratch.f_frozen[idx] == 0) {
+        if (cap > bound * (1.0 + 1e-12)) {
+          break;
+        }
+        scratch.f_frozen[idx] = 1;
+        batch.push_back(idx);
+      }
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      heap.pop_back();
+    }
+    // Resources whose equal-share sits at the level freeze every unfrozen
+    // flow they carry. A cap and a resource can tie within the same round
+    // (the tolerance band below); handling both here keeps the round
+    // structure — and crucially the bound_level_ stamps the FluidNet
+    // exchange reads for its capacity offers — identical to the reference
+    // solver's.
+    bool any_binding = false;
+    for (const std::uint32_t j : live) {
+      const auto slot = comp.res_slots[j];
+      if (scratch.res_wsum[slot] <= 0.0 ||
+          std::max(0.0, scratch.res_residual[slot]) / scratch.res_wsum[slot] >
+              bound * (1.0 + 1e-12)) {
+        continue;
+      }
+      // The max-min level this resource saturated at; stable until the
+      // next solve, so FluidNet's exchange can read it after compute.
+      res_slots_[slot]->bound_level_ = bound;
+      any_binding = true;
+      if (transposed) {
+        for (std::uint32_t s = lay.rflow_off[j]; s < lay.rflow_off[j + 1]; ++s) {
+          const std::uint32_t idx = lay.rflow_ids[s];
+          if (scratch.f_frozen[idx] == 0) {
+            scratch.f_frozen[idx] = 1;
+            batch.push_back(idx);
+          }
+        }
+      } else {
+        scratch.res_binding[slot] = 1;
+      }
+    }
+    if (!transposed && any_binding && batch.empty()) {
+      // Fused fallback for the common pure-resource round on churning
+      // membership (no caps tied this round): freeze and apply in one
+      // admission-order pass. The scan order *is* the batch order, so the
+      // subtractive float updates run in the exact sequence the two-phase
+      // path below would use — bit-identical, half the memory traffic.
+      const auto nf = static_cast<std::uint32_t>(cf.size());
+      std::uint32_t frozen_this_round = 0;
+      double bound_min_remaining = kInf;
+      for (std::uint32_t i = 0; i < nf; ++i) {
+        if (scratch.f_frozen[i] != 0) {
+          continue;
+        }
+        Flow* f = cf[i];
+        bool binding = false;
+        for (const auto& share : f->shares_) {
+          if (scratch.res_binding[share.resource->slot_] != 0) {
+            binding = true;
+            break;
+          }
+        }
+        if (!binding) {
+          continue;
+        }
+        scratch.f_frozen[i] = 1;
+        ++frozen_this_round;
+        const double rate = std::min(bound, f->effective_cap());
+        f->rate_ = rate;
+        for (const auto& share : f->shares_) {
+          const auto slot = share.resource->slot_;
+          scratch.res_residual[slot] -= rate * share.weight;
+          scratch.res_wsum[slot] -= share.weight;
+          NM_CHECK(scratch.res_unfrozen[slot] > 0, "fluid unfrozen-count underflow");
+          --scratch.res_unfrozen[slot];
+        }
+        if (rate == bound) {
+          bound_min_remaining = std::min(bound_min_remaining, f->remaining_);
+        } else if (rate > 0.0) {
+          next = std::min(next, f->remaining_ / rate);
+        }
+      }
+      for (const std::uint32_t j : live) {
+        scratch.res_binding[comp.res_slots[j]] = 0;
+      }
+      NM_CHECK(frozen_this_round > 0,
+               "progressive filling made no progress in " << describe_component(comp));
+      if (bound > 0.0 && std::isfinite(bound_min_remaining)) {
+        next = std::min(next, bound_min_remaining / bound);
+      }
+      left -= frozen_this_round;
+      continue;
+    }
+    if (!transposed && any_binding) {
+      // Mixed round (caps and resources tied at one level) on churning
+      // membership: gather into the batch so cap-popped and resource-bound
+      // flows freeze together in admission order.
+      const auto nf = static_cast<std::uint32_t>(cf.size());
+      for (std::uint32_t i = 0; i < nf; ++i) {
+        if (scratch.f_frozen[i] != 0) {
+          continue;
+        }
+        for (const auto& share : cf[i]->shares_) {
+          if (scratch.res_binding[share.resource->slot_] != 0) {
+            scratch.f_frozen[i] = 1;
+            batch.push_back(i);
+            break;
+          }
+        }
+      }
+      for (const std::uint32_t j : live) {
+        scratch.res_binding[comp.res_slots[j]] = 0;
+      }
+    }
+    NM_CHECK(!batch.empty(),
+             "progressive filling made no progress in " << describe_component(comp));
+
+    // Freeze the batch in admission order so the subtractive float updates
+    // run in one deterministic order for every solver and worker count.
+    // (Pure cap rounds arrive in cap order; resource rounds are usually
+    // already admission-sorted.)
+    if (!std::is_sorted(batch.begin(), batch.end())) {
+      std::sort(batch.begin(), batch.end());
+    }
+    // Flows frozen exactly at `bound` share one division: min(remaining)
+    // over the group, divided once. Monotone, so bit-identical to dividing
+    // each and taking the min.
+    double bound_min_remaining = kInf;
+    for (const std::uint32_t idx : batch) {
+      Flow* f = cf[idx];
+      const double rate = std::min(bound, f->effective_cap());
+      f->rate_ = rate;
+      for (const auto& share : f->shares_) {
+        const auto slot = share.resource->slot_;
+        scratch.res_residual[slot] -= rate * share.weight;
+        scratch.res_wsum[slot] -= share.weight;
+        NM_CHECK(scratch.res_unfrozen[slot] > 0, "fluid unfrozen-count underflow");
+        --scratch.res_unfrozen[slot];
+      }
+      if (rate == bound) {
+        bound_min_remaining = std::min(bound_min_remaining, f->remaining_);
+      } else if (rate > 0.0) {
+        next = std::min(next, f->remaining_ / rate);
+      }
+    }
+    if (bound > 0.0 && std::isfinite(bound_min_remaining)) {
+      next = std::min(next, bound_min_remaining / bound);
+    }
+    left -= static_cast<std::uint32_t>(batch.size());
+  }
+  return next;
+}
+
+std::string FluidScheduler::describe_component(const Component& comp) const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "component " << comp.id << " (" << comp.flows.size() << " flows, "
+     << comp.res_slots.size() << " resources)";
+  for (const auto slot : comp.res_slots) {
+    const FluidResource* res = res_slots_[slot];
+    os << "\n  resource[" << slot << "] " << res->name_ << ": capacity=" << res->capacity_
+       << " bound_level=" << res->bound_level_ << " active_flows=" << res->active_flows_;
+  }
+  constexpr std::size_t kMaxFlows = 64;
+  const std::size_t shown = std::min(comp.flows.size(), kMaxFlows);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Flow* f = comp.flows[i];
+    os << "\n  flow seq=" << f->seq_;
+    if (!f->name_.empty()) {
+      os << " '" << f->name_ << "'";
+    }
+    os << ": remaining=" << f->remaining_ << " rate=" << f->rate_
+       << " cap=" << f->effective_cap();
+    if (f->ghost_) {
+      os << " ghost";
+    }
+    if (f->suspended_) {
+      os << " suspended";
+    }
+    os << " demands";
+    for (const auto& share : f->shares_) {
+      os << " " << share.resource->name_ << "*" << share.weight;
+    }
+  }
+  if (shown < comp.flows.size()) {
+    os << "\n  ... (" << (comp.flows.size() - shown) << " more flows)";
+  }
+  return os.str();
+}
+
+void FluidScheduler::compute_component_reference(Component& comp, SolveScratch& scratch,
+                                                 SolveResult& out) {
+  const TimePoint now = sim_->now();
+  // Keep the dense path's hoisted-elapsed invariant valid even if the
+  // solve method is switched mid-run: every member leaves this solve
+  // integrated to `now`.
+  comp.last_solved = now;
   if (scratch.res_residual.size() < res_slots_.size()) {
     scratch.res_residual.resize(res_slots_.size());
     scratch.res_wsum.resize(res_slots_.size());
@@ -473,7 +936,10 @@ void FluidScheduler::compute_component(Component& comp, SolveScratch& scratch, S
     }
     first_cap = std::min(first_cap, f->effective_cap());
   }
-  cf.resize(out_idx);
+  if (out_idx != cf.size()) {
+    cf.resize(out_idx);
+    ++comp.admission_gen;  // membership changed: the cached layout is stale
+  }
 
   // Pass 2: re-solve rates and find the earliest completion.
   comp.dirty = false;
@@ -510,7 +976,7 @@ void FluidScheduler::commit_component(Component& comp, SolveResult& out) {
 
   // Fire completions after bookkeeping so waiters observe a settled state.
   for (auto& flow : out.finished) {
-    flow->done_->set();
+    flow->done_.set();
   }
   out.finished.clear();
 }
@@ -524,6 +990,7 @@ void FluidScheduler::finish_flow_local(Flow& flow) {
     NM_CHECK(share.resource->active_flows_ > 0,
              "resource flow count underflow on " << share.resource->name());
     --share.resource->active_flows_;
+    share.resource->active_wsum_ -= share.weight;
   }
 }
 
@@ -568,7 +1035,8 @@ double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap,
         bound = std::min(bound, f->effective_cap());
       }
     }
-    NM_CHECK(std::isfinite(bound), "unbounded fluid rate (flow with no finite constraint)");
+    NM_CHECK(std::isfinite(bound), "unbounded fluid rate (flow with no finite constraint) in "
+                                       << describe_component(comp));
 
     // Freeze every flow bound at `bound`: flows whose cap equals the bound,
     // plus all flows on resources whose share equals the bound.
@@ -625,7 +1093,8 @@ double FluidScheduler::assign_max_min_rates(Component& comp, double first_cap,
     if (bound > 0.0 && std::isfinite(bound_min_remaining)) {
       next = std::min(next, bound_min_remaining / bound);
     }
-    NM_CHECK(froze_any, "progressive filling made no progress");
+    NM_CHECK(froze_any,
+             "progressive filling made no progress in " << describe_component(comp));
   }
   return next;
 }

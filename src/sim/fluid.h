@@ -112,6 +112,12 @@ class FluidResource {
   std::string name_;
   double capacity_;
   std::size_t active_flows_ = 0;
+  /// Σ weights of the unfinished flows crossing this resource, maintained
+  /// incrementally at admission/finish so the kPartialSort solver can seed
+  /// its weight-sum row without walking every flow's share list. Guard
+  /// decisions use the integer `active_flows_`, never this sum: repeated
+  /// add/subtract leaves fp residue behind.
+  double active_wsum_ = 0.0;
   /// The progressive-filling level at which this resource became binding in
   /// its component's most recent solve (−inf when it never bound). A
   /// resource binds in at most one filling round, so the stamp is unique
@@ -197,12 +203,12 @@ struct FlowSpec {
 
 /// Handle to an in-flight flow. Shared so both the issuing task and
 /// modelling code (e.g. "pause the VM") can reach it.
-class Flow {
+class alignas(64) Flow {
  public:
   [[nodiscard]] bool finished() const;
   [[nodiscard]] double remaining() const;
   [[nodiscard]] double current_rate() const;
-  [[nodiscard]] Event& completion() { return *done_; }
+  [[nodiscard]] Event& completion() { return done_; }
   /// Diagnostic label from the FlowSpec (may be empty).
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -228,7 +234,9 @@ class Flow {
         max_rate_(max_rate),
         shares_(std::move(shares)),
         name_(std::move(name)),
-        done_(std::make_unique<Event>(sim)) {}
+        done_(sim) {
+    w0_ = shares_.empty() ? 0.0 : shares_.front().weight;
+  }
 
   static constexpr std::uint32_t kNoIndex = 0xffffffffU;
 
@@ -237,31 +245,38 @@ class Flow {
   /// boundary_cap_ stays +inf for local flows, so the min is exact).
   [[nodiscard]] double effective_cap() const { return std::min(max_rate_, boundary_cap_); }
 
+  // Solver-hot fields first: the class is 64-byte aligned so everything the
+  // per-solve passes touch (integration, completion test, cap gathering,
+  // water-level freezing) lands on one cache line per flow.
   double remaining_;
   double rate_ = 0.0;
   double max_rate_;
-  double saved_max_rate_ = 0.0;
   /// Cross-domain coupling (FluidNet): a ghost flow mirrors a boundary
   /// flow's demand into a foreign domain; the home flow's boundary_cap_
   /// is refreshed by the settle-time exchange from the ghosts' offers.
   double boundary_cap_ = std::numeric_limits<double>::infinity();
-  bool ghost_ = false;
-  bool suspended_ = false;
-  bool finished_ = false;
-  std::vector<ResourceShare> shares_;
-  std::string name_;
-  std::unique_ptr<Event> done_;
-  FluidScheduler* scheduler_ = nullptr;
   TimePoint last_update_;
-  /// Admission order, scheduler-wide. Component flow lists are kept in this
-  /// order (canonicalized on rebuild) so progressive filling sums floats in
-  /// the same order the seed's global solver did.
-  std::uint64_t seq_ = 0;
+  /// Cached shares_.front().weight (shares are immutable after admission):
+  /// lets the single-resource water-fill fast path skip the shares_ deref.
+  double w0_ = 0.0;
   /// Connected component this flow belongs to, and its positions in the
   /// component's flow list and the scheduler's global flow list.
   std::uint32_t comp_ = kNoIndex;
   std::uint32_t comp_index_ = kNoIndex;
   std::uint32_t global_index_ = kNoIndex;
+  bool ghost_ = false;
+  bool suspended_ = false;
+  bool finished_ = false;
+  // Cold fields (admission-time or rare-path only) below.
+  double saved_max_rate_ = 0.0;
+  std::vector<ResourceShare> shares_;
+  std::string name_;
+  Event done_;  // inline member: Flow is heap-pinned, so the address is stable
+  FluidScheduler* scheduler_ = nullptr;
+  /// Admission order, scheduler-wide. Component flow lists are kept in this
+  /// order (canonicalized on rebuild) so progressive filling sums floats in
+  /// the same order the seed's global solver did.
+  std::uint64_t seq_ = 0;
 };
 
 using FlowPtr = std::shared_ptr<Flow>;
@@ -310,6 +325,22 @@ class FluidScheduler : public FlowRouter {
   /// Number of connected flow/resource components currently tracked.
   [[nodiscard]] std::size_t component_count() const;
 
+  /// Which progressive-filling implementation solves components.
+  /// `kPartialSort` is the production path: a cap min-heap plays the role of
+  /// the partial sort (only the next cap band is ever ordered), binding
+  /// resources freeze their flows through a transpose list, and all state
+  /// streams through dense SoA arrays laid out per component. The legacy
+  /// full-scan rounds are retained verbatim as `kFullScanReference` so tests
+  /// can cross-check the two against each other and against brute force.
+  /// Both compute the same max-min fair allocation; freeze ties are broken
+  /// by admission seq in either path.
+  enum class SolveMethod {
+    kPartialSort,
+    kFullScanReference,
+  };
+  void set_solve_method(SolveMethod method) { solve_method_ = method; }
+  [[nodiscard]] SolveMethod solve_method() const { return solve_method_; }
+
   /// Re-balances every component now. Flow/resource mutations re-solve
   /// only the affected component, and defer that solve to the end of the
   /// current simulation instant (no simulated time passes in between), so
@@ -333,6 +364,37 @@ class FluidScheduler : public FlowRouter {
     bool dirty = false;
     std::vector<Flow*> flows;
     std::vector<std::uint32_t> res_slots;
+    /// Instant the component was last solved or integrated to. Every member
+    /// flow with a nonzero rate shares it as `last_update_` (flows admitted
+    /// later carry rate 0 until their first solve), so the solver hoists
+    /// one uniform elapsed window instead of differencing per flow.
+    /// merge_into integrates both sides first to keep the invariant.
+    TimePoint last_solved;
+    /// Admission generation: bumped whenever membership changes (a flow is
+    /// admitted, completes, or is retired by the exchange; a resource slot
+    /// joins or leaves). Pure rate/cap/capacity mutations leave it alone, so
+    /// the cached solve layout below — and anything else keyed on flow
+    /// ordering — survives the common re-solve.
+    std::uint64_t admission_gen = 0;
+    /// Cached transpose (resource → flows) for binding-resource freeze
+    /// rounds. Built lazily on the second consecutive solve at the same
+    /// `admission_gen`: churning components (flows admitted or completing
+    /// every solve) never pay the build and use the admission-order flow
+    /// scan instead, while stable components (e.g. exchange-coupled ones
+    /// re-solved many times per settle) freeze through the list. Local
+    /// flow index = position in `flows` (admission order); local resource
+    /// index = position in `res_slots`.
+    struct Layout {
+      /// Sentinels distinct from any admission_gen so fresh components scan.
+      std::uint64_t built_gen = ~0ull;
+      /// Last admission generation a solve ran at; built_gen chases it.
+      std::uint64_t seen_gen = ~0ull;
+      std::uint32_t n_res = 0;
+      /// CSR transpose: resource → local flow indices, in admission order.
+      std::vector<std::uint32_t> rflow_off;  // n_res + 1
+      std::vector<std::uint32_t> rflow_ids;
+    };
+    Layout layout;
   };
 
   /// Scratch for the pure compute phase of a solve, owned per worker (and
@@ -341,11 +403,30 @@ class FluidScheduler : public FlowRouter {
   /// before use, so one scratch can serve components from any scheduler —
   /// it only ever needs to be grown, never cleared.
   struct SolveScratch {
+    // Slot-indexed rows shared by both solvers (the kPartialSort path
+    // addresses them through comp.res_slots[local]).
     std::vector<double> res_residual;
     std::vector<double> res_wsum;
     std::vector<std::uint32_t> res_unfrozen;
     std::vector<std::uint8_t> res_binding;
     std::vector<Flow*> unfrozen;
+    /// Dense frozen flags for the kPartialSort solver; index = local flow
+    /// index (position in Component::flows, admission order). Caps and
+    /// residual work are read off the (cache-line-packed) Flow itself.
+    std::vector<std::uint8_t> f_frozen;
+    /// Local indices of resources that still carry unfrozen flows,
+    /// compacted as rounds freeze them out.
+    std::vector<std::uint32_t> r_live;
+    /// Min-heap of (effective cap, local flow index): the "partial sort" —
+    /// only the next cap band is ever in order, frozen entries are dropped
+    /// lazily at pop. The pair compare breaks cap ties by admission index.
+    std::vector<std::pair<double, std::uint32_t>> cap_heap;
+    /// Flows freezing in the current round, restored to admission order
+    /// before their subtractive updates run.
+    std::vector<std::uint32_t> freeze_batch;
+    /// Slot → local resource index, valid only inside one layout build.
+    std::vector<std::uint32_t> slot_local;
+    std::vector<std::uint32_t> rflow_cursor;
   };
 
   /// Everything a compute phase hands to the serial commit phase: the flows
@@ -387,6 +468,22 @@ class FluidScheduler : public FlowRouter {
   /// mutates no scheduler-global state; completions and the next timer are
   /// reported through `out` for commit_component.
   void compute_component(Component& comp, SolveScratch& scratch, SolveResult& out);
+  /// The retained legacy compute phase (SolveMethod::kFullScanReference):
+  /// full scans over slot-indexed rows and the unfrozen pointer list.
+  void compute_component_reference(Component& comp, SolveScratch& scratch, SolveResult& out);
+  /// Chases `comp.layout` toward `admission_gen`: builds the transpose only
+  /// on the second consecutive solve at the same generation (stable
+  /// membership), so churning components never pay the build.
+  void ensure_layout(Component& comp, SolveScratch& scratch);
+  /// Water-level filling over the dense arrays prepared by
+  /// compute_component: alternates cap-band rounds (heap pops) and
+  /// binding-resource rounds (transpose-list freezes). Returns the earliest
+  /// time-to-completion in seconds (+inf if nothing progresses).
+  double water_fill(Component& comp, SolveScratch& scratch);
+  /// Multi-line diagnostic dump of a component's resources (capacity,
+  /// residual bookkeeping, bound levels) and flows (demand, caps, shares)
+  /// for solver no-progress failures. Cold path only.
+  [[nodiscard]] std::string describe_component(const Component& comp) const;
   /// The serial commit phase: retires finished flows from the global list,
   /// arms the component's next-completion timer (or dissolves an emptied
   /// component), then fires completion events. Callers running computes in
@@ -448,6 +545,7 @@ class FluidScheduler : public FlowRouter {
   std::size_t retired_since_rebuild_ = 0;
   std::uint32_t next_gen_ = 0;
   std::uint64_t next_flow_seq_ = 0;
+  SolveMethod solve_method_ = SolveMethod::kPartialSort;
 };
 
 /// A topology shard: one independently-solved FluidScheduler over a shared

@@ -31,6 +31,13 @@ bool moved(double a, double b) {
   const double scale = std::max({1.0, std::abs(a), std::abs(b)});
   return std::abs(a - b) > kExchangeTol * scale;
 }
+
+/// True when `cap` clears `rate` with relative margin: the cap is not the
+/// binding constraint for a flow running at `rate`. A cap that stays slack
+/// on both sides of a move cannot change the solved allocation — the
+/// max-min solution is determined by its binding constraints only — so the
+/// exchange can store the new value without re-solving the component.
+bool cap_slack(double rate, double cap) { return cap > rate * (1.0 + 1e-9); }
 }  // namespace
 
 FluidNet::FluidNet(Simulation& sim, int workers) : sim_(&sim), workers_(workers) {
@@ -188,8 +195,19 @@ void FluidNet::exchange(std::vector<std::pair<FluidScheduler*, std::uint32_t>>& 
     for (auto& link : bf.ghosts) {
       Flow& ghost = *link.ghost;
       if (moved(ghost.max_rate_, home.rate_)) {
+        // Store the new cap unconditionally (the next round's moved() check
+        // must see the published value, or the loop would re-publish
+        // forever), but only re-solve the foreign component when the cap
+        // was or becomes binding on the ghost. A slack-to-slack move leaves
+        // the foreign solution — and therefore this resource's next offer —
+        // untouched, so skipping the mark cannot change the fixed point.
+        const double old_cap = ghost.max_rate_;
         ghost.max_rate_ = home.rate_;
-        mark(link.sched, ghost, dirtied);
+        if (cap_slack(ghost.rate_, old_cap) && cap_slack(ghost.rate_, home.rate_)) {
+          ++exchange_skips_;
+        } else {
+          mark(link.sched, ghost, dirtied);
+        }
       }
       for (const auto& share : ghost.shares_) {
         const FluidResource& res = *share.resource;
@@ -206,8 +224,19 @@ void FluidNet::exchange(std::vector<std::pair<FluidScheduler*, std::uint32_t>>& 
       }
     }
     if (moved(home.boundary_cap_, cap)) {
+      // Same slack gate as the ghost publish, on the *effective* cap (the
+      // solver reads min(max_rate_, boundary_cap_)): when the user cap is
+      // the tighter constraint, the boundary cap can wander freely above it
+      // without perturbing the home solve.
+      const double old_eff = std::min(home.max_rate_, home.boundary_cap_);
+      const double new_eff = std::min(home.max_rate_, cap);
       home.boundary_cap_ = cap;
-      mark(bf.home_sched, home, dirtied);
+      if (old_eff == new_eff ||
+          (cap_slack(home.rate_, old_eff) && cap_slack(home.rate_, new_eff))) {
+        ++exchange_skips_;
+      } else {
+        mark(bf.home_sched, home, dirtied);
+      }
     }
     ++i;
   }
@@ -231,6 +260,7 @@ void FluidNet::retire_ghost(FluidScheduler& sched, Flow& ghost,
     for (std::size_t i = pos; i < flows.size(); ++i) {
       flows[i]->comp_index_ = static_cast<std::uint32_t>(i);
     }
+    ++comp.admission_gen;  // membership changed: the cached solve layout is stale
     dirtied.emplace_back(&sched, comp_id);
   }
   // Local + global retirement, minus the completion event: a ghost never

@@ -78,6 +78,12 @@ class FluidNet final : public FlowRouter, private SettleExchange {
   [[nodiscard]] std::size_t max_exchange_rounds_per_settle() const {
     return pool_ != nullptr ? pool_->max_exchange_rounds_per_settle() : 0;
   }
+  /// Cap publishes the exchange stored but did not re-solve for, because
+  /// the cap stayed slack (non-binding) on both sides of the move. Each
+  /// skip is a component re-solve (and possibly a whole extra exchange
+  /// round) avoided; deep domain chains rely on this to keep settles from
+  /// rippling caps across domains the change cannot affect.
+  [[nodiscard]] std::size_t exchange_skip_count() const { return exchange_skips_; }
 
  private:
   /// One registered boundary flow: the home flow plus one ghost per
@@ -112,6 +118,7 @@ class FluidNet final : public FlowRouter, private SettleExchange {
   /// Registration order is the exchange's iteration order (deterministic,
   /// independent of worker count).
   std::vector<BoundaryFlow> boundary_;
+  std::size_t exchange_skips_ = 0;
   /// Declared last: destroyed first, detaching every scheduler before any
   /// domain (and the flows it still tracks) goes away.
   std::unique_ptr<SolvePool> pool_;

@@ -106,7 +106,11 @@ void SolvePool::settle() {
   const auto canonical = [](const TaskEntry& a, const TaskEntry& b) {
     return a.domain != b.domain ? a.domain < b.domain : a.comp->id < b.comp->id;
   };
-  std::sort(tasks_.begin(), tasks_.end(), canonical);
+  // Dirty lists are appended in mark order, which is ascending in the
+  // common single-instant case — checking beats unconditionally sorting.
+  if (!std::is_sorted(tasks_.begin(), tasks_.end(), canonical)) {
+    std::sort(tasks_.begin(), tasks_.end(), canonical);
+  }
 
   ++settles_;
   solved_comps_ += tasks_.size();
@@ -178,11 +182,14 @@ void SolvePool::settle() {
           pending_.push_back(idx);
         }
       }
-      std::sort(pending_.begin(), pending_.end(), [this](std::size_t a, std::size_t b) {
+      const auto pending_canonical = [this](std::size_t a, std::size_t b) {
         const TaskEntry& ta = tasks_[a];
         const TaskEntry& tb = tasks_[b];
         return ta.domain != tb.domain ? ta.domain < tb.domain : ta.comp->id < tb.comp->id;
-      });
+      };
+      if (!std::is_sorted(pending_.begin(), pending_.end(), pending_canonical)) {
+        std::sort(pending_.begin(), pending_.end(), pending_canonical);
+      }
       solved_comps_ += pending_.size();
     }
     exchange_rounds_ += rounds;
@@ -190,7 +197,9 @@ void SolvePool::settle() {
     max_settle_rounds_ = std::max(max_settle_rounds_, rounds);
     // Exchange-appended tasks arrived out of canonical order; restore it
     // for the commit, then hand each task its banked completions.
-    std::sort(tasks_.begin(), tasks_.end(), canonical);
+    if (!std::is_sorted(tasks_.begin(), tasks_.end(), canonical)) {
+      std::sort(tasks_.begin(), tasks_.end(), canonical);
+    }
     for (auto& task : tasks_) {
       task.result.finished = std::move(task.finished_acc);
       task.finished_acc.clear();

@@ -414,6 +414,59 @@ TEST(CrossDomain, WanPolicyScenariosConvergeWellUnderRoundCap) {
   EXPECT_GE(net.max_exchange_rounds_per_settle(), net.last_settle_exchange_rounds());
 }
 
+// --- Exchange-aware batching on a deep domain chain --------------------------
+
+TEST(CrossDomain, DeepChainExchangeSkipsSlackDomains) {
+  // A 16-domain chain with one tight resource at the head and pure-slack
+  // middle resources. Head-capacity perturbations move every middle
+  // domain's capacity offer (their headroom shifts with the boundary
+  // flow's rate), but those offers stay far above the achieved rate: the
+  // exchange must store them and *skip* the home re-solve, so settles
+  // converge in a couple of rounds instead of rippling across the chain.
+  Simulation sim;
+  FluidNet net(sim, 0);
+  constexpr int kDepth = 16;
+  std::vector<std::unique_ptr<FluidResource>> res;
+  for (int d = 0; d < kDepth; ++d) {
+    std::string dom_name = "d";
+    dom_name += std::to_string(d);
+    auto& dom = net.add_domain(std::move(dom_name));
+    std::string res_name = "r";
+    res_name += std::to_string(d);
+    res.push_back(std::make_unique<FluidResource>(dom.scheduler(), std::move(res_name),
+                                                  d == 0 ? 1e9 : 1e12));
+  }
+  FlowSpec spec{.work = 1e15};
+  for (auto& r : res) {
+    spec.over(*r);
+  }
+  auto flow = net.start(std::move(spec));
+  EXPECT_EQ(net.boundary_flow_count(), 1u);
+  // Local competition soaks up each middle resource, so its offer tracks
+  // the ghost's rate (capacity minus the local share) instead of sitting
+  // at the constant full capacity — the offers genuinely move with every
+  // head toggle, yet stay ~1000x above the achieved boundary rate.
+  std::vector<FlowPtr> locals;
+  for (int d = 1; d < kDepth; ++d) {
+    locals.push_back(net.start(FlowSpec{.work = 1e15}.over(*res[d])));
+  }
+  EXPECT_NEAR(flow->current_rate(), 1e9, 1.0);
+
+  const std::size_t skips_before = net.exchange_skip_count();
+  std::size_t max_rounds = 0;
+  for (int i = 0; i < 8; ++i) {
+    res[0]->set_capacity(i % 2 == 0 ? 1.1e9 : 1e9);
+    sim.run_for(Duration::millis(10));
+    max_rounds = std::max(max_rounds, net.last_settle_exchange_rounds());
+  }
+  EXPECT_NEAR(flow->current_rate(), 1e9, 1.0);
+  EXPECT_EQ(net.unconverged_exchange_count(), 0u);
+  // Slack-offer moves became skips, not re-solve rounds: well below the
+  // chain depth, independent of it in fact (publish + foreign re-solve).
+  EXPECT_GT(net.exchange_skip_count(), skips_before);
+  EXPECT_LE(max_rounds, 4u);
+}
+
 // --- Timeline bit-identity across worker counts ------------------------------
 
 struct Timeline {

@@ -2,6 +2,10 @@
 // scheduler must produce the same max-min fair rates as a brute-force
 // reference solver that recomputes the global allocation from scratch, on
 // random topologies and across suspend/resume/cap/capacity mutations.
+// Every topology runs under both production solve methods — the O(N)
+// partial-sort water-level solver and the retained full-scan reference —
+// so both are independently pinned to the brute-force answer within 1e-9
+// (and therefore to each other).
 // The same harness cross-checks the O(1) rate-tracked consumption read:
 // every resource's consumed() must match a brute-force integral of
 // (reference rate × weight) over every constant-rate window within 1e-9.
@@ -190,9 +194,10 @@ void check_against_reference(Topology& topo, std::uint32_t seed, int step) {
   }
 }
 
-void run_one_topology(std::uint32_t seed) {
+void run_one_topology(std::uint32_t seed, FluidScheduler::SolveMethod method) {
   std::mt19937 rng(seed);
   Topology topo;
+  topo.sched.set_solve_method(method);
   std::uniform_real_distribution<double> cap_dist(0.5, 200.0);
   const std::size_t r_count = 1 + rng() % 8;
   for (std::size_t r = 0; r < r_count; ++r) {
@@ -264,7 +269,8 @@ void run_one_topology(std::uint32_t seed) {
 
 TEST(FluidReference, IncrementalMatchesBruteForceOn1000RandomTopologies) {
   for (std::uint32_t seed = 1; seed <= 1000; ++seed) {
-    run_one_topology(seed);
+    run_one_topology(seed, FluidScheduler::SolveMethod::kPartialSort);
+    run_one_topology(seed, FluidScheduler::SolveMethod::kFullScanReference);
     if (::testing::Test::HasFailure()) {
       break;  // first failing seed is enough to debug
     }
@@ -275,7 +281,8 @@ TEST(FluidReference, IncrementalMatchesBruteForceOn1000RandomTopologies) {
 // comfortably above the 1000-topology floor even if bands are split later.
 TEST(FluidReference, IncrementalMatchesBruteForceOnHighSeeds) {
   for (std::uint32_t seed = 100000; seed < 100250; ++seed) {
-    run_one_topology(seed);
+    run_one_topology(seed, FluidScheduler::SolveMethod::kPartialSort);
+    run_one_topology(seed, FluidScheduler::SolveMethod::kFullScanReference);
     if (::testing::Test::HasFailure()) {
       break;
     }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Compares the benchmark-key set of an emitted BENCH_*.json against its
+# committed baseline, and fails LOUDLY in both directions:
+#
+#   - a key in the baseline but missing from the output means a benchmark
+#     was renamed or dropped, silently breaking the cross-PR perf trail;
+#   - a key in the output but missing from the baseline means a new
+#     benchmark was added without pinning it (the old plain `diff` of key
+#     listings could be skipped or mis-piped and pass silently).
+#
+# Usage: check_bench_keys.sh <emitted.json> <baseline.json>
+set -euo pipefail
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <emitted.json> <baseline.json>" >&2
+  exit 2
+fi
+emitted="$1"
+baseline="$2"
+for f in "$emitted" "$baseline"; do
+  if [ ! -s "$f" ]; then
+    echo "FAIL: benchmark summary '$f' is missing or empty" >&2
+    exit 1
+  fi
+done
+
+got_keys=$(jq -r 'keys[]' "$emitted" | sort)
+want_keys=$(jq -r 'keys[]' "$baseline" | sort)
+
+missing=$(comm -23 <(printf '%s\n' "$want_keys") <(printf '%s\n' "$got_keys") || true)
+unexpected=$(comm -13 <(printf '%s\n' "$want_keys") <(printf '%s\n' "$got_keys") || true)
+
+status=0
+if [ -n "$missing" ]; then
+  echo "FAIL: benchmark keys pinned in $baseline but absent from $emitted" >&2
+  echo "      (benchmark renamed or dropped?):" >&2
+  printf '        %s\n' $missing >&2
+  status=1
+fi
+if [ -n "$unexpected" ]; then
+  echo "FAIL: benchmark keys emitted by $emitted but not pinned in $baseline" >&2
+  echo "      (new benchmark? re-pin the baseline to include it):" >&2
+  printf '        %s\n' $unexpected >&2
+  status=1
+fi
+if [ "$status" -eq 0 ]; then
+  echo "bench keys OK: $(printf '%s\n' "$got_keys" | wc -l) keys match $baseline"
+fi
+exit "$status"
