@@ -198,9 +198,12 @@ void BM_DeepChainExchange(benchmark::State& state) {
     std::vector<sim::FlowPtr> flows;
     explicit Env(int d) {
       for (int i = 0; i < d; ++i) {
-        auto& dom = net.add_domain("d" + std::to_string(i));
+        // Lvalue suffix: the `const char* + string&&` overload trips a
+        // GCC 12 -Wrestrict false positive under heavy inlining.
+        const std::string tag = std::to_string(i);
+        auto& dom = net.add_domain("d" + tag);
         res.push_back(std::make_unique<sim::FluidResource>(
-            dom.scheduler(), "r" + std::to_string(i), i == 0 ? 1e9 : 1e12));
+            dom.scheduler(), "r" + tag, i == 0 ? 1e9 : 1e12));
       }
       sim::FlowSpec spec{.work = 1e15};
       for (auto& r : res) {

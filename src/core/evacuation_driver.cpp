@@ -1,0 +1,305 @@
+#include "core/evacuation_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/sync.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "vmm/host.h"
+
+namespace nm::core {
+
+Duration EvacuationReport::downtime_percentile(double p) const {
+  std::vector<Duration> sorted;
+  for (const VmOutcome& vm : vms) {
+    if (vm.done_ns >= 0) {
+      sorted.push_back(vm.downtime);
+    }
+  }
+  if (sorted.empty()) {
+    return Duration::zero();
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  std::size_t rank = static_cast<std::size_t>(std::ceil(clamped * sorted.size()));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+Duration EvacuationReport::downtime_max() const {
+  Duration worst = Duration::zero();
+  for (const VmOutcome& vm : vms) {
+    if (vm.done_ns >= 0) {
+      worst = std::max(worst, vm.downtime);
+    }
+  }
+  return worst;
+}
+
+MassEvacuation::MassEvacuation(Federation& fed, EvacuationConfig config)
+    : fed_(&fed), config_(config) {
+  NM_CHECK(config_.source_site < fed.site_count(),
+           "evacuation source site " << config_.source_site << " out of range");
+  NM_CHECK(config_.dst_slots_per_host > 0, "evacuation needs >= 1 slot per destination host");
+}
+
+plan::SiteGraph MassEvacuation::current_graph(bool nominal) const {
+  plan::SiteGraph graph = fed_->site_graph();
+  if (!nominal) {
+    for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+      graph.edges[e].rate = fed_->wan_link(e).effective_rate();
+    }
+  }
+  for (std::size_t s = 0; s < fed_->site_count(); ++s) {
+    if (s == config_.source_site) {
+      continue;
+    }
+    int slots = 0;
+    std::vector<vmm::Host*> hosts = fed_->site(s).all_hosts();
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      int reserved = 0;
+      if (s < reserved_by_site_.size() && h < reserved_by_site_[s].size()) {
+        reserved = reserved_by_site_[s][h];
+      }
+      slots += std::max(0, config_.dst_slots_per_host -
+                               static_cast<int>(hosts[h]->vms().size()) - reserved);
+    }
+    graph.sites[s].free_vm_slots = slots;
+  }
+  return graph;
+}
+
+std::pair<vmm::Host*, std::size_t> MassEvacuation::pick_dst_host(std::size_t site) {
+  auto& hosts = hosts_by_site_[site];
+  auto& reserved = reserved_by_site_[site];
+  vmm::Host* best = nullptr;
+  std::size_t best_index = 0;
+  int best_free = 0;
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    const int free = config_.dst_slots_per_host - static_cast<int>(hosts[h]->vms().size()) -
+                     reserved[h];
+    if (free > best_free) {
+      best_free = free;
+      best = hosts[h];
+      best_index = h;
+    }
+  }
+  if (best != nullptr) {
+    ++reserved[best_index];
+  }
+  return {best, best_index};
+}
+
+namespace {
+
+sim::Task migrate_one(vmm::Host& src, vmm::Vm& vm, vmm::Host& dst, vmm::MigrationStats* stats,
+                      double rate_cap) {
+  co_await src.migrate(vm, dst, stats, rate_cap);
+}
+
+}  // namespace
+
+sim::Task MassEvacuation::grant_wave(std::vector<Pending> members, int wave_index,
+                                     EvacuationReport& report,
+                                     std::vector<std::size_t>& deferred) {
+  auto& sim = fed_->sim();
+  // Keep the fabrics' static routes off partitioned edges wherever an
+  // alternative exists, so this wave's (and in-flight next-chunk)
+  // transfers take the detour instead of freezing on a dead edge. Pure
+  // function of the links' current factors at the grant instant.
+  fed_->recompute_routes();
+  // Live mesh snapshot at the grant instant: effective rates decide both
+  // reachability and the wave's rate assignment.
+  plan::SiteGraph live = current_graph(/*nominal=*/false);
+  std::vector<Pending> runnable;
+  std::vector<std::vector<std::size_t>> routes;
+  for (Pending& member : members) {
+    std::vector<std::size_t> route = live.route(config_.source_site, member.dst_site, 0.0);
+    if (route.empty()) {
+      ++report.vms[member.vm_index].deferrals;
+      deferred.push_back(member.vm_index);
+      continue;
+    }
+    runnable.push_back(member);
+    routes.push_back(std::move(route));
+  }
+  if (runnable.empty()) {
+    co_return;
+  }
+
+  plan::EvacuationPlanner rate_engine(live, config_.planner);
+  std::vector<const std::vector<std::size_t>*> route_ptrs;
+  route_ptrs.reserve(routes.size());
+  for (const auto& route : routes) {
+    route_ptrs.push_back(&route);
+  }
+  std::vector<double> caps(live.edges.size());
+  for (std::size_t e = 0; e < live.edges.size(); ++e) {
+    caps[e] = live.edges[e].rate;
+  }
+  const std::vector<double> rates = rate_engine.wave_rates(route_ptrs, caps);
+
+  std::vector<sim::TaskRef> refs;
+  std::vector<std::pair<std::size_t, std::size_t>> placements;  // (dst_site, host idx)
+  refs.reserve(runnable.size());
+  for (std::size_t k = 0; k < runnable.size(); ++k) {
+    const Pending& member = runnable[k];
+    auto [dst, host_index] = pick_dst_host(member.dst_site);
+    NM_CHECK(dst != nullptr, "evacuation wave " << wave_index << " has no free slot on site "
+                                                << fed_->site_name(member.dst_site));
+    placements.emplace_back(member.dst_site, host_index);
+    VmOutcome& outcome = report.vms[member.vm_index];
+    outcome.dst_host = dst->name();
+    outcome.wave = wave_index;
+    outcome.start_ns = sim.now().count_nanos();
+    const double rate_cap =
+        rates[k] > 0.0 ? rates[k] : std::numeric_limits<double>::infinity();
+    refs.push_back(sim.spawn(migrate_one(*src_hosts_[member.vm_index], *vms_[member.vm_index],
+                                         *dst, &stats_[member.vm_index], rate_cap),
+                             "evac:" + vms_[member.vm_index]->name()));
+  }
+  co_await sim::join_all(std::move(refs));
+  for (std::size_t k = 0; k < runnable.size(); ++k) {
+    const std::size_t vm_index = runnable[k].vm_index;
+    VmOutcome& outcome = report.vms[vm_index];
+    outcome.done_ns = stats_[vm_index].end_at.count_nanos();
+    outcome.downtime = stats_[vm_index].downtime;
+    // The VM now counts as a resident; release the in-flight reservation.
+    --reserved_by_site_[placements[k].first][placements[k].second];
+  }
+}
+
+sim::Task MassEvacuation::run(EvacuationReport* report_out) {
+  auto& sim = fed_->sim();
+  EvacuationReport report;
+  report.started_ns = sim.now().count_nanos();
+
+  // --- Collect the fleet: every VM resident on the source site. ---------
+  vms_.clear();
+  src_hosts_.clear();
+  moves_.clear();
+  Testbed& source = fed_->site(config_.source_site);
+  std::vector<vmm::Host*> source_hosts = source.all_hosts();
+  for (std::size_t h = 0; h < source_hosts.size(); ++h) {
+    const bool compress = source_hosts[h]->migration_engine().config().compress_dup_pages;
+    for (const auto& vm : source_hosts[h]->vms()) {
+      auto& mem = vm->memory();
+      plan::VmToMove move;
+      move.name = vm->name();
+      const vmm::GuestMemory::PageRange all{0, mem.page_count()};
+      move.bytes = static_cast<double>(mem.wire_size(all, compress).count());
+      move.scan_bytes = static_cast<double>(mem.size().count());
+      move.src_host = h;
+      moves_.push_back(std::move(move));
+      vms_.push_back(vm);
+      src_hosts_.push_back(source_hosts[h]);
+    }
+  }
+  stats_.assign(vms_.size(), vmm::MigrationStats{});
+  report.vms.resize(vms_.size());
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    report.vms[i].vm = vms_[i]->name();
+  }
+
+  hosts_by_site_.assign(fed_->site_count(), {});
+  reserved_by_site_.assign(fed_->site_count(), {});
+  for (std::size_t s = 0; s < fed_->site_count(); ++s) {
+    if (s == config_.source_site) {
+      continue;
+    }
+    hosts_by_site_[s] = fed_->site(s).all_hosts();
+    reserved_by_site_[s].assign(hosts_by_site_[s].size(), 0);
+  }
+
+  // --- Plan against the nominal mesh. -----------------------------------
+  plan::EvacuationPlanner planner(current_graph(/*nominal=*/true), config_.planner);
+  const plan::Plan plan = config_.sequential
+                              ? planner.plan_sequential(config_.source_site, moves_)
+                              : planner.plan(config_.source_site, moves_);
+  report.sequential_fallback = plan.sequential_fallback;
+  NM_LOG_INFO("evacuation") << "site " << fed_->site_name(config_.source_site) << ": "
+                            << vms_.size() << " VMs, " << plan.wave_count << " planned waves"
+                            << (plan.sequential_fallback ? " (sequential fallback)" : "")
+                            << ", est. makespan " << Duration::seconds(plan.makespan);
+
+  std::vector<std::vector<Pending>> waves(static_cast<std::size_t>(plan.wave_count));
+  std::vector<std::size_t> deferred;
+  for (const plan::Assignment& a : plan.assignments) {
+    if (a.wave < 0) {
+      deferred.push_back(a.vm);
+    } else {
+      waves[static_cast<std::size_t>(a.wave)].push_back(
+          Pending{a.vm, a.dst_site, a.planned_rate});
+    }
+  }
+  for (auto& wave : waves) {
+    if (!wave.empty()) {
+      co_await grant_wave(std::move(wave), report.waves++, report, deferred);
+    }
+  }
+
+  // --- Deferred VMs: replan against the live mesh until all land (or the
+  // mesh is whole and they are still unschedulable — then give up). ------
+  while (!deferred.empty()) {
+    ++report.replans;
+    plan::SiteGraph live = current_graph(/*nominal=*/false);
+    plan::EvacuationPlanner replanner(std::move(live), config_.planner);
+    std::vector<plan::VmToMove> subset;
+    subset.reserve(deferred.size());
+    for (std::size_t vm_index : deferred) {
+      subset.push_back(moves_[vm_index]);
+    }
+    const plan::Plan sub = replanner.plan(config_.source_site, subset);
+    std::vector<std::vector<Pending>> sub_waves(static_cast<std::size_t>(sub.wave_count));
+    std::vector<std::size_t> still_deferred;
+    bool scheduled_any = false;
+    for (const plan::Assignment& a : sub.assignments) {
+      const std::size_t vm_index = deferred[a.vm];
+      if (a.wave < 0) {
+        still_deferred.push_back(vm_index);
+      } else {
+        scheduled_any = true;
+        sub_waves[static_cast<std::size_t>(a.wave)].push_back(
+            Pending{vm_index, a.dst_site, a.planned_rate});
+      }
+    }
+    if (!scheduled_any) {
+      bool any_partitioned = false;
+      for (std::size_t e = 0; e < fed_->edge_count(); ++e) {
+        any_partitioned = any_partitioned || fed_->wan_link(e).partitioned();
+      }
+      if (!any_partitioned) {
+        NM_LOG_WARN("evacuation") << deferred.size()
+                                  << " VM(s) permanently unschedulable (no reachable "
+                                     "destination slots); giving up on them";
+        break;
+      }
+      co_await sim.delay(config_.retry_period);
+      continue;
+    }
+    deferred = std::move(still_deferred);
+    for (auto& wave : sub_waves) {
+      if (!wave.empty()) {
+        co_await grant_wave(std::move(wave), report.waves++, report, deferred);
+      }
+    }
+  }
+
+  report.done_ns = sim.now().count_nanos();
+  report.evacuated = 0;
+  for (const VmOutcome& outcome : report.vms) {
+    if (outcome.done_ns >= 0) {
+      ++report.evacuated;
+    }
+  }
+  NM_LOG_INFO("evacuation") << report.evacuated << "/" << report.vms.size()
+                            << " VMs evacuated in " << report.makespan() << " over "
+                            << report.waves << " waves (" << report.replans << " replans)";
+  if (report_out != nullptr) {
+    *report_out = report;
+  }
+}
+
+}  // namespace nm::core

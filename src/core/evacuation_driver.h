@@ -1,0 +1,124 @@
+// MassEvacuation: executes a plan::EvacuationPlanner schedule against a
+// live Federation — the bridge between the pure planning layer and the
+// simulated testbeds.
+//
+// Wave commit protocol (DESIGN.md §9): every scheduling decision is made
+// at a wave *grant*, a fixed instant in simulated time reached from task
+// context. At a grant the driver (1) recomputes the mesh routes
+// (Federation::recompute_routes), so the fabrics detour around
+// partitioned edges whenever an alternative path exists, (2) reads every
+// WanLink's live effective rate and recomputes each wave member's route
+// on the live mesh, (3) re-runs the max-min rate assignment against the
+// live capacities, and (4) pins each migration to its planned rate via
+// the per-call bandwidth cap. Members whose destination is unreachable
+// are deferred and re-planned — rerouted when an alternate path exists,
+// retried on a poll period until the mesh heals otherwise. Because planned rates
+// never oversubscribe an edge, each migration realizes exactly its
+// planned rate, so the pre-copy estimator is accurate and realized
+// downtime respects MigrationConfig::max_downtime. All inputs to a grant
+// are deterministic functions of simulated state at that instant, so
+// evacuation timelines are bit-identical at every solve-worker count
+// (pinned by wan_federation_test and bench_scalability sweep 9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/federation.h"
+#include "plan/evacuation_planner.h"
+#include "sim/task.h"
+
+namespace nm::core {
+
+struct EvacuationConfig {
+  /// Site to evacuate (index into the federation's sites).
+  std::size_t source_site = 0;
+  plan::PlannerConfig planner;
+  /// VM slots per destination host (bounds per-site intake together with
+  /// the hosts' current residents).
+  int dst_slots_per_host = 16;
+  /// Poll period while every route to some un-evacuated VM's destination
+  /// is dead.
+  Duration retry_period = Duration::seconds(5);
+  /// Execute the naive-sequential baseline instead of the batched plan.
+  bool sequential = false;
+};
+
+struct VmOutcome {
+  std::string vm;
+  std::string dst_host;
+  int wave = -1;
+  /// Grants at which this VM's destination was unreachable.
+  int deferrals = 0;
+  std::int64_t start_ns = -1;
+  std::int64_t done_ns = -1;
+  Duration downtime = Duration::zero();
+};
+
+struct EvacuationReport {
+  std::int64_t started_ns = 0;
+  std::int64_t done_ns = 0;
+  int waves = 0;
+  /// Grants that had to re-plan deferred VMs against the live mesh.
+  int replans = 0;
+  std::size_t evacuated = 0;
+  bool sequential_fallback = false;
+  std::vector<VmOutcome> vms;
+
+  [[nodiscard]] Duration makespan() const {
+    return Duration::nanos(done_ns - started_ns);
+  }
+  /// p in [0, 1]: nearest-rank percentile over per-VM downtimes.
+  [[nodiscard]] Duration downtime_percentile(double p) const;
+  [[nodiscard]] Duration downtime_max() const;
+};
+
+class MassEvacuation {
+ public:
+  explicit MassEvacuation(Federation& fed, EvacuationConfig config = {});
+
+  [[nodiscard]] const EvacuationConfig& config() const { return config_; }
+
+  /// The planner input the next run() would use: federation mesh (nominal
+  /// edge rates when `nominal`, live effective rates otherwise) with
+  /// destination slots derived from dst_slots_per_host minus current
+  /// residents.
+  [[nodiscard]] plan::SiteGraph current_graph(bool nominal = true) const;
+
+  /// Evacuates every VM resident on the source site. Reports per-VM
+  /// timeline/downtime and the overall makespan into `report`.
+  [[nodiscard]] sim::Task run(EvacuationReport* report);
+
+ private:
+  struct Pending {
+    std::size_t vm_index = 0;        // into vms_/moves_/report order
+    std::size_t dst_site = 0;
+    double planned_rate = 0.0;
+  };
+
+  /// Grants one wave: live routes + rates, host selection, spawn + join.
+  /// Members with no live route to their destination are appended to
+  /// `deferred` instead of granted.
+  [[nodiscard]] sim::Task grant_wave(std::vector<Pending> members, int wave_index,
+                                     EvacuationReport& report,
+                                     std::vector<std::size_t>& deferred);
+  /// Destination host with the most free slots on `site` (tie: lowest
+  /// index); reserves one slot. {nullptr, 0} when the site is full.
+  [[nodiscard]] std::pair<vmm::Host*, std::size_t> pick_dst_host(std::size_t site);
+
+  Federation* fed_;
+  EvacuationConfig config_;
+  // Per-run state (filled by run()).
+  std::vector<std::shared_ptr<vmm::Vm>> vms_;
+  std::vector<vmm::Host*> src_hosts_;
+  std::vector<plan::VmToMove> moves_;
+  std::vector<vmm::MigrationStats> stats_;
+  std::vector<std::vector<vmm::Host*>> hosts_by_site_;
+  /// In-flight reservations per destination host (parallel to
+  /// hosts_by_site_); released once the migration lands (the VM then
+  /// counts as a resident).
+  std::vector<std::vector<int>> reserved_by_site_;
+};
+
+}  // namespace nm::core

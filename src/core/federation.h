@@ -1,14 +1,18 @@
-// Federation: two AGC testbeds coupled on one shared simulation clock by a
-// calibrated WAN link (paper §II's disaster-recovery use case — evacuate a
-// site across an inter-datacenter link, not across a hallway).
+// Federation: N AGC testbeds coupled on one shared simulation clock by a
+// mesh of calibrated WAN links (paper §II's disaster-recovery use case —
+// evacuate a site across inter-datacenter links, not across a hallway).
 //
-// Both sites are built inside one FluidNet, so a cross-site transfer is an
-// ordinary boundary flow: its shares cross the source blade's tx, the
-// site's switch uplink, the WanLink endpoint pair (whose CapPolicy folds
-// the latency/bandwidth/loss model into the published ghost caps —
-// DESIGN.md §7), the peer's uplink and the destination's rx. Determinism is
-// inherited wholesale: one event queue, canonical-order commits, timelines
-// bit-identical at every solve_workers count (wan_federation_test pins it).
+// All sites are built inside one FluidNet, so a cross-site transfer is an
+// ordinary boundary flow: its shares cross the source blade's tx, then for
+// every WAN hop on the route the egress site's switch uplink, the WanLink
+// endpoint pair (whose CapPolicy folds the latency/bandwidth/loss model
+// into the published ghost caps — DESIGN.md §7) and the ingress site's
+// uplink, and finally the destination's rx. Routes are fewest-hops over
+// the edge mesh, computed with a deterministic BFS at construction and
+// re-computable against the live mesh after partitions
+// (recompute_routes()). Determinism is inherited wholesale: one event
+// queue, canonical-order commits, timelines bit-identical at every
+// solve_workers count (wan_federation_test pins it).
 //
 // The sites mount one geo-replicated shared store (the cross-site
 // equivalent of the paper's NFS mount) — live migration requires source and
@@ -21,34 +25,53 @@
 #include <vector>
 
 #include "core/testbed.h"
+#include "plan/evacuation_planner.h"
 #include "sim/wan_link.h"
 #include "vmm/monitor.h"
 
 namespace nm::core {
 
+struct FederationSiteConfig {
+  /// Site prefix for every host/fabric name ("tokyo" → "tokyo:eth0").
+  /// Must be unique within the federation and contain no ':'.
+  std::string name;
+  TestbedConfig testbed;
+};
+
+struct FederationEdgeConfig {
+  /// Indices into FederationConfig::sites.
+  std::size_t a = 0;
+  std::size_t b = 0;
+  sim::WanLinkConfig wan;
+};
+
 struct FederationConfig {
+  /// Two-site shorthand, used when `sites` is empty: site_a and site_b
+  /// coupled by `wan` (named "a" and "b").
   TestbedConfig site_a;
   TestbedConfig site_b;
-  /// The inter-datacenter link. Defaults to 1 Gbps with no impairments;
-  /// calibrate rtt/loss/schedule per scenario (EXPERIMENTS.md lists the
-  /// LAN / metro / WAN presets).
+  /// The inter-datacenter link of the two-site shorthand. Defaults to
+  /// 1 Gbps with no impairments; calibrate rtt/loss/schedule per scenario
+  /// (EXPERIMENTS.md lists the LAN / metro / WAN presets).
   sim::WanLinkConfig wan;
-  /// Line rate of each site's WAN-facing switch uplink port.
+
+  /// N-site mesh: named sites plus WAN edges between them. Non-empty
+  /// `sites` overrides the two-site shorthand entirely. Every site should
+  /// be reachable from every other (unconnected pairs simply cannot
+  /// exchange traffic).
+  std::vector<FederationSiteConfig> sites;
+  std::vector<FederationEdgeConfig> edges;
+
+  /// Line rate of each site's WAN-facing switch uplink ports (one per
+  /// incident edge).
   Bandwidth uplink_rate = Bandwidth::gbps(10);
-  /// Throughput of the geo-replicated store both sites mount.
+  /// Throughput of the geo-replicated store all sites mount.
   Bandwidth geo_storage_rate = Bandwidth::mib_per_sec(300);
   /// Worker threads in the shared SolvePool (the per-site configs'
   /// solve_workers/seed are ignored; the clock and pool are federation-
   /// wide).
   int solve_workers = 0;
   std::uint64_t seed = 1;
-
-  FederationConfig() {
-    // Cross-site transfers resolve addresses locally first, so the sites'
-    // address spaces must be disjoint or a peer destination could shadow a
-    // local one and deliver to the wrong site.
-    site_b.eth.address_base = 1u << 16;
-  }
 };
 
 class Federation {
@@ -60,14 +83,51 @@ class Federation {
   [[nodiscard]] const FederationConfig& config() const { return config_; }
   [[nodiscard]] sim::Simulation& sim() { return sim_; }
   [[nodiscard]] sim::FluidNet& net() { return net_; }
-  [[nodiscard]] Testbed& site_a() { return *site_a_; }
-  [[nodiscard]] Testbed& site_b() { return *site_b_; }
-  [[nodiscard]] sim::WanLink& wan() { return *wan_; }
   [[nodiscard]] vmm::SharedStorage& storage() { return *storage_; }
 
-  /// Looks a host up across both sites ("a:ib3", "b:eth0").
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] Testbed& site(std::size_t i) { return *sites_[i]; }
+  [[nodiscard]] const std::string& site_name(std::size_t i) const { return site_names_[i]; }
+  /// Site by configured name; nullptr when absent.
+  [[nodiscard]] Testbed* site_by_name(const std::string& name);
+  /// Two-site shorthand accessors (sites 0 and 1).
+  [[nodiscard]] Testbed& site_a() { return site(0); }
+  [[nodiscard]] Testbed& site_b() { return site(1); }
+
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] sim::WanLink& wan_link(std::size_t e) { return *edges_[e].link; }
+  /// Endpoint site indices of edge `e`.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> edge_sites(std::size_t e) const {
+    return {edges_[e].a, edges_[e].b};
+  }
+  /// The two-site shorthand's link (edge 0).
+  [[nodiscard]] sim::WanLink& wan() { return wan_link(0); }
+
+  /// Edge indices of the current fewest-hops route from site `i` to site
+  /// `j` (empty when i == j or the pair was unreachable at the last route
+  /// computation).
+  [[nodiscard]] const std::vector<std::size_t>& route(std::size_t i, std::size_t j) const {
+    return routes_[i][j];
+  }
+
+  /// Recomputes every pairwise route against the *live* mesh (edges whose
+  /// WanLink is not partitioned) and re-registers the fabric routes. A
+  /// pair with no live path keeps its previous route, so in-flight and new
+  /// transfers on it freeze at rate 0 until the mesh heals rather than
+  /// erroring. Deterministic: a pure function of the links' current
+  /// factors; call from task context at fixed points in simulated time.
+  void recompute_routes();
+
+  /// The mesh as a planner site graph: one vertex per site (in site index
+  /// order, free_vm_slots 0 — callers fill capacity), one edge per WAN
+  /// link with the link's *nominal* rate (factor-1 line rate folded with
+  /// the Mathis ceiling at the current RTT) and no schedule. Drivers
+  /// re-check live effective rates at wave grant time instead.
+  [[nodiscard]] plan::SiteGraph site_graph() const;
+
+  /// Looks a host up across all sites ("a:ib3", "b:eth0").
   [[nodiscard]] vmm::Host* find_host(const std::string& name);
-  /// Resolver covering both sites — hand it to a CloudScheduler's
+  /// Resolver covering every site — hand it to a CloudScheduler's
   /// set_secondary_resolver so migration plans may name peer-site hosts.
   [[nodiscard]] vmm::Monitor::HostResolver resolver();
   /// The domain owning `res`, across every site (nullptr when foreign).
@@ -75,12 +135,12 @@ class Federation {
     return net_.domain_of(res);
   }
 
-  /// Lets every boot-time link on both sites finish training.
+  /// Lets every boot-time link on all sites finish training.
   void settle();
 
   /// Federation-wide boundary-exchange stats (same counters Testbed
-  /// exposes; here they aggregate both sites plus the WAN by construction
-  /// since the pool is shared).
+  /// exposes; here they aggregate every site plus the WAN mesh by
+  /// construction since the pool is shared).
   [[nodiscard]] std::size_t exchange_round_count() const { return net_.exchange_round_count(); }
   [[nodiscard]] std::size_t unconverged_exchange_count() const {
     return net_.unconverged_exchange_count();
@@ -90,17 +150,36 @@ class Federation {
   }
 
  private:
+  struct Edge {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    net::NicPort* uplink_a = nullptr;
+    net::NicPort* uplink_b = nullptr;
+    std::unique_ptr<sim::WanLink> link;
+  };
+
+  /// Fewest-hops BFS over the edge subset for which `alive(e)` holds;
+  /// deterministic (neighbours in edge-index order).
+  template <typename AliveFn>
+  [[nodiscard]] std::vector<std::size_t> bfs_route(std::size_t from, std::size_t to,
+                                                   AliveFn alive) const;
+  /// Registers routes_[i][j] into the sites' eth fabrics.
+  void install_fabric_routes();
+
   FederationConfig config_;
   sim::Simulation sim_;
   // Destroyed after everything below: the net's pool detaches schedulers
   // and joins workers while the simulation is alive.
   sim::FluidNet net_;
   std::unique_ptr<vmm::SharedStorage> storage_;
-  std::unique_ptr<Testbed> site_a_;
-  std::unique_ptr<Testbed> site_b_;
+  std::vector<std::string> site_names_;
+  std::vector<std::unique_ptr<Testbed>> sites_;
   hw::Cluster gateways_{"wan-gw"};
   std::vector<std::unique_ptr<net::NicPort>> uplinks_;
-  std::unique_ptr<sim::WanLink> wan_;
+  // After sites_: WanLink destructors detach cap policies from resources
+  // registered in the sites' schedulers.
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::vector<std::size_t>>> routes_;
 };
 
 }  // namespace nm::core

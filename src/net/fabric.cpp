@@ -24,19 +24,48 @@ std::string_view to_string(LinkState s) {
 Fabric::Fabric(sim::FlowRouter& router, FabricSpec spec)
     : router_(&router), spec_(std::move(spec)), next_address_(spec_.address_base + 1) {}
 
+void Fabric::add_route(Fabric& dst, std::vector<WanHop> hops) {
+  NM_CHECK(&dst != this, spec_.name << ": cannot route a fabric to itself");
+  NM_CHECK(!hops.empty(), spec_.name << ": route to " << dst.spec_.name << " needs >= 1 hop");
+  NM_CHECK(spec_.address_base != dst.spec_.address_base,
+           spec_.name << " and " << dst.spec_.name
+                      << " share an address base; routed address spaces must be disjoint");
+  for (const WanHop& hop : hops) {
+    NM_CHECK(hop.egress != nullptr && hop.wan != nullptr && hop.ingress != nullptr &&
+                 hop.to != nullptr,
+             spec_.name << ": incomplete WAN hop on route to " << dst.spec_.name);
+  }
+  NM_CHECK(hops.back().to == &dst,
+           spec_.name << ": route's last hop lands on " << hops.back().to->spec_.name
+                      << ", not " << dst.spec_.name);
+  for (Route& route : routes_) {
+    if (route.dst == &dst) {
+      route.hops = std::move(hops);
+      return;
+    }
+  }
+  routes_.push_back(Route{&dst, std::move(hops)});
+  NM_LOG_DEBUG("net") << spec_.name << ": route to " << dst.spec_.name << " via "
+                      << routes_.back().hops.size() << " WAN hop(s)";
+}
+
 void Fabric::peer_with(Fabric& other, sim::WanLink& wan) {
   NM_CHECK(&other != this, spec_.name << ": cannot peer a fabric with itself");
   NM_CHECK(uplink_ != nullptr, spec_.name << ": set_uplink before peer_with");
   NM_CHECK(other.uplink_ != nullptr, other.spec_.name << ": set_uplink before peer_with");
-  NM_CHECK(spec_.address_base != other.spec_.address_base,
-           spec_.name << " and " << other.spec_.name
-                      << " share an address base; peer address spaces must be disjoint");
-  peer_ = &other;
-  wan_ = &wan;
-  other.peer_ = this;
-  other.wan_ = &wan;
+  add_route(other, {WanHop{uplink_, &wan, other.uplink_, &other}});
+  other.add_route(*this, {WanHop{other.uplink_, &wan, uplink_, this}});
   NM_LOG_DEBUG("net") << spec_.name << ": peered with " << other.spec_.name << " over WAN link "
                       << wan.name();
+}
+
+std::pair<AttachmentPtr, const Fabric::Route*> Fabric::find_remote(FabricAddress addr) const {
+  for (const Route& route : routes_) {
+    if (AttachmentPtr dst = route.dst->find(addr)) {
+      return {std::move(dst), &route};
+    }
+  }
+  return {nullptr, nullptr};
 }
 
 double Fabric::path_rate(const AttachmentPtr& src, FabricAddress dst_addr) const {
@@ -45,12 +74,14 @@ double Fabric::path_rate(const AttachmentPtr& src, FabricAddress dst_addr) const
   if (AttachmentPtr dst = find(dst_addr)) {
     return std::min(src_rate, dst->port_->line_rate().bytes_per_second());
   }
-  if (peer_ != nullptr) {
-    if (AttachmentPtr dst = peer_->find(dst_addr)) {
-      return std::min({src_rate, uplink_->line_rate().bytes_per_second(),
-                       wan_->effective_rate(), peer_->uplink_->line_rate().bytes_per_second(),
-                       dst->port_->line_rate().bytes_per_second()});
+  auto [dst, route] = find_remote(dst_addr);
+  if (dst != nullptr) {
+    double rate = std::min(src_rate, dst->port_->line_rate().bytes_per_second());
+    for (const WanHop& hop : route->hops) {
+      rate = std::min({rate, hop.egress->line_rate().bytes_per_second(),
+                       hop.wan->effective_rate(), hop.ingress->line_rate().bytes_per_second()});
     }
+    return rate;
   }
   throw OperationError(spec_.name + ": no attachment at address " + std::to_string(dst_addr) +
                        " (stale address?)");
@@ -135,11 +166,17 @@ sim::Task Fabric::transfer(AttachmentPtr src, FabricAddress dst_addr, Bytes byte
                          " is not active (state " + std::string(to_string(src->state_)) + ")");
   }
   AttachmentPtr dst = find(dst_addr);
-  bool via_peer = false;
-  if (dst == nullptr && peer_ != nullptr) {
-    // Cross-site destination: ride the uplink and the WAN endpoint pair.
-    dst = peer_->find(dst_addr);
-    via_peer = dst != nullptr;
+  // Cross-site destination: ride each hop's uplink and WAN endpoint pair.
+  // The hop list is copied before any suspension so a concurrent re-route
+  // (add_route replacing the table after a partition) cannot invalidate it
+  // mid-transfer.
+  std::vector<WanHop> hops;
+  if (dst == nullptr) {
+    auto [remote, route] = find_remote(dst_addr);
+    if (remote != nullptr) {
+      dst = std::move(remote);
+      hops = route->hops;
+    }
   }
   if (dst == nullptr) {
     throw OperationError(spec_.name + ": no attachment at address " +
@@ -151,11 +188,11 @@ sim::Task Fabric::transfer(AttachmentPtr src, FabricAddress dst_addr, Bytes byte
   }
 
   // Propagation/switching latency, then the bandwidth phase. A cross-site
-  // path additionally pays the WAN's one-way propagation and the peer's
-  // switching latency.
+  // path additionally pays each crossed WAN's one-way propagation and each
+  // transited site's switching latency.
   Duration lat = spec_.latency;
-  if (via_peer) {
-    lat += wan_->one_way_latency() + peer_->spec_.latency;
+  for (const WanHop& hop : hops) {
+    lat += hop.wan->one_way_latency() + hop.to->spec_.latency;
   }
   co_await simulation().delay(lat);
 
@@ -164,14 +201,14 @@ sim::Task Fabric::transfer(AttachmentPtr src, FabricAddress dst_addr, Bytes byte
   }
   std::vector<sim::ResourceShare> shares;
   shares.push_back({&src->port_->tx(), 1.0});
-  if (via_peer) {
+  for (const WanHop& hop : hops) {
     // Both WAN endpoints are crossed (shared medium), so exactly one of
     // them is always foreign to the flow's home domain and the link's
     // CapPolicy governs the published boundary cap in either direction.
-    shares.push_back({&uplink_->tx(), 1.0});
-    shares.push_back({&wan_->a(), 1.0});
-    shares.push_back({&wan_->b(), 1.0});
-    shares.push_back({&peer_->uplink_->rx(), 1.0});
+    shares.push_back({&hop.egress->tx(), 1.0});
+    shares.push_back({&hop.wan->a(), 1.0});
+    shares.push_back({&hop.wan->b(), 1.0});
+    shares.push_back({&hop.ingress->rx(), 1.0});
   }
   shares.push_back({&dst->port_->rx(), 1.0});
   if (opts.src_cpu_per_byte > 0.0) {

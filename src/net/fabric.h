@@ -31,6 +31,16 @@ namespace nm::net {
 
 class Fabric;
 
+/// One WAN hop of a cross-fabric route: leave the current site through
+/// `egress` (tx side), cross `wan` (both endpoint resources — the shared
+/// medium), arrive through `ingress` (rx side) at fabric `to`.
+struct WanHop {
+  NicPort* egress = nullptr;
+  sim::WanLink* wan = nullptr;
+  NicPort* ingress = nullptr;
+  Fabric* to = nullptr;
+};
+
 enum class LinkState { kDown, kPolling, kActive };
 [[nodiscard]] std::string_view to_string(LinkState s);
 
@@ -137,27 +147,32 @@ class Fabric {
 
   [[nodiscard]] std::size_t attachment_count() const { return by_address_.size(); }
 
-  /// Declares `port` this fabric's federable edge: the switch uplink every
-  /// cross-site transfer rides (tx outbound, rx inbound). Required before
-  /// peer_with().
+  /// Declares `port` this fabric's default federable edge: the switch
+  /// uplink peer_with() rides (tx outbound, rx inbound). Multi-edge meshes
+  /// skip this and hand per-edge ports to add_route() directly.
   void set_uplink(NicPort& port) { uplink_ = &port; }
   [[nodiscard]] NicPort* uplink() { return uplink_; }
 
-  /// Peers this fabric with `other` across a calibrated WAN link
-  /// (symmetric: registers the reverse direction on `other` too). After
-  /// peering, a destination address that does not resolve locally is looked
-  /// up on the peer, and such transfers cross uplink → WAN endpoint pair →
-  /// peer uplink in addition to the usual NIC/CPU shares.
+  /// Registers (or replaces) the one-way WAN route to `dst`: a destination
+  /// address that does not resolve locally is looked up on every routed
+  /// fabric in registration order, and a matching transfer crosses each
+  /// hop's egress uplink → WAN endpoint pair → ingress uplink in addition
+  /// to the usual NIC/CPU shares. Every hop's `to` must be set and the last
+  /// hop's `to` must be `dst`; address spaces must be disjoint. Re-routing
+  /// (after a partition) replaces the hop list; transfers already past
+  /// their route lookup keep the hops they copied.
+  void add_route(Fabric& dst, std::vector<WanHop> hops);
+
+  /// Two-site convenience: symmetric single-hop routes between this fabric
+  /// and `other` over `wan`, riding both fabrics' set_uplink() ports.
   void peer_with(Fabric& other, sim::WanLink& wan);
-  [[nodiscard]] Fabric* peer() { return peer_; }
-  [[nodiscard]] sim::WanLink* wan() { return wan_; }
 
   /// Planning rate for src → dst_addr, bytes/s: the min line rate along the
-  /// path, folded with the WAN's current *effective* (model) rate when the
-  /// destination lives on the peer. Migration estimators must read this —
-  /// not the raw local line rate — or they under-estimate stop-and-copy
-  /// time across a lossy link. Throws OperationError for an unknown
-  /// address.
+  /// path, folded with every crossed WAN's current *effective* (model) rate
+  /// when the destination lives on a routed fabric. Migration estimators
+  /// must read this — not the raw local line rate — or they under-estimate
+  /// stop-and-copy time across a lossy link. Throws OperationError for an
+  /// unknown address.
   [[nodiscard]] double path_rate(const AttachmentPtr& src, FabricAddress dst_addr) const;
 
  protected:
@@ -165,12 +180,19 @@ class Fabric {
   FabricSpec spec_;
 
  private:
+  struct Route {
+    Fabric* dst = nullptr;
+    std::vector<WanHop> hops;
+  };
+  /// Attachment + route for a cross-fabric address; {nullptr, nullptr}
+  /// when no routed fabric owns it.
+  [[nodiscard]] std::pair<AttachmentPtr, const Route*> find_remote(FabricAddress addr) const;
+
   FabricAddress next_address_;
   std::map<FabricAddress, std::weak_ptr<Attachment>> by_address_;
   std::uint64_t epoch_counter_ = 0;
   NicPort* uplink_ = nullptr;
-  Fabric* peer_ = nullptr;
-  sim::WanLink* wan_ = nullptr;
+  std::vector<Route> routes_;
 };
 
 }  // namespace nm::net

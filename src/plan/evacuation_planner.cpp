@@ -1,0 +1,488 @@
+#include "plan/evacuation_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace nm::plan {
+
+double EdgeSpec::capacity_at(double t) const {
+  double factor = 1.0;
+  for (const EdgePhase& phase : schedule) {
+    if (phase.at > t) {
+      break;
+    }
+    factor = phase.capacity_factor;
+  }
+  return rate * factor;
+}
+
+std::vector<std::size_t> SiteGraph::route(std::size_t from, std::size_t to, double t) const {
+  if (from == to || from >= sites.size() || to >= sites.size()) {
+    return {};
+  }
+  // BFS with parent-edge recording; neighbours are visited in edge-index
+  // order so the first shortest path found is deterministic.
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent_edge(sites.size(), kUnvisited);
+  std::vector<std::size_t> frontier{from};
+  std::vector<bool> seen(sites.size(), false);
+  seen[from] = true;
+  while (!frontier.empty() && !seen[to]) {
+    std::vector<std::size_t> next;
+    for (std::size_t site : frontier) {
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        const EdgeSpec& edge = edges[e];
+        if (edge.capacity_at(t) <= 0.0) {
+          continue;
+        }
+        std::size_t far = kUnvisited;
+        if (edge.a == site) {
+          far = edge.b;
+        } else if (edge.b == site) {
+          far = edge.a;
+        } else {
+          continue;
+        }
+        if (far >= sites.size() || seen[far]) {
+          continue;
+        }
+        seen[far] = true;
+        parent_edge[far] = e;
+        next.push_back(far);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (!seen[to]) {
+    return {};
+  }
+  std::vector<std::size_t> hops;
+  for (std::size_t site = to; site != from;) {
+    std::size_t e = parent_edge[site];
+    hops.push_back(e);
+    site = edges[e].a == site ? edges[e].b : edges[e].a;
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+double SiteGraph::bottleneck(const std::vector<std::size_t>& route, double t) const {
+  if (route.empty()) {
+    return 0.0;
+  }
+  double rate = kNever;
+  for (std::size_t e : route) {
+    rate = std::min(rate, edges[e].capacity_at(t));
+  }
+  return rate;
+}
+
+double SiteGraph::next_phase_after(double t) const {
+  double next = kNever;
+  for (const EdgeSpec& edge : edges) {
+    for (const EdgePhase& phase : edge.schedule) {
+      if (phase.at > t) {
+        next = std::min(next, phase.at);
+        break;
+      }
+    }
+  }
+  return next;
+}
+
+EvacuationPlanner::EvacuationPlanner(SiteGraph graph, PlannerConfig config)
+    : graph_(std::move(graph)), config_(config) {}
+
+namespace {
+
+double stream_duration(const VmToMove& vm, double rate, const PlannerConfig& config) {
+  // Pre-copy interleaves page walks with sends chunk by chunk, so both
+  // terms are serial per stream.
+  return config.per_vm_setup + vm.scan_bytes / config.scan_rate + vm.bytes / rate;
+}
+
+}  // namespace
+
+std::vector<double> EvacuationPlanner::wave_rates(
+    const std::vector<const std::vector<std::size_t>*>& routes,
+    const std::vector<double>& edge_capacity) const {
+  // Progressive filling: raise every unfrozen stream together; freeze the
+  // streams crossing the first edge that saturates (or that hit the
+  // per-stream cap). Same algorithm as the fluid solver's reference,
+  // specialised to unit weights.
+  const std::size_t n = routes.size();
+  std::vector<double> rate(n, 0.0);
+  std::vector<bool> frozen(n, false);
+  std::vector<double> residual = edge_capacity;
+  std::size_t active = n;
+  for (;;) {
+    // Freeze streams that cannot grow: at the per-stream cap, over a
+    // saturated (or dead) edge, or with no route at all.
+    for (std::size_t s = 0; s < n; ++s) {
+      if (frozen[s]) {
+        continue;
+      }
+      bool done = rate[s] >= config_.stream_rate_cap - 1e-9 || routes[s]->empty();
+      for (std::size_t e : *routes[s]) {
+        if (residual[e] <= 1e-9) {
+          done = true;
+          break;
+        }
+      }
+      if (done) {
+        frozen[s] = true;
+        --active;
+      }
+    }
+    if (active == 0) {
+      break;
+    }
+    // Smallest headroom over any edge with unfrozen streams, in fair-share
+    // terms, and the smallest remaining distance to the per-stream cap.
+    double step = kNever;
+    for (std::size_t e = 0; e < residual.size(); ++e) {
+      int users = 0;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!frozen[s] &&
+            std::find(routes[s]->begin(), routes[s]->end(), e) != routes[s]->end()) {
+          ++users;
+        }
+      }
+      if (users > 0) {
+        step = std::min(step, residual[e] / users);
+      }
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!frozen[s]) {
+        step = std::min(step, config_.stream_rate_cap - rate[s]);
+      }
+    }
+    if (!(step > 0.0) || step == kNever) {
+      break;
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      if (frozen[s]) {
+        continue;
+      }
+      rate[s] += step;
+      for (std::size_t e : *routes[s]) {
+        residual[e] -= step;
+      }
+    }
+  }
+  return rate;
+}
+
+Plan EvacuationPlanner::plan_sequential(std::size_t src_site, const std::vector<VmToMove>& vms,
+                                        double now) const {
+  Plan out;
+  out.assignments.resize(vms.size());
+  double t = now;
+  int wave = 0;
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    Assignment& a = out.assignments[i];
+    a.vm = i;
+    // First reachable site with a free slot, preferring the fastest drain.
+    std::size_t best = graph_.sites.size();
+    std::vector<std::size_t> best_route;
+    double best_rate = 0.0;
+    double grant = t;
+    std::vector<int> used(graph_.sites.size(), 0);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (out.assignments[j].wave >= 0) {
+        ++used[out.assignments[j].dst_site];
+      }
+    }
+    for (;;) {
+      for (std::size_t s = 0; s < graph_.sites.size(); ++s) {
+        if (s == src_site || graph_.sites[s].free_vm_slots - used[s] <= 0) {
+          continue;
+        }
+        std::vector<std::size_t> r = graph_.route(src_site, s, grant);
+        double rate = std::min(graph_.bottleneck(r, grant), config_.stream_rate_cap);
+        if (!r.empty() && rate > best_rate) {
+          best = s;
+          best_route = std::move(r);
+          best_rate = rate;
+        }
+      }
+      if (best < graph_.sites.size()) {
+        break;
+      }
+      grant = graph_.next_phase_after(grant);
+      if (grant == kNever) {
+        break;
+      }
+    }
+    if (best >= graph_.sites.size()) {
+      ++out.unscheduled;
+      continue;
+    }
+    a.dst_site = best;
+    a.route_edges = std::move(best_route);
+    a.wave = wave++;
+    a.planned_rate = best_rate;
+    a.start = grant;
+    a.finish = grant + stream_duration(vms[i], best_rate, config_);
+    t = a.finish;
+    out.makespan = std::max(out.makespan, a.finish - now);
+  }
+  out.wave_count = wave;
+  return out;
+}
+
+Plan EvacuationPlanner::plan_batched(std::size_t src_site, const std::vector<VmToMove>& vms,
+                                     double now) const {
+  const std::size_t n_sites = graph_.sites.size();
+  Plan out;
+  out.assignments.resize(vms.size());
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    out.assignments[i].vm = i;
+  }
+
+  // --- 1. Destination selection: LPT list scheduling on drain speed. ---
+  // A site's drain speed approximates how fast it can absorb load:
+  // bottleneck of its route from the source, widened by the streams the
+  // edge slot policy would admit, capped per stream.
+  std::vector<double> speed(n_sites, 0.0);
+  std::vector<int> slots_left(n_sites, 0);
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    if (s == src_site) {
+      continue;
+    }
+    std::vector<std::size_t> r = graph_.route(src_site, s, now);
+    double bw = graph_.bottleneck(r, now);
+    if (r.empty() || bw <= 0.0) {
+      continue;
+    }
+    int streams = std::clamp(static_cast<int>(bw / config_.min_stream_rate), 1,
+                             config_.max_streams_per_edge);
+    speed[s] = std::min(bw, config_.stream_rate_cap * streams);
+    slots_left[s] = std::max(0, graph_.sites[s].free_vm_slots);
+  }
+
+  std::vector<std::size_t> order(vms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t lhs, std::size_t rhs) {
+    return vms[lhs].bytes > vms[rhs].bytes;
+  });
+
+  std::vector<double> load(n_sites, 0.0);
+  std::vector<std::size_t> pending;
+  for (std::size_t i : order) {
+    std::size_t best = n_sites;
+    double best_finish = kNever;
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      if (speed[s] <= 0.0 || slots_left[s] <= 0) {
+        continue;
+      }
+      double finish = (load[s] + vms[i].bytes) / speed[s];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = s;
+      }
+    }
+    if (best == n_sites) {
+      out.assignments[i].wave = -1;
+      ++out.unscheduled;
+      continue;
+    }
+    out.assignments[i].dst_site = best;
+    load[best] += vms[i].bytes;
+    --slots_left[best];
+    pending.push_back(i);
+  }
+
+  // --- 1b. Destination-swap pass: move a VM from the slowest-draining ---
+  // site to the fastest when that lowers the max estimated finish
+  // ("Simple Destination-Swap Strategies"). Slot counts stay legal because
+  // a swap exchanges destinations and a shift consumes a tracked slot.
+  if (config_.swap_pass && !pending.empty()) {
+    for (std::size_t iter = 0; iter < pending.size(); ++iter) {
+      std::size_t hot = n_sites;
+      std::size_t cold = n_sites;
+      double hot_finish = 0.0;
+      double cold_finish = kNever;
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        if (speed[s] <= 0.0) {
+          continue;
+        }
+        double finish = load[s] / speed[s];
+        if (finish > hot_finish) {
+          hot_finish = finish;
+          hot = s;
+        }
+        if (finish < cold_finish) {
+          cold_finish = finish;
+          cold = s;
+        }
+      }
+      if (hot == n_sites || cold == n_sites || hot == cold) {
+        break;
+      }
+      // Smallest VM on the hot site whose shift improves the pair's max.
+      std::size_t move = vms.size();
+      double move_bytes = kNever;
+      for (std::size_t i : pending) {
+        if (out.assignments[i].dst_site != hot) {
+          continue;
+        }
+        double new_hot = (load[hot] - vms[i].bytes) / speed[hot];
+        double new_cold = (load[cold] + vms[i].bytes) / speed[cold];
+        if (std::max(new_hot, new_cold) < hot_finish - 1e-9 && vms[i].bytes < move_bytes) {
+          move = i;
+          move_bytes = vms[i].bytes;
+        }
+      }
+      if (move == vms.size() || slots_left[cold] <= 0) {
+        break;
+      }
+      load[hot] -= vms[move].bytes;
+      load[cold] += vms[move].bytes;
+      ++slots_left[hot];
+      --slots_left[cold];
+      out.assignments[move].dst_site = cold;
+    }
+  }
+
+  // --- 2 + 3. Wave batching with max-min rate assignment. ---
+  // Admission at grant time t: recompute each pending VM's route on the
+  // live graph, cap streams per edge and per source host, assign max-min
+  // rates, run the wave to its last finish, advance t.
+  double t = now;
+  int wave = 0;
+  // Big VMs first within a destination, destinations round-robined so
+  // every egress edge fills.
+  std::stable_sort(pending.begin(), pending.end(), [&](std::size_t lhs, std::size_t rhs) {
+    return vms[lhs].bytes > vms[rhs].bytes;
+  });
+  while (!pending.empty()) {
+    std::vector<std::size_t> admitted;
+    std::vector<int> edge_streams(graph_.edges.size(), 0);
+    std::vector<int> host_streams;
+    std::vector<int> edge_slots(graph_.edges.size(), 0);
+    for (std::size_t e = 0; e < graph_.edges.size(); ++e) {
+      double cap = graph_.edges[e].capacity_at(t);
+      edge_slots[e] =
+          cap > 0.0 ? std::clamp(static_cast<int>(cap / config_.min_stream_rate), 1,
+                                 config_.max_streams_per_edge)
+                    : 0;
+    }
+    auto host_count = [&host_streams](std::size_t host) -> int& {
+      if (host >= host_streams.size()) {
+        host_streams.resize(host + 1, 0);
+      }
+      return host_streams[host];
+    };
+    // The live route to a site is a function of (site, t) only — compute
+    // each once per wave.
+    std::vector<std::vector<std::size_t>> site_route(n_sites);
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      if (s != src_site) {
+        site_route[s] = graph_.route(src_site, s, t);
+      }
+    }
+    // Round-robin across destination sites: repeatedly take the first
+    // admissible pending VM of each site in turn until a full sweep admits
+    // nothing.
+    std::vector<bool> taken(pending.size(), false);
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        for (std::size_t p = 0; p < pending.size(); ++p) {
+          std::size_t i = pending[p];
+          if (taken[p] || out.assignments[i].dst_site != s) {
+            continue;
+          }
+          if (host_count(vms[i].src_host) >= config_.max_streams_per_src_host) {
+            continue;
+          }
+          const std::vector<std::size_t>& r = site_route[s];
+          bool fits = !r.empty();
+          for (std::size_t e : r) {
+            if (edge_streams[e] >= edge_slots[e]) {
+              fits = false;
+              break;
+            }
+          }
+          if (!fits) {
+            continue;
+          }
+          out.assignments[i].route_edges = r;
+          for (std::size_t e : out.assignments[i].route_edges) {
+            ++edge_streams[e];
+          }
+          ++host_count(vms[i].src_host);
+          taken[p] = true;
+          admitted.push_back(i);
+          progress = true;
+          break;  // next destination site
+        }
+      }
+    }
+    if (admitted.empty()) {
+      // Nothing can start now: either every remaining destination is
+      // unreachable at t, or the per-host/per-edge limits pin us — the
+      // latter is impossible with an empty wave, so wait for the mesh.
+      double next = graph_.next_phase_after(t);
+      if (next == kNever) {
+        for (std::size_t i : pending) {
+          out.assignments[i].wave = -1;
+          ++out.unscheduled;
+        }
+        break;
+      }
+      t = next;
+      continue;
+    }
+    std::vector<const std::vector<std::size_t>*> routes;
+    std::vector<double> caps(graph_.edges.size());
+    for (std::size_t e = 0; e < graph_.edges.size(); ++e) {
+      caps[e] = graph_.edges[e].capacity_at(t);
+    }
+    routes.reserve(admitted.size());
+    for (std::size_t i : admitted) {
+      routes.push_back(&out.assignments[i].route_edges);
+    }
+    std::vector<double> rates = wave_rates(routes, caps);
+    double wave_end = t;
+    for (std::size_t k = 0; k < admitted.size(); ++k) {
+      Assignment& a = out.assignments[admitted[k]];
+      a.wave = wave;
+      a.planned_rate = rates[k];
+      a.start = t;
+      a.finish = t + stream_duration(vms[admitted[k]], rates[k], config_);
+      wave_end = std::max(wave_end, a.finish);
+    }
+    ++wave;
+    t = wave_end;
+    out.makespan = std::max(out.makespan, wave_end - now);
+    std::vector<std::size_t> still_pending;
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      if (!taken[p]) {
+        still_pending.push_back(pending[p]);
+      }
+    }
+    pending = std::move(still_pending);
+  }
+  out.wave_count = wave;
+  return out;
+}
+
+Plan EvacuationPlanner::plan(std::size_t src_site, const std::vector<VmToMove>& vms,
+                             double now) const {
+  Plan batched = plan_batched(src_site, vms, now);
+  Plan sequential = plan_sequential(src_site, vms, now);
+  if (sequential.unscheduled < batched.unscheduled ||
+      (sequential.unscheduled == batched.unscheduled &&
+       sequential.makespan < batched.makespan)) {
+    sequential.sequential_fallback = true;
+    return sequential;
+  }
+  return batched;
+}
+
+}  // namespace nm::plan

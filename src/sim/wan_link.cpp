@@ -60,6 +60,17 @@ double WanLink::effective_rate() const {
   return std::min(config_.line_rate.bytes_per_second() * factor_, mathis_rate());
 }
 
+double WanLink::nominal_rate() const {
+  return std::min(config_.line_rate.bytes_per_second(), mathis_rate());
+}
+
+void WanLink::inject_phase(double capacity_factor, Duration rtt) {
+  NM_CHECK(capacity_factor >= 0.0,
+           "WAN link " << name_ << " injected a negative capacity factor");
+  NM_CHECK(!rtt.is_negative(), "WAN link " << name_ << " injected a negative RTT");
+  apply(capacity_factor, rtt);
+}
+
 double WanLink::offer(const FluidResource& /*res*/, double weight, double fair_offer,
                       TimePoint /*now*/) {
   // fair_offer is in flow-rate units; the model rate is a wire rate, so a
@@ -72,9 +83,13 @@ double WanLink::offer(const FluidResource& /*res*/, double weight, double fair_o
 
 void WanLink::apply_phase(std::size_t index) {
   const WanLinkPhase& phase = config_.schedule[index];
-  factor_ = phase.capacity_factor;
-  if (!phase.rtt.is_zero()) {
-    rtt_ = phase.rtt;
+  apply(phase.capacity_factor, phase.rtt);
+}
+
+void WanLink::apply(double capacity_factor, Duration rtt) {
+  factor_ = capacity_factor;
+  if (!rtt.is_zero()) {
+    rtt_ = rtt;
   }
   // Republish through set_capacity on both endpoints even when only the RTT
   // moved: set_capacity unconditionally marks the owning components dirty,

@@ -98,6 +98,19 @@ class WanLink final : public CapPolicy {
   /// min the Mathis ceiling. This is the rate migration estimators should
   /// plan with (Fabric::path_rate reads it).
   [[nodiscard]] double effective_rate() const;
+  /// The rate the link would carry at congestion factor 1 (line rate min
+  /// Mathis at the current RTT). Planners snapshot this as the edge's
+  /// nominal capacity; drivers read effective_rate() live at grant time.
+  [[nodiscard]] double nominal_rate() const;
+  /// True when the current factor partitions the link.
+  [[nodiscard]] bool partitioned() const { return factor_ <= 0.0; }
+
+  /// Applies a congestion change immediately — same semantics as a
+  /// schedule phase firing now (failure injectors partition with factor 0
+  /// and later heal with factor 1; `rtt` zero keeps the current RTT).
+  /// Call from task context only: determinism across worker counts needs
+  /// the injection to sit at a fixed (time, sequence) event-queue slot.
+  void inject_phase(double capacity_factor, Duration rtt = Duration::zero());
 
   // CapPolicy: fold the model into the fair-share offer the endpoint would
   // publish. Called from the serial exchange phase only.
@@ -106,6 +119,7 @@ class WanLink final : public CapPolicy {
 
  private:
   void apply_phase(std::size_t index);
+  void apply(double capacity_factor, Duration rtt);
 
   Simulation* sim_;
   std::string name_;

@@ -3,6 +3,7 @@
 // PCI hotplug operations, and live migration entry points.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -90,8 +91,11 @@ class Host {
   [[nodiscard]] sim::Task device_add(Vm& vm, std::string host_pci_addr, std::string tag);
   /// Hot-detaches device `tag`; a passthrough HCA returns to the host pool.
   [[nodiscard]] sim::Task device_del(Vm& vm, std::string tag);
-  /// Pre-copy live migration of `vm` to `dst`.
-  [[nodiscard]] sim::Task migrate(Vm& vm, Host& dst, MigrationStats* stats = nullptr);
+  /// Pre-copy live migration of `vm` to `dst`. `bandwidth_cap` optionally
+  /// pins this one migration to a planned rate (see MigrationEngine).
+  [[nodiscard]] sim::Task migrate(
+      Vm& vm, Host& dst, MigrationStats* stats = nullptr,
+      double bandwidth_cap = std::numeric_limits<double>::infinity());
 
  private:
   friend class MigrationEngine;

@@ -8,7 +8,8 @@
 
 namespace nm::vmm {
 
-sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats* stats_out) {
+sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats* stats_out,
+                                   double bandwidth_cap) {
   // --- Preconditions (what QEMU would refuse / what the paper works
   // around with SymVirt + hotplug) --------------------------------------
   if (!src.resident(vm)) {
@@ -26,8 +27,12 @@ sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats*
 
   auto& sim = src.simulation();
   const TimePoint t0 = sim.now();
+  // The per-call cap composes with the administrative one (both are hard
+  // ceilings, so the tighter wins everywhere the engine plans or sends).
+  const double max_bandwidth = std::min(config_.max_bandwidth, bandwidth_cap);
   MigrationStats stats;
   stats.in_progress = true;
+  stats.start_at = t0;
   if (stats_out != nullptr) {
     *stats_out = stats;  // live progress for `info migrate`
   }
@@ -43,7 +48,7 @@ sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats*
   // --- Iterative pre-copy ----------------------------------------------
   while (true) {
     ++stats.rounds;
-    co_await drain_dirty(vm, src, dst, stats, stats_out);
+    co_await drain_dirty(vm, src, dst, stats, stats_out, max_bandwidth);
     if (stats_out != nullptr) {
       *stats_out = stats;
     }
@@ -60,7 +65,7 @@ sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats*
     const double path_rate =
         src.eth_fabric().path_rate(src.eth_attachment(), dst.eth_attachment()->address());
     const double est_rate =
-        std::min({config_.max_bandwidth, path_rate,
+        std::min({max_bandwidth, path_rate,
                   config_.use_rdma ? path_rate : config_.thread_send_rate});
     // est_rate can hit 0 on a partitioned WAN path; treat the estimate as
     // unbounded (keep pre-copying — the drain itself stalls until heal)
@@ -84,7 +89,7 @@ sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats*
   if (stats_out != nullptr) {
     *stats_out = stats;  // readers see the blackout start immediately
   }
-  co_await drain_dirty(vm, src, dst, stats, stats_out);
+  co_await drain_dirty(vm, src, dst, stats, stats_out, max_bandwidth);
   mem.stop_dirty_logging();
 
   // Re-home the VM: storage is shared, the virtio NIC re-binds and keeps
@@ -99,6 +104,7 @@ sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats*
   }
   stats.downtime = sim.now() - pause_at;
   stats.total = sim.now() - t0;
+  stats.end_at = sim.now();
   stats.in_progress = false;
 
   NM_LOG_INFO("migration") << vm.name() << ": done in " << stats.total << " ("
@@ -174,7 +180,7 @@ sim::Task MigrationEngine::restore_from_storage(std::shared_ptr<Vm> vm, Host& ds
 bool MigrationEngine::has_image(const Vm& vm) const { return images_.contains(&vm); }
 
 sim::Task MigrationEngine::drain_dirty(Vm& vm, Host& src, Host& dst, MigrationStats& stats,
-                                       MigrationStats* live) {
+                                       MigrationStats* live, double max_bandwidth) {
   auto& mem = vm.memory();
   // Self-migration (Table II's micro-benchmark): a fresh QEMU on the same
   // node receives over loopback — no fabric, but the sender thread still
@@ -209,10 +215,10 @@ sim::Task MigrationEngine::drain_dirty(Vm& vm, Host& src, Host& dst, MigrationSt
     if (loopback) {
       co_await src.node().compute(
           static_cast<double>(wire.count()) /
-          std::min(config_.thread_send_rate, config_.max_bandwidth));
+          std::min(config_.thread_send_rate, max_bandwidth));
     } else {
       net::TransferOptions opts;
-      opts.max_rate = config_.max_bandwidth;
+      opts.max_rate = max_bandwidth;
       if (!config_.use_rdma) {
         opts.max_rate = std::min(opts.max_rate, config_.thread_send_rate);
         // Sending at the cap keeps one core busy.

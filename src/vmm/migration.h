@@ -68,6 +68,11 @@ struct MigrationStats {
   /// starts. A live reader can derive the in-progress pause as
   /// `now - pause_at` while `in_progress && pause_at != origin()`.
   TimePoint pause_at = TimePoint::origin();
+  /// Migration start / completion instants (end_at stays origin() while
+  /// in_progress) — evacuation reports aggregate these into per-VM
+  /// timelines without having to wrap every migrate() call.
+  TimePoint start_at = TimePoint::origin();
+  TimePoint end_at = TimePoint::origin();
 };
 
 class MigrationEngine {
@@ -80,8 +85,13 @@ class MigrationEngine {
   /// Migrates `vm` from `src` to `dst`. Throws OperationError when the
   /// preconditions fail (different shared storage, VMM-bypass device still
   /// attached, VM not resident on src). `stats_out` is optional.
-  [[nodiscard]] sim::Task migrate(Vm& vm, Host& src, Host& dst,
-                                  MigrationStats* stats_out = nullptr);
+  /// `bandwidth_cap` is a per-call rate cap (bytes/s) min'd with the
+  /// engine's max_bandwidth — evacuation planners pin each migration to
+  /// its planned share so concurrent waves cannot oversubscribe a WAN
+  /// edge (and the downtime estimator sees the rate it will actually get).
+  [[nodiscard]] sim::Task migrate(
+      Vm& vm, Host& src, Host& dst, MigrationStats* stats_out = nullptr,
+      double bandwidth_cap = std::numeric_limits<double>::infinity());
 
   /// Checkpoints `vm` to the shared store: the VM is paused, its memory is
   /// scanned (dup pages compress) and the image written out; the VM is
@@ -103,7 +113,7 @@ class MigrationEngine {
   /// an `info migrate`-style reader sees wire progress mid-drain (the
   /// stop-and-copy blackout would otherwise look frozen).
   [[nodiscard]] sim::Task drain_dirty(Vm& vm, Host& src, Host& dst, MigrationStats& stats,
-                                      MigrationStats* live = nullptr);
+                                      MigrationStats* live, double max_bandwidth);
 
   MigrationConfig config_;
   std::map<const Vm*, Bytes> images_;  // checkpointed image sizes

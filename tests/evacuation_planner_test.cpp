@@ -1,0 +1,296 @@
+// Randomized property tests for plan::EvacuationPlanner (the planner is
+// pure arithmetic, so hundreds of random site graphs sweep in
+// milliseconds). Pinned properties, per DESIGN.md §9:
+//
+//   1. Shape: every input VM appears exactly once in the plan,
+//      index-aligned; `unscheduled` counts exactly the wave < 0 entries.
+//   2. Feasibility: within every wave, the planned rates crossing any
+//      edge sum to at most that edge's phase-scheduled capacity at the
+//      wave's grant time; every route edge is alive at grant time and the
+//      route actually connects source to destination; per-stream rates
+//      respect stream_rate_cap; batched waves respect the per-edge and
+//      per-source-host stream limits.
+//   3. plan() is never worse than plan_sequential() — on scheduled-VM
+//      count first, then makespan.
+//   4. Completeness: on a static mesh with enough reachable slots, every
+//      VM is scheduled.
+//   5. Replanning after an edge partition schedules every VM that still
+//      has a reachable destination, and never routes over the dead edge.
+//
+// wave_rates() is additionally pinned max-min: feasible, capped, and
+// maximal (no stream below its cap has headroom on every edge it uses).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "plan/evacuation_planner.h"
+
+namespace nm::plan {
+namespace {
+
+constexpr double kRateEps = 1e-3;  // bytes/s; capacities are O(1e8)
+
+struct Case {
+  SiteGraph graph;
+  std::vector<VmToMove> vms;
+  std::size_t src = 0;
+  PlannerConfig config;
+};
+
+Case random_case(std::mt19937& rng, bool with_schedules) {
+  Case c;
+  std::uniform_real_distribution<double> rate_dist(8e6, 4e8);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  const std::size_t n_sites = 2 + rng() % 6;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    SiteSpec site;
+    site.name = std::to_string(s);  // plain index; GCC 12 -Wrestrict chokes on "s" +
+    site.free_vm_slots = s == c.src ? 0 : static_cast<int>(rng() % 51);
+    c.graph.sites.push_back(site);
+  }
+  // Connected at factor 1: spanning tree + a few extra edges.
+  for (std::size_t s = 1; s < n_sites; ++s) {
+    EdgeSpec e;
+    e.a = rng() % s;
+    e.b = s;
+    e.rate = rate_dist(rng);
+    c.graph.edges.push_back(e);
+  }
+  for (std::size_t k = rng() % n_sites; k > 0; --k) {
+    EdgeSpec e;
+    e.a = rng() % n_sites;
+    e.b = rng() % n_sites;
+    if (e.a == e.b) {
+      continue;
+    }
+    e.rate = rate_dist(rng);
+    c.graph.edges.push_back(e);
+  }
+  if (with_schedules) {
+    const double factors[] = {0.0, 0.25, 0.5, 1.0};
+    for (EdgeSpec& e : c.graph.edges) {
+      if (unit(rng) < 0.5) {
+        continue;
+      }
+      double at = 0.0;
+      for (std::size_t p = 1 + rng() % 3; p > 0; --p) {
+        at += unit(rng) * 120.0;
+        e.schedule.push_back(EdgePhase{at, factors[rng() % 4]});
+      }
+    }
+  }
+
+  const std::size_t n_vms = 1 + rng() % 80;
+  for (std::size_t i = 0; i < n_vms; ++i) {
+    VmToMove vm;
+    vm.name = std::to_string(i);
+    vm.bytes = 64e6 + unit(rng) * 2e9;
+    vm.scan_bytes = vm.bytes * 2.0;
+    vm.src_host = rng() % 8;
+    c.vms.push_back(vm);
+  }
+
+  c.config.max_streams_per_edge = 1 + static_cast<int>(rng() % 8);
+  c.config.max_streams_per_src_host = 1 + static_cast<int>(rng() % 4);
+  c.config.swap_pass = rng() % 2 == 0;
+  c.config.stream_rate_cap = rng() % 2 == 0 ? 162.5e6 : 40e6;
+  return c;
+}
+
+// Slots summed over sites reachable from the source at time `t`.
+int reachable_slots(const SiteGraph& graph, std::size_t src, double t) {
+  int slots = 0;
+  for (std::size_t s = 0; s < graph.sites.size(); ++s) {
+    if (s != src && !graph.route(src, s, t).empty()) {
+      slots += std::max(0, graph.sites[s].free_vm_slots);
+    }
+  }
+  return slots;
+}
+
+// Checks properties 1 and 2 on any plan (batched or sequential).
+void check_shape_and_feasibility(const Case& c, const Plan& plan, const char* label) {
+  ASSERT_EQ(plan.assignments.size(), c.vms.size()) << label;
+  std::size_t unscheduled = 0;
+  std::map<int, std::vector<const Assignment*>> waves;
+  for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+    const Assignment& a = plan.assignments[i];
+    EXPECT_EQ(a.vm, i) << label << ": plan must stay index-aligned";
+    if (a.wave < 0) {
+      ++unscheduled;
+      continue;
+    }
+    EXPECT_LT(a.wave, plan.wave_count) << label;
+    EXPECT_NE(a.dst_site, c.src) << label;
+    EXPECT_LE(a.planned_rate, c.config.stream_rate_cap + kRateEps) << label;
+    EXPECT_GT(a.planned_rate, 0.0) << label;
+    EXPECT_GE(a.start, 0.0) << label;
+    // The route must be a walk from src to dst over edges alive at grant.
+    ASSERT_FALSE(a.route_edges.empty()) << label;
+    std::size_t at = c.src;
+    for (std::size_t e : a.route_edges) {
+      ASSERT_LT(e, c.graph.edges.size()) << label;
+      const EdgeSpec& edge = c.graph.edges[e];
+      EXPECT_GT(edge.capacity_at(a.start), 0.0)
+          << label << ": route uses an edge dead at its own grant time";
+      ASSERT_TRUE(edge.a == at || edge.b == at) << label << ": route is not a walk";
+      at = edge.a == at ? edge.b : edge.a;
+    }
+    EXPECT_EQ(at, a.dst_site) << label << ": route does not end at the destination";
+    waves[a.wave].push_back(&a);
+  }
+  EXPECT_EQ(unscheduled, plan.unscheduled) << label;
+
+  for (const auto& [wave, members] : waves) {
+    // One grant instant per wave; all rate math is pinned to it.
+    const double grant = members.front()->start;
+    std::vector<double> edge_load(c.graph.edges.size(), 0.0);
+    std::vector<int> edge_streams(c.graph.edges.size(), 0);
+    std::map<std::size_t, int> host_streams;
+    for (const Assignment* a : members) {
+      EXPECT_DOUBLE_EQ(a->start, grant) << label << " wave " << wave;
+      for (std::size_t e : a->route_edges) {
+        edge_load[e] += a->planned_rate;
+        ++edge_streams[e];
+      }
+      ++host_streams[c.vms[a->vm].src_host];
+    }
+    for (std::size_t e = 0; e < c.graph.edges.size(); ++e) {
+      EXPECT_LE(edge_load[e], c.graph.edges[e].capacity_at(grant) + kRateEps)
+          << label << ": wave " << wave << " oversubscribes edge " << e;
+    }
+    if (!plan.sequential_fallback) {
+      for (std::size_t e = 0; e < c.graph.edges.size(); ++e) {
+        EXPECT_LE(edge_streams[e], c.config.max_streams_per_edge) << label;
+      }
+      for (const auto& [host, streams] : host_streams) {
+        EXPECT_LE(streams, c.config.max_streams_per_src_host)
+            << label << ": source host " << host;
+      }
+    }
+  }
+}
+
+TEST(EvacuationPlannerProperty, RandomGraphsAreFeasibleAndBeatSequential) {
+  std::mt19937 rng(20260808);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Case c = random_case(rng, /*with_schedules=*/iter % 2 == 1);
+    EvacuationPlanner planner(c.graph, c.config);
+    const Plan batched = planner.plan(c.src, c.vms);
+    const Plan sequential = planner.plan_sequential(c.src, c.vms);
+    ASSERT_NO_FATAL_FAILURE(check_shape_and_feasibility(c, batched, "plan"));
+    ASSERT_NO_FATAL_FAILURE(check_shape_and_feasibility(c, sequential, "sequential"));
+
+    // plan() never loses to the naive baseline.
+    EXPECT_LE(batched.unscheduled, sequential.unscheduled) << "iter " << iter;
+    if (batched.unscheduled == sequential.unscheduled) {
+      EXPECT_LE(batched.makespan, sequential.makespan + 1e-9) << "iter " << iter;
+    }
+
+    // Static mesh with room for everyone: nobody is left behind.
+    const bool static_mesh = iter % 2 == 0;
+    if (static_mesh &&
+        reachable_slots(c.graph, c.src, 0.0) >= static_cast<int>(c.vms.size())) {
+      EXPECT_EQ(batched.unscheduled, 0u) << "iter " << iter;
+      EXPECT_EQ(sequential.unscheduled, 0u) << "iter " << iter;
+    }
+  }
+}
+
+TEST(EvacuationPlannerProperty, ReplanAfterPartitionCoversEveryReachableVm) {
+  std::mt19937 rng(977);
+  int partitions_with_full_coverage = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    Case c = random_case(rng, /*with_schedules=*/false);
+    // Partition one random edge from t=0 — the shape a driver sees when it
+    // replans deferred VMs against the live mesh after a WAN failure.
+    EdgeSpec& dead = c.graph.edges[rng() % c.graph.edges.size()];
+    dead.schedule = {EdgePhase{0.0, 0.0}};
+    const std::size_t dead_index = static_cast<std::size_t>(&dead - c.graph.edges.data());
+
+    EvacuationPlanner planner(c.graph, c.config);
+    const Plan plan = planner.plan(c.src, c.vms);
+    ASSERT_NO_FATAL_FAILURE(check_shape_and_feasibility(c, plan, "replan"));
+    for (const Assignment& a : plan.assignments) {
+      if (a.wave >= 0) {
+        EXPECT_EQ(std::count(a.route_edges.begin(), a.route_edges.end(), dead_index), 0)
+            << "iter " << iter << ": plan routed over the partitioned edge";
+      }
+    }
+    if (reachable_slots(c.graph, c.src, 0.0) >= static_cast<int>(c.vms.size())) {
+      EXPECT_EQ(plan.unscheduled, 0u) << "iter " << iter;
+      ++partitions_with_full_coverage;
+    }
+  }
+  // The generator must actually exercise the interesting regime.
+  EXPECT_GT(partitions_with_full_coverage, 20);
+}
+
+TEST(EvacuationPlannerProperty, WaveRatesAreMaxMin) {
+  std::mt19937 rng(4242);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n_edges = 1 + rng() % 6;
+    std::vector<double> capacity(n_edges);
+    for (double& cap : capacity) {
+      cap = 5e6 + unit(rng) * 3e8;
+    }
+    const std::size_t n_streams = 1 + rng() % 24;
+    std::vector<std::vector<std::size_t>> routes(n_streams);
+    for (auto& route : routes) {
+      for (std::size_t e = 0; e < n_edges; ++e) {
+        if (unit(rng) < 0.4) {
+          route.push_back(e);
+        }
+      }
+      if (route.empty()) {
+        route.push_back(rng() % n_edges);
+      }
+    }
+    PlannerConfig config;
+    config.stream_rate_cap = 20e6 + unit(rng) * 2e8;
+    EvacuationPlanner planner(SiteGraph{}, config);
+    std::vector<const std::vector<std::size_t>*> route_ptrs;
+    for (const auto& route : routes) {
+      route_ptrs.push_back(&route);
+    }
+    const std::vector<double> rates = planner.wave_rates(route_ptrs, capacity);
+
+    ASSERT_EQ(rates.size(), n_streams);
+    std::vector<double> load(n_edges, 0.0);
+    for (std::size_t s = 0; s < n_streams; ++s) {
+      EXPECT_GE(rates[s], 0.0);
+      EXPECT_LE(rates[s], config.stream_rate_cap + kRateEps);
+      for (std::size_t e : routes[s]) {
+        load[e] += rates[s];
+      }
+    }
+    for (std::size_t e = 0; e < n_edges; ++e) {
+      EXPECT_LE(load[e], capacity[e] + kRateEps) << "iter " << iter;
+    }
+    // Maximality: a stream below its cap must be pinned by some saturated
+    // edge on its route — otherwise the allocation left free capacity.
+    for (std::size_t s = 0; s < n_streams; ++s) {
+      if (rates[s] >= config.stream_rate_cap - kRateEps) {
+        continue;
+      }
+      bool pinned = false;
+      for (std::size_t e : routes[s]) {
+        if (load[e] >= capacity[e] - kRateEps) {
+          pinned = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(pinned) << "iter " << iter << " stream " << s
+                          << " has headroom everywhere but was not raised";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nm::plan

@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "core/evacuation_driver.h"
 #include "core/federation.h"
 #include "core/job.h"
 #include "core/ninja.h"
@@ -289,6 +290,112 @@ TEST(FailureInjection, WanRttSpikeDuringMigrationKeepsDowntimeBounded) {
             fed.site_a().eth_host(0).migration_engine().config().max_downtime);
   EXPECT_TRUE(fed.find_host("b:eth0")->resident(*vm));
   EXPECT_FALSE(stats.in_progress);
+  EXPECT_EQ(fed.unconverged_exchange_count(), 0u);
+}
+
+// --- Mesh failures mid-evacuation -------------------------------------------
+
+FederationConfig evac_triangle() {
+  FederationConfig cfg;
+  FederationSiteConfig site;
+  site.testbed.ib_nodes = 0;
+  site.testbed.eth_nodes = 2;
+  site.name = "a";
+  cfg.sites.push_back(site);
+  site.testbed.eth_nodes = 1;
+  site.name = "b";
+  cfg.sites.push_back(site);
+  site.name = "c";
+  cfg.sites.push_back(site);
+  cfg.edges = {{0, 1, {}}, {0, 2, {}}, {1, 2, {}}};  // 1 Gbps, no impairments
+  return cfg;
+}
+
+// Boots `per_host` VMs on each source host with ~0.6 GiB of wire payload.
+std::vector<std::shared_ptr<vmm::Vm>> boot_evac_fleet(Federation& fed, int per_host) {
+  std::vector<std::shared_ptr<vmm::Vm>> vms;
+  for (int h = 0; h < fed.site(0).eth_host_count(); ++h) {
+    for (int v = 0; v < per_host; ++v) {
+      vmm::VmSpec spec;
+      spec.name = "vm-" + std::to_string(h) + "-" + std::to_string(v);
+      spec.memory = Bytes::gib(1);
+      spec.base_os_footprint = Bytes::mib(128);
+      auto vm = fed.site(0).boot_vm(fed.site(0).eth_host(h), spec, /*with_hca=*/false);
+      vm->memory().write_data(Bytes::mib(128), Bytes::mib(512));
+      vms.push_back(std::move(vm));
+    }
+  }
+  fed.settle();
+  return vms;
+}
+
+TEST(FailureInjection, MeshEdgePartitionMidEvacuationStallsWithoutDowntimeThenCompletes) {
+  // Edge a-b is cut 2 s into the evacuation — while wave-1 pre-copies to
+  // site b are mid-chunk — and heals at +200 s. The affected migrations
+  // must freeze (pre-copy stall adds nothing to downtime: the VMs keep
+  // running on the source), and the whole evacuation must finish after
+  // the heal with every blackout still inside max_downtime.
+  Federation fed(evac_triangle());
+  auto vms = boot_evac_fleet(fed, 3);
+
+  MassEvacuation evac(fed, {});
+  EvacuationReport report;
+  fed.sim().spawn(evac.run(&report), "evacuation");
+  const Duration heal_after = Duration::seconds(200.0);
+  fed.sim().spawn([](Federation& f, Duration heal) -> sim::Task {
+    co_await f.sim().delay(Duration::seconds(2.0));
+    f.wan_link(0).inject_phase(0.0);  // partition a-b mid-wave
+    co_await f.sim().delay(heal - Duration::seconds(2.0));
+    f.wan_link(0).inject_phase(1.0);
+  }(fed, heal_after));
+
+  const TimePoint t0 = fed.sim().now();
+  fed.sim().run();
+
+  EXPECT_EQ(report.evacuated, vms.size());
+  // The stall happened: nothing could drain the frozen chunk before the
+  // heal, so the evacuation outlives it.
+  EXPECT_GT(report.makespan(), heal_after);
+  // No spurious downtime from the stall — blackouts stay planned-size.
+  const Duration bound = fed.site(0).eth_host(0).migration_engine().config().max_downtime;
+  for (const VmOutcome& vm : report.vms) {
+    EXPECT_LE(vm.downtime, bound) << vm.vm;
+    EXPECT_GE(vm.done_ns, t0.count_nanos()) << vm.vm;
+  }
+  EXPECT_EQ(fed.unconverged_exchange_count(), 0u);
+}
+
+TEST(FailureInjection, PartitionedEdgeWithDetourReroutesEvacuationThroughThirdSite) {
+  // Edge a-b dies before the first wave grants and never heals. The
+  // drivers' grant-time recompute_routes must steer both the plan and the
+  // fabric onto the a-c-b detour, so site b still absorbs VMs and the
+  // evacuation completes while the direct edge is down.
+  Federation fed(evac_triangle());
+  auto vms = boot_evac_fleet(fed, 3);
+
+  MassEvacuation evac(fed, {});
+  EvacuationReport report;
+  fed.sim().spawn([](Federation& f, MassEvacuation& e, EvacuationReport& r) -> sim::Task {
+    f.wan_link(0).inject_phase(0.0);  // cut a-b before any grant
+    co_await f.sim().delay(Duration::millis(10));
+    co_await e.run(&r);
+  }(fed, evac, report), "evacuation");
+  fed.sim().run();
+
+  EXPECT_EQ(report.evacuated, vms.size());
+  // The mesh routes follow the detour...
+  EXPECT_EQ(fed.route(0, 1).size(), 2u);
+  EXPECT_TRUE(fed.wan_link(0).partitioned());
+  // ...and it was actually used: site b received VMs over it.
+  int landed_on_b = 0;
+  for (const VmOutcome& vm : report.vms) {
+    landed_on_b += vm.dst_host.rfind("b:", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_GT(landed_on_b, 0);
+  const Duration bound = fed.site(0).eth_host(0).migration_engine().config().max_downtime;
+  for (const VmOutcome& vm : report.vms) {
+    EXPECT_LE(vm.downtime, bound) << vm.vm;
+  }
   EXPECT_EQ(fed.unconverged_exchange_count(), 0u);
 }
 

@@ -24,10 +24,12 @@
 #include <limits>
 #include <memory>
 #include <random>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/evacuation_driver.h"
 #include "core/federation.h"
 #include "sim/fluid.h"
 #include "sim/fluid_net.h"
@@ -353,6 +355,235 @@ TEST(WanGolden, ZeroImpairmentLinkMatchesMergedAndReference) {
   }
 }
 
+// --- N-site golden equivalence ----------------------------------------------
+// Full-mesh N-site split: regular resource r lives at site r % N, and a
+// cross-site flow rides the direct WanLink between its two sites (a full
+// mesh keeps every cross flow single-hop, i.e. inside the 4-share
+// exchange envelope the boundary exchange provably solves). Zero
+// impairments, so the merged topology — endpoints as plain resources on
+// one scheduler — and the brute-force reference must agree within 1e-9.
+
+struct NSiteTopo {
+  std::size_t n_sites = 3;
+  std::vector<double> capacity;  // regular resources only
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;  // (i, j), i < j
+  std::vector<double> line;                                // per pair
+  std::vector<FlowDesc> flows;  // res = regular indices; endpoint shares appended
+  // Reference-solver view: regular capacities, then endpoint pair p at
+  // indices regular + 2p (a side) and regular + 2p + 1 (b side).
+  [[nodiscard]] std::size_t endpoint_a(std::size_t p) const { return capacity.size() + 2 * p; }
+  [[nodiscard]] std::size_t endpoint_b(std::size_t p) const {
+    return capacity.size() + 2 * p + 1;
+  }
+};
+
+NSiteTopo random_nsite_topo(std::mt19937& rng, std::size_t n_sites) {
+  std::uniform_real_distribution<double> cap_dist(0.5, 200.0);
+  std::uniform_real_distribution<double> line_dist(5.0, 150.0);
+  std::uniform_real_distribution<double> weight_dist(0.01, 2.0);
+  std::uniform_real_distribution<double> wan_weight_dist(0.25, 1.5);
+  std::uniform_real_distribution<double> flow_cap_dist(0.1, 100.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  NSiteTopo t;
+  t.n_sites = n_sites;
+  for (std::size_t i = 0; i < n_sites; ++i) {
+    for (std::size_t j = i + 1; j < n_sites; ++j) {
+      t.pairs.emplace_back(i, j);
+      t.line.push_back(line_dist(rng));
+    }
+  }
+  const std::size_t r_count = n_sites + rng() % 7;  // >= 1 per site
+  for (std::size_t r = 0; r < r_count; ++r) {
+    t.capacity.push_back(cap_dist(rng));
+  }
+  const std::size_t f_count = 1 + rng() % 24;
+  for (std::size_t f = 0; f < f_count; ++f) {
+    const std::size_t span = 1 + rng() % 2;
+    FlowDesc fd;
+    while (fd.res.size() < span) {
+      const std::size_t r = rng() % r_count;
+      if (std::find(fd.res.begin(), fd.res.end(), r) == fd.res.end()) {
+        fd.res.push_back(r);
+        fd.weight.push_back(weight_dist(rng));
+      }
+    }
+    fd.cap = unit(rng) < 0.4 ? flow_cap_dist(rng) : kUncappedRate;
+    t.flows.push_back(std::move(fd));
+  }
+  // Force flow 0 cross-site so every seed crosses at least one link.
+  t.flows[0].res = {0, 1};
+  t.flows[0].weight = {1.0, 1.0};
+  for (auto& fd : t.flows) {
+    if (fd.res.size() < 2) {
+      continue;
+    }
+    const std::size_t sa = fd.res[0] % n_sites;
+    const std::size_t sb = fd.res[1] % n_sites;
+    if (sa == sb) {
+      continue;
+    }
+    const auto pair = std::make_pair(std::min(sa, sb), std::max(sa, sb));
+    const std::size_t p = static_cast<std::size_t>(
+        std::find(t.pairs.begin(), t.pairs.end(), pair) - t.pairs.begin());
+    const double w = wan_weight_dist(rng);
+    fd.res.push_back(t.endpoint_a(p));
+    fd.weight.push_back(w);
+    fd.res.push_back(t.endpoint_b(p));
+    fd.weight.push_back(w);
+  }
+  return t;
+}
+
+struct MergedTopoN {
+  Simulation sim;
+  FluidScheduler sched{sim};
+  std::vector<std::unique_ptr<FluidResource>> res;  // regular + 2 per pair
+  std::vector<FlowPtr> flows;
+
+  explicit MergedTopoN(const NSiteTopo& t) {
+    for (std::size_t r = 0; r < t.capacity.size(); ++r) {
+      res.push_back(
+          std::make_unique<FluidResource>(sched, "r" + std::to_string(r), t.capacity[r]));
+    }
+    for (std::size_t p = 0; p < t.pairs.size(); ++p) {
+      res.push_back(
+          std::make_unique<FluidResource>(sched, "wa" + std::to_string(p), t.line[p]));
+      res.push_back(
+          std::make_unique<FluidResource>(sched, "wb" + std::to_string(p), t.line[p]));
+    }
+    for (const auto& fd : t.flows) {
+      FlowSpec spec{fd.work, {}, fd.cap, {}};
+      for (std::size_t s = 0; s < fd.res.size(); ++s) {
+        spec.over(*res[fd.res[s]], fd.weight[s]);
+      }
+      flows.push_back(sched.start(std::move(spec)));
+    }
+  }
+};
+
+struct FederatedTopoN {
+  Simulation sim;
+  FluidNet net;
+  std::vector<std::unique_ptr<WanLink>> wans;       // one per pair
+  std::vector<std::unique_ptr<FluidResource>> res;  // regular only
+  std::vector<FlowPtr> flows;
+
+  FederatedTopoN(const NSiteTopo& t, int workers) : net(sim, workers) {
+    for (std::size_t s = 0; s < t.n_sites; ++s) {
+      net.add_domain("site-" + std::to_string(s));
+    }
+    for (std::size_t p = 0; p < t.pairs.size(); ++p) {
+      WanLinkConfig cfg;  // zero impairments: plain boundary pair
+      cfg.line_rate = Bandwidth::bytes_per_sec(t.line[p]);
+      wans.push_back(std::make_unique<WanLink>(
+          sim, net.domain(t.pairs[p].first).scheduler(),
+          net.domain(t.pairs[p].second).scheduler(), "w" + std::to_string(p), cfg));
+    }
+    for (std::size_t r = 0; r < t.capacity.size(); ++r) {
+      res.push_back(std::make_unique<FluidResource>(net.domain(r % t.n_sites).scheduler(),
+                                                    "r" + std::to_string(r), t.capacity[r]));
+    }
+    for (const auto& fd : t.flows) {
+      FlowSpec spec{fd.work, {}, fd.cap, {}};
+      for (std::size_t s = 0; s < fd.res.size(); ++s) {
+        const std::size_t r = fd.res[s];
+        if (r >= t.capacity.size()) {
+          const std::size_t p = (r - t.capacity.size()) / 2;
+          spec.over((r - t.capacity.size()) % 2 == 0 ? wans[p]->a() : wans[p]->b(),
+                    fd.weight[s]);
+        } else {
+          spec.over(*res[r], fd.weight[s]);
+        }
+      }
+      flows.push_back(net.start(std::move(spec)));
+    }
+  }
+};
+
+void check_nsite_rates(MergedTopoN& merged, FederatedTopoN& split, const NSiteTopo& t,
+                       std::uint32_t seed, int step) {
+  std::vector<double> capacity;
+  capacity.reserve(merged.res.size());
+  for (const auto& r : merged.res) {
+    capacity.push_back(r->capacity());
+  }
+  std::vector<RefFlow> ref;
+  ref.reserve(t.flows.size());
+  for (std::size_t f = 0; f < t.flows.size(); ++f) {
+    ref.push_back(RefFlow{t.flows[f].res, t.flows[f].weight, merged.flows[f]->max_rate()});
+  }
+  const auto want = reference_rates(capacity, ref);
+  for (std::size_t f = 0; f < t.flows.size(); ++f) {
+    const double m = merged.flows[f]->current_rate();
+    const double s = split.flows[f]->current_rate();
+    const double tol = 1e-9 * std::max({1.0, std::abs(m), std::abs(s), std::abs(want[f])});
+    EXPECT_NEAR(m, want[f], tol) << "merged vs reference: sites=" << t.n_sites
+                                 << " seed=" << seed << " step=" << step << " flow=" << f;
+    EXPECT_NEAR(s, want[f], tol) << "federated vs reference: sites=" << t.n_sites
+                                 << " seed=" << seed << " step=" << step << " flow=" << f;
+  }
+}
+
+void run_nsite_golden(std::uint32_t seed, std::size_t n_sites) {
+  std::mt19937 rng(seed * 977 + static_cast<std::uint32_t>(n_sites));
+  const NSiteTopo t = random_nsite_topo(rng, n_sites);
+  MergedTopoN merged(t);
+  FederatedTopoN split(t, /*workers=*/0);
+  EXPECT_GT(split.net.boundary_flow_count(), 0u) << "sites=" << n_sites << " seed=" << seed;
+  check_nsite_rates(merged, split, t, seed, /*step=*/-1);
+
+  std::uniform_real_distribution<double> cap_dist(0.5, 200.0);
+  std::uniform_real_distribution<double> flow_cap_dist(0.1, 100.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const int steps = static_cast<int>(rng() % 6);
+  for (int step = 0; step < steps; ++step) {
+    const std::size_t f = rng() % t.flows.size();
+    switch (rng() % 5) {
+      case 0: {
+        const Duration window = Duration::millis(1 + rng() % 100);
+        merged.sim.run_for(window);
+        split.sim.run_for(window);
+        break;
+      }
+      case 1: {
+        const double cap = unit(rng) < 0.3 ? kUncappedRate : flow_cap_dist(rng);
+        merged.flows[f]->set_max_rate(cap);
+        split.flows[f]->set_max_rate(cap);
+        break;
+      }
+      case 2:
+        merged.flows[f]->suspend();
+        split.flows[f]->suspend();
+        break;
+      case 3:
+        merged.flows[f]->resume();
+        split.flows[f]->resume();
+        break;
+      case 4: {
+        const std::size_t r = rng() % t.capacity.size();
+        const double cap = cap_dist(rng);
+        merged.res[r]->set_capacity(cap);
+        split.res[r]->set_capacity(cap);
+        break;
+      }
+    }
+    check_nsite_rates(merged, split, t, seed, step);
+  }
+  EXPECT_EQ(split.net.unconverged_exchange_count(), 0u)
+      << "sites=" << n_sites << " seed=" << seed;
+}
+
+TEST(WanGolden, NSiteFullMeshMatchesMergedAndReference) {
+  for (const std::size_t n_sites : {3u, 4u, 5u}) {
+    for (std::uint32_t seed = 1; seed <= 40; ++seed) {
+      run_nsite_golden(seed, n_sites);
+      if (::testing::Test::HasFailure()) {
+        return;  // first failing (sites, seed) is enough to debug
+      }
+    }
+  }
+}
+
 // --- Model semantics, hand-checkable ----------------------------------------
 
 // rtt 1 s, loss 0.375, mss 10 B => mathis = 10 * sqrt(1.5/0.375) / 1 = 20.
@@ -589,6 +820,141 @@ TEST(WanFederation, CrossSiteMigrationLandsAtSameInstantForEveryWorkerCount) {
     EXPECT_EQ(got.downtime.count_nanos(), base.downtime.count_nanos())
         << "workers=" << workers;
   }
+}
+
+// Regression: the eth address-base dedup and per-edge uplink peering used
+// to assume exactly two testbeds. With three sites on default configs
+// (every address_base = 0), every site must land on its own 2^16 block and
+// every host address must stay globally unique — otherwise a routed
+// destination could shadow a local one and traffic lands on the wrong
+// site.
+TEST(WanFederation, ThreeSiteFederationDoesNotAliasEthAddresses) {
+  FederationConfig cfg;
+  FederationSiteConfig site;
+  site.testbed.ib_nodes = 0;
+  site.testbed.eth_nodes = 2;
+  site.name = "a";
+  cfg.sites.push_back(site);
+  site.name = "b";
+  cfg.sites.push_back(site);
+  site.name = "c";
+  cfg.sites.push_back(site);
+  cfg.edges = {{0, 1, {}}, {0, 2, {}}, {1, 2, {}}};
+  Federation fed(cfg);
+
+  // Dedup re-based the colliding defaults onto distinct 2^16 blocks.
+  std::set<net::FabricAddress> bases;
+  for (const FederationSiteConfig& s : fed.config().sites) {
+    EXPECT_TRUE(bases.insert(s.testbed.eth.address_base).second)
+        << "site " << s.name << " shares an address base";
+    EXPECT_EQ(s.testbed.eth.address_base % (1u << 16), 0u) << "site " << s.name;
+  }
+  // Every host attachment address is globally unique across the mesh.
+  std::set<net::FabricAddress> addresses;
+  for (std::size_t s = 0; s < fed.site_count(); ++s) {
+    for (vmm::Host* host : fed.site(s).all_hosts()) {
+      EXPECT_TRUE(addresses.insert(host->eth_attachment()->address()).second)
+          << host->name() << " aliases another host's address";
+    }
+  }
+  // And cross-site resolution reaches the intended host on every pair.
+  EXPECT_EQ(fed.find_host("c:eth1"), &fed.site(2).eth_host(1));
+  EXPECT_EQ(fed.route(0, 2).size(), 1u);
+  EXPECT_EQ(fed.route(1, 2).size(), 1u);
+}
+
+// --- N-site evacuation timelines: bit-identical across worker counts --------
+
+FederationConfig evac_mesh(int solve_workers) {
+  FederationConfig cfg;
+  TestbedConfig source;
+  source.ib_nodes = 0;
+  source.eth_nodes = 2;
+  TestbedConfig refuge;
+  refuge.ib_nodes = 0;
+  refuge.eth_nodes = 1;
+  cfg.sites = {{"a", source}, {"b", refuge}, {"c", refuge}};
+  // Lossy, time-varying links: the congestion phases land mid-evacuation,
+  // so wave grants read different live rates than the nominal plan.
+  sim::WanLinkConfig wan;
+  wan.line_rate = Bandwidth::gbps(1);
+  wan.rtt = Duration::millis(20);
+  wan.loss = 0.002;
+  wan.schedule.push_back({.at = Duration::seconds(2.0), .capacity_factor = 0.4});
+  wan.schedule.push_back({.at = Duration::seconds(10.0), .capacity_factor = 1.0,
+                          .rtt = Duration::millis(60)});
+  sim::WanLinkConfig calm;
+  calm.line_rate = Bandwidth::gbps(1);
+  calm.rtt = Duration::millis(20);
+  calm.loss = 0.002;
+  cfg.edges = {{0, 1, wan}, {0, 2, calm}, {1, 2, calm}};
+  cfg.solve_workers = solve_workers;
+  return cfg;
+}
+
+struct EvacTimeline {
+  std::int64_t final_ns = -1;
+  std::int64_t makespan_ns = -1;
+  int waves = -1;
+  std::size_t evacuated = 0;
+  std::vector<std::int64_t> stamps;  // per VM: start, done, downtime
+  std::vector<std::string> hosts;
+};
+
+EvacTimeline run_mesh_evacuation(int solve_workers, bool sequential) {
+  Federation fed(evac_mesh(solve_workers));
+  for (int h = 0; h < fed.site(0).eth_host_count(); ++h) {
+    for (int v = 0; v < 3; ++v) {
+      vmm::VmSpec spec;
+      spec.name = "vm-" + std::to_string(h) + "-" + std::to_string(v);
+      spec.memory = Bytes::gib(1);
+      spec.base_os_footprint = Bytes::mib(128);
+      auto vm = fed.site(0).boot_vm(fed.site(0).eth_host(h), spec, /*with_hca=*/false);
+      vm->memory().write_data(Bytes::mib(128), Bytes::mib(96));
+    }
+  }
+  fed.settle();
+
+  EvacuationConfig ecfg;
+  ecfg.sequential = sequential;
+  MassEvacuation evac(fed, ecfg);
+  EvacuationReport report;
+  fed.sim().spawn(evac.run(&report), "evacuation");
+  EvacTimeline tl;
+  tl.final_ns = fed.sim().run().count_nanos();
+  tl.makespan_ns = report.makespan().count_nanos();
+  tl.waves = report.waves;
+  tl.evacuated = report.evacuated;
+  for (const VmOutcome& vm : report.vms) {
+    tl.stamps.push_back(vm.start_ns);
+    tl.stamps.push_back(vm.done_ns);
+    tl.stamps.push_back(vm.downtime.count_nanos());
+    tl.hosts.push_back(vm.dst_host);
+  }
+  EXPECT_EQ(report.evacuated, report.vms.size())
+      << "workers=" << solve_workers << " sequential=" << sequential;
+  EXPECT_EQ(fed.unconverged_exchange_count(), 0u) << "workers=" << solve_workers;
+  return tl;
+}
+
+TEST(WanFederation, MeshEvacuationTimelineBitIdenticalAcrossWorkerCounts) {
+  const EvacTimeline base = run_mesh_evacuation(0, /*sequential=*/false);
+  EXPECT_EQ(base.evacuated, 6u);
+  EXPECT_GT(base.waves, 0);
+  for (const int workers : {1, 2, 4}) {
+    const EvacTimeline got = run_mesh_evacuation(workers, /*sequential=*/false);
+    EXPECT_EQ(got.final_ns, base.final_ns) << "workers=" << workers;
+    EXPECT_EQ(got.makespan_ns, base.makespan_ns) << "workers=" << workers;
+    EXPECT_EQ(got.waves, base.waves) << "workers=" << workers;
+    EXPECT_EQ(got.stamps, base.stamps) << "workers=" << workers;
+    EXPECT_EQ(got.hosts, base.hosts) << "workers=" << workers;
+  }
+  // The planner's concurrent waves beat the one-at-a-time baseline on the
+  // same mesh (the full-size gate lives in examples/mass_evacuation and
+  // bench_scalability sweep 9; this pins the miniature version).
+  const EvacTimeline naive = run_mesh_evacuation(0, /*sequential=*/true);
+  EXPECT_EQ(naive.evacuated, 6u);
+  EXPECT_LT(base.makespan_ns, naive.makespan_ns);
 }
 
 }  // namespace
