@@ -1,0 +1,43 @@
+#include "core/service_episode.h"
+
+#include "util/error.h"
+#include "vmm/host.h"
+#include "vmm/vm.h"
+
+namespace nm::core {
+
+sim::TaskRef ServiceEpisode::start(std::shared_ptr<vmm::Vm> vm, vmm::Host& dst,
+                                   Duration delay) {
+  NM_CHECK(!started_, "ServiceEpisode::start called twice");
+  NM_CHECK(vm != nullptr, "ServiceEpisode::start(nullptr)");
+  started_ = true;
+  ref_ = sim_->spawn(run(std::move(vm), &dst, delay), "service-episode");
+  return ref_;
+}
+
+bool ServiceEpisode::done() const { return ref_.valid() && ref_.done(); }
+
+sim::Task ServiceEpisode::run(std::shared_ptr<vmm::Vm> vm, vmm::Host* dst, Duration delay) {
+  co_await sim_->delay(delay);
+  auto& src = vm->host();  // resolved at fire time, not at scheduling time
+  co_await src.migrate(*vm, *dst, &live_);
+}
+
+ServiceEpisodeReport ServiceEpisode::report() const {
+  NM_CHECK(done(), "ServiceEpisode::report before the episode completed");
+  ServiceEpisodeReport r;
+  r.start_at = live_.start_at;
+  r.pause_at = live_.pause_at;
+  r.end_at = live_.end_at;
+  r.precopy = live_.pause_at - live_.start_at;
+  r.blackout = live_.downtime;
+  r.total = live_.total;
+  return r;
+}
+
+bool ServiceEpisode::downtime_within(Duration max_downtime, double slack) const {
+  NM_CHECK(done(), "ServiceEpisode::downtime_within before the episode completed");
+  return live_.downtime <= max_downtime * slack;
+}
+
+}  // namespace nm::core

@@ -1,0 +1,68 @@
+// Service-aware migration episode runner: schedules one live migration at
+// a chosen instant and keeps the *live* MigrationStats readable for the
+// whole episode, so a request-serving workload (workloads::KvService) can
+// classify every completion against the phase the service was actually in
+// — steady, pre-copy, blackout, post — while the migration is still
+// running. After completion it reports the phase spans and checks the
+// blackout against the engine's max_downtime promise.
+#pragma once
+
+#include <memory>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "util/units.h"
+#include "vmm/migration.h"
+
+namespace nm::vmm {
+class Host;
+class Vm;
+}  // namespace nm::vmm
+
+namespace nm::core {
+
+struct ServiceEpisodeReport {
+  TimePoint start_at;
+  TimePoint pause_at;
+  TimePoint end_at;
+  Duration precopy = Duration::zero();   // start -> pause
+  Duration blackout = Duration::zero();  // stop-and-copy downtime
+  Duration total = Duration::zero();
+};
+
+class ServiceEpisode {
+ public:
+  explicit ServiceEpisode(sim::Simulation& sim) : sim_(&sim) {}
+  ServiceEpisode(const ServiceEpisode&) = delete;
+  ServiceEpisode& operator=(const ServiceEpisode&) = delete;
+
+  /// Schedules `vm`'s migration off its current host to `dst`, starting
+  /// `delay` from now. One episode per object; returns the joinable ref
+  /// (also retained internally for done()/report()).
+  sim::TaskRef start(std::shared_ptr<vmm::Vm> vm, vmm::Host& dst, Duration delay);
+
+  /// The live stats object the migration engine mirrors into per chunk —
+  /// hand this to KvService::observe_migration before the episode starts.
+  [[nodiscard]] const vmm::MigrationStats& live() const { return live_; }
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool done() const;
+
+  /// Phase spans of the completed episode.
+  [[nodiscard]] ServiceEpisodeReport report() const;
+
+  /// True when the measured blackout stayed within the engine's configured
+  /// max_downtime (with `slack` as a multiplicative allowance for the
+  /// final-drain estimate error).
+  [[nodiscard]] bool downtime_within(Duration max_downtime, double slack = 1.0) const;
+
+ private:
+  [[nodiscard]] sim::Task run(std::shared_ptr<vmm::Vm> vm, vmm::Host* dst, Duration delay);
+
+  sim::Simulation* sim_;
+  vmm::MigrationStats live_;
+  sim::TaskRef ref_;
+  bool started_ = false;
+};
+
+}  // namespace nm::core

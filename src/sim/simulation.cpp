@@ -202,6 +202,11 @@ void Simulation::post(Duration delay, EventCallback fn) {
   enqueue(now_ + delay, nullptr, std::move(fn));
 }
 
+void Simulation::post_at(TimePoint at, EventCallback fn) {
+  NM_CHECK(at >= now_, "post_at instant is in the past");
+  enqueue(at, nullptr, std::move(fn));
+}
+
 void Simulation::post_resume(Duration delay, std::coroutine_handle<> h) {
   NM_CHECK(!delay.is_negative(), "negative delay");
   NM_CHECK(h != nullptr, "null coroutine handle");

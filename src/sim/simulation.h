@@ -59,6 +59,12 @@ class Simulation {
   /// so it can own resources that must be released even if the simulation
   /// is destroyed before the entry fires.
   void post(Duration delay, EventCallback fn);
+  /// Schedules a plain callback at the absolute instant `at` (must not be
+  /// in the past). Open-loop workload generators use this to pin a
+  /// pre-drawn arrival sequence to absolute wall-clock instants — far
+  /// enough out, the entries park on the timer wheel, so a whole window of
+  /// arrivals costs no near-term heap sifts.
+  void post_at(TimePoint at, EventCallback fn);
   /// Schedules a coroutine resumption after `delay` (used by awaitables).
   void post_resume(Duration delay, std::coroutine_handle<> h);
 

@@ -8,6 +8,48 @@
 
 namespace nm::vmm {
 
+std::string_view to_string(MigrationPhase phase) {
+  switch (phase) {
+    case MigrationPhase::kSteady:
+      return "steady";
+    case MigrationPhase::kPreCopy:
+      return "pre-copy";
+    case MigrationPhase::kBlackout:
+      return "blackout";
+    case MigrationPhase::kPost:
+      return "post";
+  }
+  return "?";
+}
+
+MigrationPhase MigrationStats::phase_of(TimePoint begin, TimePoint end) const {
+  if (start_at == TimePoint::origin() && !in_progress) {
+    return MigrationPhase::kSteady;  // no episode observed yet
+  }
+  if (pause_at != TimePoint::origin()) {
+    // The blackout interval is [pause_at, pause_at + downtime]; while the
+    // VM is still paused (in_progress with no recorded downtime yet) it is
+    // open-ended, so anything completing now overlaps it.
+    const TimePoint blackout_end =
+        in_progress ? TimePoint::max() : pause_at + downtime;
+    if (end >= pause_at && begin <= blackout_end) {
+      return MigrationPhase::kBlackout;
+    }
+  }
+  // Pre-copy runs from episode start until the pause (or until now while
+  // no pause has happened yet).
+  const TimePoint precopy_end = pause_at != TimePoint::origin() ? pause_at
+                                : in_progress                   ? TimePoint::max()
+                                                                : end_at;
+  if (end >= start_at && begin <= precopy_end) {
+    return MigrationPhase::kPreCopy;
+  }
+  if (!in_progress && end_at != TimePoint::origin() && begin >= end_at) {
+    return MigrationPhase::kPost;
+  }
+  return MigrationPhase::kSteady;
+}
+
 sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats* stats_out,
                                    double bandwidth_cap) {
   // --- Preconditions (what QEMU would refuse / what the paper works

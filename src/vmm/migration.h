@@ -18,6 +18,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <string_view>
 
 #include "sim/task.h"
 #include "util/units.h"
@@ -56,6 +57,19 @@ struct CheckpointStats {
   Duration total = Duration::zero();
 };
 
+/// Which phase of a migration a request (or any interval of service time)
+/// experienced — the key the service layer's per-phase SLO breakdown is
+/// keyed on. kBlackout dominates: any overlap with the stop-and-copy pause
+/// is the user-visible worst case, however long the rest of the interval.
+enum class MigrationPhase {
+  kSteady,    // no overlap with the episode (or no episode yet)
+  kPreCopy,   // overlapped the iterative pre-copy (bandwidth/CPU contention)
+  kBlackout,  // overlapped the stop-and-copy pause
+  kPost,      // began at/after completion (the recovered service)
+};
+inline constexpr int kMigrationPhases = 4;
+[[nodiscard]] std::string_view to_string(MigrationPhase phase);
+
 struct MigrationStats {
   bool in_progress = false;
   int rounds = 0;
@@ -73,6 +87,16 @@ struct MigrationStats {
   /// timelines without having to wrap every migrate() call.
   TimePoint start_at = TimePoint::origin();
   TimePoint end_at = TimePoint::origin();
+
+  /// Classifies the lifetime [begin, end] of one request against this
+  /// episode's phase boundaries, readable mid-episode from the *live*
+  /// stats object (`migrate`'s stats_out is mirrored on every chunk):
+  ///   - overlap with the stop-and-copy pause (still open while the VM is
+  ///     paused)                              -> kBlackout,
+  ///   - else overlap with [start_at, pause)  -> kPreCopy,
+  ///   - else begin at/after end_at           -> kPost,
+  ///   - else (episode not started / interval fully before it) -> kSteady.
+  [[nodiscard]] MigrationPhase phase_of(TimePoint begin, TimePoint end) const;
 };
 
 class MigrationEngine {

@@ -1,0 +1,166 @@
+// LatencyHistogram: exact bin edges, monotone percentiles, associative
+// merge — the properties the per-phase SLO reporting relies on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace nm {
+namespace {
+
+TEST(LatencyHistogram, BinEdgesRoundTripExactly) {
+  // bin_floor is the inverse of bin_index on every bin's lower edge, and
+  // the edges are strictly increasing — no bin is empty or shadowed.
+  for (std::size_t bin = 0; bin < LatencyHistogram::kBins; ++bin) {
+    EXPECT_EQ(LatencyHistogram::bin_index(LatencyHistogram::bin_floor(bin)), bin)
+        << "bin " << bin;
+    if (bin + 1 < LatencyHistogram::kBins) {
+      EXPECT_LT(LatencyHistogram::bin_floor(bin), LatencyHistogram::bin_floor(bin + 1));
+    }
+  }
+}
+
+TEST(LatencyHistogram, ValuesLandInTheirBin) {
+  const std::vector<std::uint64_t> values = {
+      0,  1,  31, 32, 33,  63,  64,  65,  127, 128, 1000, 4095, 4096, 4097,
+      (1ull << 20) - 1, 1ull << 20, (1ull << 40) + 12345, ~0ull};
+  for (const std::uint64_t v : values) {
+    const std::size_t bin = LatencyHistogram::bin_index(v);
+    ASSERT_LT(bin, LatencyHistogram::kBins);
+    EXPECT_LE(LatencyHistogram::bin_floor(bin), v);
+    if (bin + 1 < LatencyHistogram::kBins) {
+      EXPECT_LT(v, LatencyHistogram::bin_floor(bin + 1));
+    }
+  }
+  // Relative bin width stays within 1/32 above the unit-bin region.
+  for (const std::uint64_t v : values) {
+    if (v < LatencyHistogram::kSubBuckets) {
+      continue;
+    }
+    const std::size_t bin = LatencyHistogram::bin_index(v);
+    if (bin + 1 < LatencyHistogram::kBins) {
+      const double lo = static_cast<double>(LatencyHistogram::bin_floor(bin));
+      const double hi = static_cast<double>(LatencyHistogram::bin_floor(bin + 1));
+      EXPECT_LE((hi - lo) / lo, 1.0 / 32.0 + 1e-12);
+    }
+  }
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    h.add_nanos(v);
+  }
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(h.bin_count(v), 1u);
+  }
+  EXPECT_EQ(h.min(), Duration::nanos(0));
+  EXPECT_EQ(h.max(), Duration::nanos(31));
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotoneInQ) {
+  LatencyHistogram h;
+  Rng rng = Rng::stream(7, "histogram-test");
+  for (int i = 0; i < 20000; ++i) {
+    // Long-tailed synthetic latencies spanning ~6 decades.
+    const std::uint64_t ns = 1000 + (rng.next_u64() % 1000) * (rng.next_u64() % 1000) *
+                                        (1 + rng.next_below(1000));
+    h.add_nanos(ns);
+  }
+  Duration prev = Duration::nanos(0);
+  for (int i = 0; i <= 1000; ++i) {
+    const Duration q = h.percentile(static_cast<double>(i) / 1000.0);
+    EXPECT_GE(q, prev) << "q=" << i / 1000.0;
+    prev = q;
+  }
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
+  EXPECT_LE(h.percentile(0.99), h.percentile(0.999));
+  EXPECT_LE(h.percentile(0.999), h.max());
+  // The reported quantile is a bin lower edge: within 1/32 below the true
+  // sample, never above it.
+  EXPECT_LE(h.percentile(1.0), h.max());
+  EXPECT_GE(h.percentile(1.0), h.max() - h.max() / 32.0);
+}
+
+TEST(LatencyHistogram, PercentileMatchesExactRankOnUnitBins) {
+  // Values < 32 ns have exact unit bins, so percentiles are exact there.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 20; ++v) {
+    h.add_nanos(v);
+  }
+  EXPECT_EQ(h.percentile(0.5), Duration::nanos(10));   // rank 10 of 20
+  EXPECT_EQ(h.percentile(0.05), Duration::nanos(1));   // rank 1
+  EXPECT_EQ(h.percentile(1.0), Duration::nanos(20));   // rank 20
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeBinForBin) {
+  Rng rng = Rng::stream(11, "histogram-merge");
+  const auto fill = [&rng](LatencyHistogram& h, int n, std::uint64_t scale) {
+    for (int i = 0; i < n; ++i) {
+      h.add_nanos(rng.next_below(scale) + 1);
+    }
+  };
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram c;
+  fill(a, 500, 1ull << 20);
+  fill(b, 700, 1ull << 30);
+  fill(c, 300, 1ull << 12);
+
+  LatencyHistogram ab_c = a;   // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  LatencyHistogram bc = b;     // a + (b + c)
+  bc.merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+
+  for (std::size_t bin = 0; bin < LatencyHistogram::kBins; ++bin) {
+    ASSERT_EQ(ab_c.bin_count(bin), a_bc.bin_count(bin)) << "bin " << bin;
+  }
+  EXPECT_EQ(ab_c.count(), 1500u);
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_EQ(ab_c.min(), a_bc.min());
+  EXPECT_EQ(ab_c.max(), a_bc.max());
+  EXPECT_EQ(ab_c.mean(), a_bc.mean());
+  EXPECT_EQ(ab_c.digest(), a_bc.digest());
+  EXPECT_LE(ab_c.percentile(0.999), ab_c.max());
+}
+
+TEST(LatencyHistogram, MergeEqualsDirectFeed) {
+  Rng rng = Rng::stream(13, "histogram-feed");
+  LatencyHistogram split_a;
+  LatencyHistogram split_b;
+  LatencyHistogram direct;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t ns = rng.next_below(1ull << 34);
+    direct.add_nanos(ns);
+    (i % 2 == 0 ? split_a : split_b).add_nanos(ns);
+  }
+  split_a.merge(split_b);
+  EXPECT_EQ(split_a.digest(), direct.digest());
+}
+
+TEST(LatencyHistogram, NegativeDurationsClampToZero) {
+  LatencyHistogram h;
+  h.add(Duration::nanos(-5));
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.min(), Duration::nanos(0));
+}
+
+TEST(LatencyHistogram, EmptyHistogramThrows) {
+  LatencyHistogram h;
+  EXPECT_THROW((void)h.percentile(0.5), LogicError);
+  EXPECT_THROW((void)h.max(), LogicError);
+  EXPECT_THROW((void)h.mean(), LogicError);
+  h.add_nanos(1);
+  EXPECT_THROW((void)h.percentile(1.5), LogicError);
+}
+
+}  // namespace
+}  // namespace nm

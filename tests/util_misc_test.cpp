@@ -102,6 +102,39 @@ TEST(Rng, DoubleIsInUnitInterval) {
   EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
 }
 
+TEST(Rng, BoundedDrawsAreUnbiased) {
+  // Regression for the modulo-bias bug: `next_u64() % n` with n = 3 * 2^62
+  // maps *two* u64 ranges onto [0, 2^62) and only one onto the rest, so
+  // P(v < 2^62) comes out 1/2 instead of 1/3. Lemire's bounded rejection
+  // draws uniformly.
+  Rng r = Rng::stream(5, "lemire-bias");
+  const std::uint64_t n = 3ull << 62;
+  int below = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    if (r.next_below(n) < (1ull << 62)) {
+      ++below;
+    }
+  }
+  const double frac = static_cast<double>(below) / samples;
+  EXPECT_NEAR(frac, 1.0 / 3.0, 0.02) << "biased bounded draw (modulo would give ~0.5)";
+}
+
+TEST(Rng, NextBelowPinnedSequence) {
+  // Pins the Lemire-path draw sequence: any change to the bounded-draw
+  // algorithm shifts every consumer's stream and must re-pin this (and be
+  // called out in DESIGN.md, as the modulo->Lemire fix was).
+  Rng r = Rng::stream(2024, "lemire-pin");
+  const std::uint64_t expected[] = {759822348ull, 134985381ull, 333767436ull,
+                                    461967659ull, 63370652ull,  663830585ull,
+                                    378776693ull, 700919987ull};
+  for (const std::uint64_t want : expected) {
+    EXPECT_EQ(r.next_below(1000000007ull), want);
+  }
+  // Degenerate bound: n == 1 never rejects and always returns 0.
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
 TEST(Accumulator, Moments) {
   Accumulator acc;
   for (const double x : {1.0, 2.0, 3.0, 4.0}) {
@@ -119,6 +152,20 @@ TEST(Accumulator, EmptyThrows) {
   EXPECT_THROW((void)acc.mean(), LogicError);
 }
 
+TEST(Accumulator, StddevSurvivesLargeOffsets) {
+  // Regression for catastrophic cancellation: the old E[x^2] - E[x]^2
+  // formula returns 0.0 for these samples (the true variance, 1.25, is far
+  // below one ulp of E[x^2] ~ 1e24). Welford's recurrence keeps full
+  // precision regardless of the offset.
+  Accumulator acc;
+  for (const double x : {1e12 + 0.0, 1e12 + 1.0, 1e12 + 2.0, 1e12 + 3.0}) {
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.stddev(), 1.1180339887, 1e-6);
+  // And the offset itself is untouched.
+  EXPECT_DOUBLE_EQ(acc.mean(), 1e12 + 1.5);
+}
+
 TEST(BestOf, TakesMinimumLikeThePaper) {
   BestOf b;
   b.add(10.5);
@@ -127,6 +174,24 @@ TEST(BestOf, TakesMinimumLikeThePaper) {
   EXPECT_DOUBLE_EQ(b.best(), 9.8);
   EXPECT_NEAR(b.spread(), 0.7, 1e-12);
   EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(BestOf, DirectionSelectsMaximumForThroughput) {
+  // Regression for the direction bug: best-of-N over a *throughput* metric
+  // must take the maximum; the old implementation always took the minimum,
+  // silently reporting the worst run as the best.
+  BestOf b(BestOf::Direction::kLargerIsBetter);
+  b.add(120.0);
+  b.add(150.0);
+  b.add(135.0);
+  EXPECT_DOUBLE_EQ(b.best(), 150.0);
+  EXPECT_NEAR(b.spread(), 30.0, 1e-12);
+  // Default stays smaller-is-better (latency), as every existing call
+  // site assumes.
+  BestOf lat;
+  lat.add(2.0);
+  lat.add(1.0);
+  EXPECT_DOUBLE_EQ(lat.best(), 1.0);
 }
 
 TEST(TextTable, RendersAlignedColumns) {
