@@ -683,7 +683,8 @@ ServiceSloResult run_service_slo(int workers) {
   core::ServiceEpisode episode(testbed.sim());
   service.observe_migration(&episode.live());
   service.start();
-  (void)episode.start(vms[0], testbed.eth_host(2), Duration::millis(500));
+  (void)episode.start(
+      core::EpisodeSpec(vms[0], testbed.eth_host(2)).after(Duration::millis(500)));
 
   const auto start = std::chrono::steady_clock::now();
   const TimePoint end = testbed.sim().run_for(Duration::seconds(23));

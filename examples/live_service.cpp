@@ -13,11 +13,13 @@
 //   $ ./examples/live_service
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/service_episode.h"
 #include "core/testbed.h"
+#include "policy/policies.h"
 #include "util/table.h"
 #include "workloads/kv_service.h"
 
@@ -42,7 +44,7 @@ struct RunResult {
   bool downtime_ok = false;
 };
 
-RunResult run_once(int workers) {
+RunResult run_once(int workers, bool slo_throttle = false) {
   core::TestbedConfig config;
   config.solve_workers = workers;
   // A second (empty) shard forces the SolvePool on even at 0 workers, so
@@ -94,11 +96,21 @@ RunResult run_once(int workers) {
   testbed.settle();
 
   // eth0 is draining: move its loaded server to the spare blade eth4 while
-  // the fleets keep hammering it.
+  // the fleets keep hammering it. The default (static) PolicySet is the
+  // historical behavior; the A/B variant throttles each pre-copy round
+  // against the live pre-copy p99 fed back from the service.
   core::ServiceEpisode episode(testbed.sim());
   service.observe_migration(&episode.live());
   service.start();
-  (void)episode.start(vms[0], testbed.eth_host(kServers), kMigrateAt);
+  core::EpisodeSpec spec(vms[0], testbed.eth_host(kServers));
+  spec.after(kMigrateAt).observe(service.observation_source());
+  if (slo_throttle) {
+    policy::PolicySet policies;
+    policies.use(policy::Hook::kPreCopyRound,
+                 std::make_shared<policy::SloThrottlePolicy>());
+    spec.with(std::move(policies), config.seed);
+  }
+  (void)episode.start(std::move(spec));
 
   testbed.sim().run_for(kWindow + Duration::seconds(30));
 
@@ -195,8 +207,33 @@ int main() {
     }
   }
 
+  // A/B: the same scenario with SloThrottlePolicy on the pre-copy rounds —
+  // the policy sees the live pre-copy p99 through the service's
+  // ObservationSource and backs the migration's bandwidth off when users
+  // hurt. The blackout must stay within the engine's promise (round caps
+  // never apply to the stop-and-copy drain).
+  const RunResult throttled = run_once(0, /*slo_throttle=*/true);
+  const auto& throttled_precopy =
+      throttled.phases[static_cast<int>(vmm::MigrationPhase::kPreCopy)];
+  if (throttled.completed != throttled.generated || throttled.episode_end_ns == 0 ||
+      !throttled.downtime_ok || throttled_precopy.requests == 0) {
+    std::cerr << "FAIL: SLO-throttled episode broke load conservation or the "
+                 "downtime promise\n";
+    ok = false;
+  } else if (ok) {
+    const auto& tp = throttled_precopy;
+    TextTable ab({"policy", "pre-copy p99", "pre-copy misses", "blackout", "total"});
+    ab.add_row({"static", ms(precopy.latency.percentile(0.99)),
+                std::to_string(precopy.deadline_misses), ms(base.report.blackout),
+                ms(base.report.total)});
+    ab.add_row({"slo-throttle", ms(tp.latency.percentile(0.99)),
+                std::to_string(tp.deadline_misses), ms(throttled.report.blackout),
+                ms(throttled.report.total)});
+    std::cout << "\npolicy A/B (kv0 under load):\n" << ab.to_string();
+  }
+
   if (ok) {
-    std::cout << "error budget: " << base.misses << "/" << base.generated
+    std::cout << "\nerror budget: " << base.misses << "/" << base.generated
               << " requests missed the " << ms(Duration::millis(20))
               << " deadline; timeline bit-identical at 0/1/2/4 solve workers\n";
   }

@@ -18,11 +18,13 @@
 // Exits non-zero unless the planner beats the sequential baseline and the
 // p99 per-VM downtime respects the configured bound.
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/evacuation_driver.h"
 #include "core/federation.h"
+#include "policy/policies.h"
 #include "util/table.h"
 
 using namespace nm;
@@ -55,8 +57,10 @@ struct RunResult {
 };
 
 // Boots the fleet, keeps every VM dirtying memory while the evacuation
-// runs, and returns the report.
-RunResult run_mode(bool sequential, int vms_per_host) {
+// runs, and returns the report. `swap_policy` routes the wave grants'
+// in-site host placement through policy::DestinationSwapPolicy instead of
+// the driver's built-in most-free-slots pick.
+RunResult run_mode(bool sequential, int vms_per_host, bool swap_policy = false) {
   core::Federation fed(mesh_config(vms_per_host));
 
   std::vector<std::shared_ptr<vmm::Vm>> vms;
@@ -96,6 +100,10 @@ RunResult run_mode(bool sequential, int vms_per_host) {
   core::EvacuationConfig ecfg;
   ecfg.source_site = 0;
   ecfg.sequential = sequential;
+  if (swap_policy) {
+    ecfg.policies.use(policy::Hook::kWaveGrant,
+                      std::make_shared<policy::DestinationSwapPolicy>());
+  }
   core::MassEvacuation evac(fed, ecfg);
   RunResult result;
   result.fleet = vms.size();
@@ -119,6 +127,10 @@ int main(int argc, char** argv) {
   std::cout << "planner:    " << planned.report.evacuated << "/" << planned.fleet
             << " VMs in " << planned.report.makespan() << " (" << planned.report.waves
             << " waves)\n";
+  RunResult swap = run_mode(/*sequential=*/false, vms_per_host, /*swap_policy=*/true);
+  std::cout << "dst-swap:   " << swap.report.evacuated << "/" << swap.fleet
+            << " VMs in " << swap.report.makespan() << " (" << swap.report.waves
+            << " waves, policy::DestinationSwapPolicy placement)\n";
   RunResult naive = run_mode(/*sequential=*/true, vms_per_host);
   std::cout << "sequential: " << naive.report.evacuated << "/" << naive.fleet << " VMs in "
             << naive.report.makespan() << "\n\n";
@@ -134,6 +146,7 @@ int main(int argc, char** argv) {
                    TextTable::num(r.downtime_max().to_seconds() * 1e3, 2) + " ms"});
   };
   row("planner", planned.report);
+  row("dst-swap", swap.report);
   row("sequential", naive.report);
   std::cout << table.to_string();
   std::cout << "\nspeedup: " << TextTable::num(naive.report.makespan().to_seconds() /
@@ -142,7 +155,8 @@ int main(int argc, char** argv) {
             << "x, downtime bound " << bound << " per VM\n";
 
   bool ok = true;
-  if (planned.report.evacuated != planned.fleet || naive.report.evacuated != naive.fleet) {
+  if (planned.report.evacuated != planned.fleet || naive.report.evacuated != naive.fleet ||
+      swap.report.evacuated != swap.fleet) {
     std::cout << "FAIL: not every VM was evacuated\n";
     ok = false;
   }
@@ -150,8 +164,13 @@ int main(int argc, char** argv) {
     std::cout << "FAIL: planner makespan is not strictly below the sequential baseline\n";
     ok = false;
   }
-  if (planned.report.downtime_percentile(0.99) > bound) {
+  if (planned.report.downtime_percentile(0.99) > bound ||
+      swap.report.downtime_percentile(0.99) > bound) {
     std::cout << "FAIL: p99 downtime exceeds the configured max_downtime\n";
+    ok = false;
+  }
+  if (swap.report.makespan() >= naive.report.makespan()) {
+    std::cout << "FAIL: dst-swap placement lost the planner's win over sequential\n";
     ok = false;
   }
   return ok ? 0 : 1;

@@ -39,10 +39,11 @@ Duration EvacuationReport::downtime_max() const {
 }
 
 MassEvacuation::MassEvacuation(Federation& fed, EvacuationConfig config)
-    : fed_(&fed), config_(config) {
+    : fed_(&fed), config_(std::move(config)) {
   NM_CHECK(config_.source_site < fed.site_count(),
            "evacuation source site " << config_.source_site << " out of range");
   NM_CHECK(config_.dst_slots_per_host > 0, "evacuation needs >= 1 slot per destination host");
+  config_.policies.bind_seed(config_.seed);
 }
 
 plan::SiteGraph MassEvacuation::current_graph(bool nominal) const {
@@ -141,12 +142,75 @@ sim::Task MassEvacuation::grant_wave(std::vector<Pending> members, int wave_inde
   }
   const std::vector<double> rates = rate_engine.wave_rates(route_ptrs, caps);
 
+  // kWaveGrant: ask the placement policy once per destination site for an
+  // in-site host assignment (the site itself was fixed by the planner).
+  // An empty assignment keeps the driver's own most-free-slots pick, so
+  // the default StaticPolicy reproduces the historical placement
+  // byte-for-byte. A non-empty one maps the site's members, in wave
+  // order, to candidate host indices.
+  std::vector<std::vector<int>> site_assignment(hosts_by_site_.size());
+  std::vector<std::size_t> site_cursor(hosts_by_site_.size(), 0);
+  std::vector<char> site_decided(hosts_by_site_.size(), 0);
+  for (const Pending& member : runnable) {
+    const std::size_t site = member.dst_site;
+    if (site_decided[site] != 0) {
+      continue;
+    }
+    site_decided[site] = 1;
+    std::size_t site_vms = 0;
+    for (const Pending& other : runnable) {
+      site_vms += other.dst_site == site ? 1 : 0;
+    }
+    const auto& hosts = hosts_by_site_[site];
+    const auto& reserved = reserved_by_site_[site];
+    policy::Observation obs;
+    obs.now = sim.now();
+    obs.vm_count = site_vms;
+    obs.sites = &live;
+    obs.candidates.reserve(hosts.size());
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      policy::HostCandidate cand;
+      cand.name = hosts[h]->name();
+      cand.resident_vms = static_cast<int>(hosts[h]->vms().size());
+      cand.free_slots =
+          std::max(0, config_.dst_slots_per_host - cand.resident_vms - reserved[h]);
+      obs.candidates.push_back(std::move(cand));
+    }
+    const policy::Action action = config_.policies.decide(policy::Hook::kWaveGrant, obs);
+    if (!action.assignment.empty()) {
+      site_assignment[site] = policy::resolve_assignment(
+          action, site_vms, hosts.size(),
+          "kWaveGrant on site " + std::string(fed_->site_name(site)));
+    }
+  }
+
   std::vector<sim::TaskRef> refs;
   std::vector<std::pair<std::size_t, std::size_t>> placements;  // (dst_site, host idx)
   refs.reserve(runnable.size());
   for (std::size_t k = 0; k < runnable.size(); ++k) {
     const Pending& member = runnable[k];
-    auto [dst, host_index] = pick_dst_host(member.dst_site);
+    vmm::Host* dst = nullptr;
+    std::size_t host_index = 0;
+    if (!site_assignment[member.dst_site].empty()) {
+      // Policy placement: honor the assignment but keep the legacy slot
+      // accounting (reserve now, release when the migration lands).
+      auto& hosts = hosts_by_site_[member.dst_site];
+      auto& reserved = reserved_by_site_[member.dst_site];
+      host_index = static_cast<std::size_t>(
+          site_assignment[member.dst_site][site_cursor[member.dst_site]++]);
+      const int free = config_.dst_slots_per_host -
+                       static_cast<int>(hosts[host_index]->vms().size()) -
+                       reserved[host_index];
+      if (free > 0) {
+        dst = hosts[host_index];
+        ++reserved[host_index];
+      }
+      NM_CHECK(dst != nullptr, "kWaveGrant assigned VM " << vms_[member.vm_index]->name()
+                                                         << " to full host "
+                                                         << hosts[host_index]->name());
+    } else {
+      std::tie(dst, host_index) = pick_dst_host(member.dst_site);
+    }
     NM_CHECK(dst != nullptr, "evacuation wave " << wave_index << " has no free slot on site "
                                                 << fed_->site_name(member.dst_site));
     placements.emplace_back(member.dst_site, host_index);

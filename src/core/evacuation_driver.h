@@ -27,6 +27,7 @@
 
 #include "core/federation.h"
 #include "plan/evacuation_planner.h"
+#include "policy/policy.h"
 #include "sim/task.h"
 
 namespace nm::core {
@@ -43,6 +44,12 @@ struct EvacuationConfig {
   Duration retry_period = Duration::seconds(5);
   /// Execute the naive-sequential baseline instead of the batched plan.
   bool sequential = false;
+  /// Decision plug-ins: the kWaveGrant hook assigns destination *hosts*
+  /// within each wave member's planned destination site. The default
+  /// (static) set keeps the driver's own most-free-slots pick.
+  policy::PolicySet policies;
+  /// Seeds the policies' Rng streams.
+  std::uint64_t seed = 0;
 };
 
 struct VmOutcome {

@@ -25,7 +25,12 @@ MpiJob::MpiJob(Testbed& testbed, JobConfig config)
       runtime_->add_rank(*guests_.back());
     }
   }
-  ninja_ = std::make_unique<NinjaMigrator>(testbed.sim(), *runtime_, scheduler_.resolver());
+  NinjaConfig ninja_config;
+  ninja_config.resolver = scheduler_.resolver();
+  ninja_config.policies = config_.policies;
+  ninja_config.source = config_.observation_source;
+  ninja_config.seed = testbed.config().seed;
+  ninja_ = std::make_unique<NinjaMigrator>(testbed.sim(), *runtime_, std::move(ninja_config));
 }
 
 guest::GuestOs& MpiJob::guest_os(int vm_index) {

@@ -28,6 +28,10 @@ struct JobConfig {
   bool with_hca = true;
   vmm::VmSpec vm_template;  // `name` is overwritten per VM
   mpi::MpiOptions mpi;
+  /// Decision plug-ins for the job's Ninja episodes (default = static =
+  /// the historical behavior) and the observation wiring that feeds them.
+  policy::PolicySet policies;
+  policy::ObservationSource observation_source;
 
   JobConfig() {
     vm_template.vcpus = 8.0;

@@ -1,5 +1,7 @@
 #include "core/ninja.h"
 
+#include <algorithm>
+
 #include "mpi/cr.h"
 #include "util/log.h"
 
@@ -14,7 +16,9 @@ namespace {
 // Keeping one body is what guarantees the two paths never drift again —
 // the generic episode used to skip ctl.quit() and the timeline spans.
 sim::Task run_windows(sim::Simulation& sim, symvirt::Controller& ctl, const MigrationPlan& plan,
-                      vmm::Monitor::HostResolver& resolver, NinjaStats& stats, TimePoint t0) {
+                      const std::vector<std::string>& destinations,
+                      const vmm::Monitor::HostResolver& resolver, NinjaStats& stats,
+                      TimePoint t0) {
   co_await ctl.wait_all();
   stats.coordination = sim.now() - t0;
   stats.timeline.add_span("coordination", t0, sim.now());
@@ -45,9 +49,9 @@ sim::Task run_windows(sim::Simulation& sim, symvirt::Controller& ctl, const Migr
     std::vector<sim::TaskRef> refs;
     for (std::size_t i = 0; i < plan.vms.size(); ++i) {
       auto& vm = plan.vms[i];
-      vmm::Host* dst = resolver(plan.destinations[i % plan.destinations.size()]);
-      NM_CHECK(dst != nullptr, "unknown destination " << plan.destinations[i %
-                                                             plan.destinations.size()]);
+      vmm::Host* dst = resolver(destinations[i % destinations.size()]);
+      NM_CHECK(dst != nullptr,
+               "unknown destination " << destinations[i % destinations.size()]);
       refs.push_back(sim.spawn(
           [](std::shared_ptr<vmm::Vm> v, vmm::Host* destination) -> sim::Task {
             auto& engine = v->host().migration_engine();
@@ -60,7 +64,7 @@ sim::Task run_windows(sim::Simulation& sim, symvirt::Controller& ctl, const Migr
     co_await sim::join_all(std::move(refs));
     ctl.signal();
   } else {
-    co_await ctl.migration(plan.destinations);  // signals the VMs itself
+    co_await ctl.migration(destinations);  // signals the VMs itself
     for (std::size_t i = 0; i < plan.vms.size(); ++i) {
       stats.per_vm.push_back(ctl.agent(i).monitor().last_migration());
     }
@@ -81,12 +85,76 @@ sim::Task run_windows(sim::Simulation& sim, symvirt::Controller& ctl, const Migr
   ctl.quit();
 }
 
+// The kEpisodeStart hook: asks the policy whether/where to migrate, looping
+// on deferral at clocked instants, then expands the plan's candidate list
+// into one destination name per VM. StaticPolicy's empty assignment keeps
+// the historical `destinations[i % size]` round-robin.
+sim::Task episode_start_hook(sim::Simulation& sim, const policy::PolicySet& policies,
+                             const policy::ObservationSource& source, const MigrationPlan& plan,
+                             const vmm::Monitor::HostResolver& resolver,
+                             std::vector<std::string>& destinations_out) {
+  auto observe = [&] {
+    policy::Observation obs;
+    obs.now = sim.now();
+    if (source.slo) {
+      obs.slo = source.slo();
+    }
+    obs.vm_count = plan.vms.size();
+    obs.candidates.reserve(plan.destinations.size());
+    for (const auto& name : plan.destinations) {
+      policy::HostCandidate cand;
+      cand.name = name;
+      // Unresolvable names stay a candidate with zero residents — the
+      // legacy paths report unknown destinations themselves, with better
+      // context.
+      if (vmm::Host* host = resolver ? resolver(name) : nullptr) {
+        cand.resident_vms = static_cast<int>(host->vms().size());
+      }
+      obs.candidates.push_back(std::move(cand));
+    }
+    return obs;
+  };
+  policy::Action action = policies.decide(policy::Hook::kEpisodeStart, observe());
+  while (action.defer) {
+    co_await sim.delay(action.defer_for > Duration::zero() ? action.defer_for
+                                                           : Duration::millis(100));
+    action = policies.decide(policy::Hook::kEpisodeStart, observe());
+  }
+  const auto picks = policy::resolve_assignment(action, plan.vms.size(),
+                                                plan.destinations.size(), "ninja episode");
+  destinations_out.clear();
+  destinations_out.reserve(picks.size());
+  for (const int c : picks) {
+    destinations_out.push_back(plan.destinations[static_cast<std::size_t>(c)]);
+  }
+}
+
+// Episode-wide migration control block: describes the engine configuration
+// the policies will observe (first VM's source host; episodes migrate VMs
+// booted with one shared engine config).
+vmm::MigrationControl make_episode_control(const policy::PolicySet& policies,
+                                           const policy::ObservationSource& source,
+                                           const MigrationPlan& plan) {
+  const auto& mig = plan.vms.front()->host().migration_engine().config();
+  const double line_rate =
+      mig.use_rdma ? mig.max_bandwidth : std::min(mig.thread_send_rate, mig.max_bandwidth);
+  return policy::make_migration_control(policies, source, mig.max_downtime, line_rate);
+}
+
 }  // namespace
+
+NinjaMigrator::NinjaMigrator(sim::Simulation& sim, mpi::MpiRuntime& runtime, NinjaConfig config)
+    : sim_(&sim), runtime_(&runtime), config_(std::move(config)),
+      coordinator_(config_.timing) {
+  NM_CHECK(static_cast<bool>(config_.resolver), "NinjaConfig needs a host resolver");
+  config_.policies.bind_seed(config_.seed);
+}
 
 NinjaMigrator::NinjaMigrator(sim::Simulation& sim, mpi::MpiRuntime& runtime,
                              vmm::Monitor::HostResolver resolver,
                              symvirt::CoordinatorTiming timing)
-    : sim_(&sim), runtime_(&runtime), resolver_(std::move(resolver)), coordinator_(timing) {}
+    : NinjaMigrator(sim, runtime,
+                    NinjaConfig{.resolver = std::move(resolver), .timing = timing}) {}
 
 void NinjaMigrator::install_coordinator() { coordinator_.install(*runtime_); }
 
@@ -106,15 +174,26 @@ sim::Task NinjaMigrator::execute(MigrationPlan plan, NinjaStats* stats_out) {
                           }()
                        << "}" << (plan.attach_host_pci.empty() ? " (fallback)" : " (recovery)");
 
+  // 0) The kEpisodeStart policy may defer the trigger and picks each VM's
+  //    destination from the plan's candidates (StaticPolicy = the legacy
+  //    round-robin, immediately).
+  std::vector<std::string> destinations;
+  co_await episode_start_hook(*sim_, config_.policies, config_.source, plan,
+                              config_.resolver, destinations);
+
   // 1) The cloud scheduler delivers the trigger to the MPI runtime: the
   //    CRCP quiesces the job and every rank's SymVirt coordinator parks
   //    the VM in window A.
   const auto generation = runtime_->cr().request();
 
   // 2)–4) The three windows (detach → migrate → re-attach), shared with
-  //    the generic episode.
-  symvirt::Controller ctl(*sim_, plan.vms, plan.ranks_per_vm, resolver_);
-  co_await run_windows(*sim_, ctl, plan, resolver_, stats, t0);
+  //    the generic episode. Per-round and pause decisions route through
+  //    the policy control block installed on every agent's monitor.
+  symvirt::Controller ctl(*sim_, plan.vms, plan.ranks_per_vm, config_.resolver);
+  const vmm::MigrationControl control =
+      make_episode_control(config_.policies, config_.source, plan);
+  ctl.set_migration_control(&control);
+  co_await run_windows(*sim_, ctl, plan, destinations, config_.resolver, stats, t0);
 
   // 5) Guest side finishes: confirm, link-up wait, BTL reconstruction.
   const TimePoint linkup_start = sim_->now();
@@ -134,12 +213,16 @@ sim::Task NinjaMigrator::execute(MigrationPlan plan, NinjaStats* stats_out) {
 sim::Task run_generic_episode(
     sim::Simulation& sim,
     const std::vector<std::shared_ptr<symvirt::GenericCoordinator>>& coordinators,
-    MigrationPlan plan, vmm::Monitor::HostResolver resolver, NinjaStats* stats_out) {
+    MigrationPlan plan, vmm::Monitor::HostResolver resolver, NinjaStats* stats_out,
+    policy::PolicySet policies, policy::ObservationSource source, std::uint64_t seed) {
   NM_CHECK(!coordinators.empty(), "no coordinators");
   NM_CHECK(coordinators.size() == plan.vms.size(),
            "one GenericCoordinator per VM is required");
   NinjaStats stats;
   const TimePoint t0 = sim.now();
+  policies.bind_seed(seed);
+  std::vector<std::string> destinations;
+  co_await episode_start_hook(sim, policies, source, plan, resolver, destinations);
   std::vector<std::uint64_t> generations;
   generations.reserve(coordinators.size());
   for (const auto& coord : coordinators) {
@@ -150,7 +233,9 @@ sim::Task run_generic_episode(
   // The same three windows as the MPI path — including ctl.quit() and the
   // timeline spans, which this path used to skip.
   symvirt::Controller ctl(sim, plan.vms, plan.ranks_per_vm, resolver);
-  co_await run_windows(sim, ctl, plan, resolver, stats, t0);
+  const vmm::MigrationControl control = make_episode_control(policies, source, plan);
+  ctl.set_migration_control(&control);
+  co_await run_windows(sim, ctl, plan, destinations, resolver, stats, t0);
 
   // Guest side finishes: each coordinator confirms independently (no CRCP
   // — the apps resume through their own resume callbacks).

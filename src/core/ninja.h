@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/testbed.h"
+#include "policy/policy.h"
 #include "util/timeline.h"
 #include "mpi/runtime.h"
 #include "symvirt/controller.h"
@@ -29,8 +30,10 @@ namespace nm::core {
 /// What the cloud scheduler hands Ninja for one migration episode.
 struct MigrationPlan {
   std::vector<std::shared_ptr<vmm::Vm>> vms;
-  /// Destination host names; VM i goes to destinations[i % size]
-  /// (fewer hosts than VMs = server consolidation).
+  /// Destination host *candidates*. The kEpisodeStart policy assigns each
+  /// VM a candidate; StaticPolicy (the default) reproduces the historical
+  /// round-robin `destinations[i % size]` expansion (fewer hosts than VMs
+  /// = server consolidation).
   std::vector<std::string> destinations;
   /// Hot-detach this device tag in window A when present on the VMs.
   std::string hca_tag = "vf0";
@@ -69,17 +72,47 @@ struct NinjaStats {
   }
 };
 
+/// Everything a NinjaMigrator is built from (the PolicySet-bearing
+/// config, mirroring the FlowSpec idiom): the cloud scheduler's name
+/// resolver, coordinator timings, and the decision plug-ins consulted at
+/// the episode's clocked hook points. A default-constructed `policies` is
+/// StaticPolicy everywhere — the legacy behavior, bit for bit.
+struct NinjaConfig {
+  /// Maps destination host names (the cloud scheduler's host list) to VMM
+  /// hosts. Required.
+  vmm::Monitor::HostResolver resolver;
+  symvirt::CoordinatorTiming timing = {};
+  /// kEpisodeStart picks destinations / defers; kPreCopyRound and
+  /// kPauseDecision steer each VM's migration loop.
+  policy::PolicySet policies;
+  /// Fills the SLO half of each Observation (null members are fine).
+  policy::ObservationSource source;
+  /// Seeds the policies' named Rng streams (testbed seed, normally).
+  std::uint64_t seed = 0;
+};
+
 class NinjaMigrator {
  public:
-  /// `resolver` maps destination host names (the cloud scheduler's host
-  /// list) to VMM hosts.
+  NinjaMigrator(sim::Simulation& sim, mpi::MpiRuntime& runtime, NinjaConfig config);
+
+  /// Deprecated shim (one PR): forwards to the NinjaConfig constructor
+  /// with default (static) policies.
+  [[deprecated("build a NinjaConfig{resolver, timing, policies, ...} instead")]]
   NinjaMigrator(sim::Simulation& sim, mpi::MpiRuntime& runtime,
                 vmm::Monitor::HostResolver resolver,
                 symvirt::CoordinatorTiming timing = {});
 
+  /// Compile guard for near-misses of the removed signature: anything
+  /// after the timing argument can only be policy state, which belongs in
+  /// NinjaConfig.
+  template <typename... Args>
+  NinjaMigrator(sim::Simulation&, mpi::MpiRuntime&, vmm::Monitor::HostResolver,
+                symvirt::CoordinatorTiming, Args&&...) = delete;
+
   /// Installs the SymVirt coordinator as the job's SELF callbacks.
   void install_coordinator();
   [[nodiscard]] symvirt::Coordinator& coordinator() { return coordinator_; }
+  [[nodiscard]] const NinjaConfig& config() const { return config_; }
 
   /// Runs one full Ninja episode (fallback or recovery, depending on
   /// whether `plan.attach_host_pci` is set). Completes when the job has
@@ -89,18 +122,21 @@ class NinjaMigrator {
  private:
   sim::Simulation* sim_;
   mpi::MpiRuntime* runtime_;
-  vmm::Monitor::HostResolver resolver_;
+  NinjaConfig config_;
   symvirt::Coordinator coordinator_;
 };
 
 /// Runs one Ninja episode for a *non-MPI* application coordinated through
 /// symvirt::GenericCoordinator (one per VM; the paper's §VII future work).
 /// Each coordinator must already have callbacks installed and its app must
-/// call service_point() regularly.
+/// call service_point() regularly. `policies`/`source`/`seed` plug the
+/// same hook points as NinjaConfig; the defaults are the legacy behavior.
 [[nodiscard]] sim::Task run_generic_episode(
     sim::Simulation& sim,
     const std::vector<std::shared_ptr<symvirt::GenericCoordinator>>& coordinators,
-    MigrationPlan plan, vmm::Monitor::HostResolver resolver, NinjaStats* stats = nullptr);
+    MigrationPlan plan, vmm::Monitor::HostResolver resolver, NinjaStats* stats = nullptr,
+    policy::PolicySet policies = {}, policy::ObservationSource source = {},
+    std::uint64_t seed = 0);
 
 /// The cloud scheduler: owns placement knowledge (which hosts form the
 /// InfiniBand and Ethernet clusters, where the HCAs sit) and builds

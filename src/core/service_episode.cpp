@@ -1,26 +1,77 @@
 #include "core/service_episode.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/error.h"
 #include "vmm/host.h"
 #include "vmm/vm.h"
 
 namespace nm::core {
 
+sim::TaskRef ServiceEpisode::start(EpisodeSpec spec) {
+  // Reuse is fine once the previous episode finished; mid-flight restarts
+  // would corrupt live_ under the service's feet.
+  NM_CHECK(!started_ || done(),
+           "ServiceEpisode::start while a previous episode is still in flight");
+  NM_CHECK(spec.vm != nullptr, "ServiceEpisode::start(nullptr)");
+  NM_CHECK(!spec.candidates.empty(), "EpisodeSpec has no destination");
+  for (vmm::Host* host : spec.candidates) {
+    NM_CHECK(host != nullptr, "EpisodeSpec has a null destination candidate");
+  }
+  live_ = vmm::MigrationStats{};  // fresh phase boundaries for observers
+  started_ = true;
+  spec.policies.bind_seed(spec.seed);
+  ref_ = sim_->spawn(run(std::move(spec)), "service-episode");
+  return ref_;
+}
+
 sim::TaskRef ServiceEpisode::start(std::shared_ptr<vmm::Vm> vm, vmm::Host& dst,
                                    Duration delay) {
-  NM_CHECK(!started_, "ServiceEpisode::start called twice");
-  NM_CHECK(vm != nullptr, "ServiceEpisode::start(nullptr)");
-  started_ = true;
-  ref_ = sim_->spawn(run(std::move(vm), &dst, delay), "service-episode");
-  return ref_;
+  return start(EpisodeSpec(std::move(vm), dst).after(delay));
 }
 
 bool ServiceEpisode::done() const { return ref_.valid() && ref_.done(); }
 
-sim::Task ServiceEpisode::run(std::shared_ptr<vmm::Vm> vm, vmm::Host* dst, Duration delay) {
-  co_await sim_->delay(delay);
-  auto& src = vm->host();  // resolved at fire time, not at scheduling time
-  co_await src.migrate(*vm, *dst, &live_);
+sim::Task ServiceEpisode::run(EpisodeSpec spec) {
+  co_await sim_->delay(spec.delay);
+
+  // kEpisodeStart: fire-or-defer, and the destination pick among the
+  // spec's candidates (StaticPolicy: fire now, keep the primary).
+  auto observe = [this, &spec] {
+    policy::Observation obs;
+    obs.now = sim_->now();
+    if (spec.source.slo) {
+      obs.slo = spec.source.slo();
+    }
+    obs.vm_count = 1;
+    obs.candidates.reserve(spec.candidates.size());
+    for (const vmm::Host* host : spec.candidates) {
+      policy::HostCandidate cand;
+      cand.name = host->name();
+      cand.resident_vms = static_cast<int>(host->vms().size());
+      obs.candidates.push_back(std::move(cand));
+    }
+    return obs;
+  };
+  policy::Action action = spec.policies.decide(policy::Hook::kEpisodeStart, observe());
+  while (action.defer) {
+    co_await sim_->delay(action.defer_for > Duration::zero() ? action.defer_for
+                                                             : Duration::millis(100));
+    action = spec.policies.decide(policy::Hook::kEpisodeStart, observe());
+  }
+  const auto picks = policy::resolve_assignment(action, /*vm_count=*/1,
+                                                spec.candidates.size(), "service episode");
+  vmm::Host* dst = spec.candidates[static_cast<std::size_t>(picks.front())];
+
+  auto& src = spec.vm->host();  // resolved at fire time, not scheduling time
+  const auto& mig = src.migration_engine().config();
+  const double line_rate =
+      mig.use_rdma ? mig.max_bandwidth : std::min(mig.thread_send_rate, mig.max_bandwidth);
+  const vmm::MigrationControl control = policy::make_migration_control(
+      spec.policies, spec.source, mig.max_downtime, line_rate);
+  co_await src.migrate(*spec.vm, *dst, &live_,
+                       std::numeric_limits<double>::infinity(), &control);
 }
 
 ServiceEpisodeReport ServiceEpisode::report() const {

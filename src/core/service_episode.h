@@ -5,10 +5,17 @@
 // — steady, pre-copy, blackout, post — while the migration is still
 // running. After completion it reports the phase spans and checks the
 // blackout against the engine's max_downtime promise.
+//
+// Decisions (when to fire, which destination, per-round throttling, the
+// pause instant) route through a policy::PolicySet carried by the
+// EpisodeSpec; the default set is StaticPolicy everywhere, which is the
+// historical behavior bit for bit.
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "policy/policy.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 #include "util/units.h"
@@ -30,16 +37,70 @@ struct ServiceEpisodeReport {
   Duration total = Duration::zero();
 };
 
+/// Everything one episode is built from (the FlowSpec idiom): the VM, its
+/// primary destination, the firing delay, optional alternate destinations
+/// for the placement policy to choose among, and the decision plug-ins.
+struct EpisodeSpec {
+  EpisodeSpec(std::shared_ptr<vmm::Vm> vm, vmm::Host& destination)
+      : vm(std::move(vm)) {
+    candidates.push_back(&destination);
+  }
+
+  /// Fire `d` after start() (default: immediately).
+  EpisodeSpec& after(Duration d) {
+    delay = d;
+    return *this;
+  }
+  /// Adds an alternate destination the kEpisodeStart policy may pick
+  /// instead of the primary (StaticPolicy always keeps the primary).
+  EpisodeSpec& or_to(vmm::Host& alternate) {
+    candidates.push_back(&alternate);
+    return *this;
+  }
+  /// Installs the decision plug-ins; `seed` binds their Rng streams.
+  EpisodeSpec& with(policy::PolicySet set, std::uint64_t rng_seed = 0) {
+    policies = std::move(set);
+    seed = rng_seed;
+    return *this;
+  }
+  /// Wires the observation callbacks that feed the policies (e.g.
+  /// KvService::observation_source()).
+  EpisodeSpec& observe(policy::ObservationSource src) {
+    source = std::move(src);
+    return *this;
+  }
+
+  std::shared_ptr<vmm::Vm> vm;
+  /// candidates[0] is the primary destination; the rest are alternates.
+  std::vector<vmm::Host*> candidates;
+  Duration delay = Duration::zero();
+  policy::PolicySet policies;
+  policy::ObservationSource source;
+  std::uint64_t seed = 0;
+};
+
 class ServiceEpisode {
  public:
   explicit ServiceEpisode(sim::Simulation& sim) : sim_(&sim) {}
   ServiceEpisode(const ServiceEpisode&) = delete;
   ServiceEpisode& operator=(const ServiceEpisode&) = delete;
 
-  /// Schedules `vm`'s migration off its current host to `dst`, starting
-  /// `delay` from now. One episode per object; returns the joinable ref
-  /// (also retained internally for done()/report()).
+  /// Schedules the episode described by `spec`; returns the joinable ref
+  /// (also retained internally for done()/report()). Reusable: a finished
+  /// episode object may start() again (live() resets); a second start()
+  /// while one is still in flight fails loudly.
+  sim::TaskRef start(EpisodeSpec spec);
+
+  /// Deprecated shim (one PR): `start({vm, dst}.after(delay))` with
+  /// default (static) policies.
+  [[deprecated("build an EpisodeSpec{vm, dst}.after(delay) instead")]]
   sim::TaskRef start(std::shared_ptr<vmm::Vm> vm, vmm::Host& dst, Duration delay);
+
+  /// Compile guard for near-misses of the removed signature: extra
+  /// arguments after the delay can only be policy state, which belongs in
+  /// the EpisodeSpec.
+  template <typename... Args>
+  sim::TaskRef start(std::shared_ptr<vmm::Vm>, vmm::Host&, Duration, Args&&...) = delete;
 
   /// The live stats object the migration engine mirrors into per chunk —
   /// hand this to KvService::observe_migration before the episode starts.
@@ -57,7 +118,7 @@ class ServiceEpisode {
   [[nodiscard]] bool downtime_within(Duration max_downtime, double slack = 1.0) const;
 
  private:
-  [[nodiscard]] sim::Task run(std::shared_ptr<vmm::Vm> vm, vmm::Host* dst, Duration delay);
+  [[nodiscard]] sim::Task run(EpisodeSpec spec);
 
   sim::Simulation* sim_;
   vmm::MigrationStats live_;

@@ -1,0 +1,135 @@
+#include "policy/policies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace nm::policy {
+
+Action StaticPolicy::decide(Hook /*hook*/, const Observation& /*obs*/) {
+  return Action{};  // the default Action *is* the legacy behavior
+}
+
+Action SloThrottlePolicy::decide(Hook hook, const Observation& obs) {
+  if (hook != Hook::kPreCopyRound || !obs.slo.valid) {
+    return Action{};
+  }
+  Duration target = config_.target_p99;
+  if (target == Duration::zero()) {
+    if (obs.slo.deadline == Duration::zero()) {
+      return Action{};  // nothing to aim at
+    }
+    target = Duration::seconds(obs.slo.deadline.to_seconds() * config_.target_fraction);
+  }
+  const SloPhaseView& precopy = obs.slo.phase(vmm::MigrationPhase::kPreCopy);
+  if (precopy.requests < config_.min_samples || precopy.p99 <= target) {
+    return Action{};  // not enough signal / already within target
+  }
+  // Proportional back-off: the further the live p99 overshoots the target,
+  // the harder the next round is throttled. Floored so the pre-copy always
+  // outruns the guest's dirty rate (otherwise it cannot converge and the
+  // round cap would force a long blackout — the opposite of the goal).
+  const double ratio = target.to_seconds() / precopy.p99.to_seconds();
+  Action action;
+  action.bandwidth_cap =
+      std::max(config_.floor_rate, obs.line_rate * std::pow(ratio, config_.gamma));
+  return action;
+}
+
+Action QuietPausePolicy::decide(Hook hook, const Observation& obs) {
+  if (hook != Hook::kPauseDecision || !obs.slo.valid) {
+    return Action{};
+  }
+  // New episode (new start instant) -> fresh deferral budget. The state
+  // only ever evolves here, at clocked kPauseDecision instants, so the
+  // policy stays a pure function of its observation history.
+  const TimePoint start =
+      obs.migration != nullptr ? obs.migration->start_at : TimePoint::origin();
+  if (start != episode_start_) {
+    episode_start_ = start;
+    deferred_ = 0;
+  }
+  if (obs.slo.in_flight <= config_.quiet_in_flight ||
+      deferred_ >= config_.max_extra_rounds) {
+    return Action{};  // quiet enough (or out of patience): pause now
+  }
+  ++deferred_;
+  Action action;
+  action.defer_pause = true;  // one more pre-copy round, then re-ask
+  return action;
+}
+
+Action DestinationSwapPolicy::decide(Hook hook, const Observation& obs) {
+  if ((hook != Hook::kEpisodeStart && hook != Hook::kWaveGrant) ||
+      obs.candidates.empty() || obs.vm_count == 0) {
+    return Action{};
+  }
+  const std::size_t c_count = obs.candidates.size();
+
+  // Pass 1 — balanced target counts: place the N incoming VMs one at a
+  // time on the least-loaded candidate with capacity left (load = resident
+  // VMs + incoming so far; ties break on the lowest index).
+  std::vector<int> load(c_count);
+  std::vector<int> counts(c_count, 0);
+  for (std::size_t c = 0; c < c_count; ++c) {
+    load[c] = obs.candidates[c].resident_vms;
+  }
+  for (std::size_t i = 0; i < obs.vm_count; ++i) {
+    int best = -1;
+    for (std::size_t c = 0; c < c_count; ++c) {
+      const int slots = obs.candidates[c].free_slots;
+      if (slots >= 0 && counts[c] >= slots) {
+        continue;  // capacitated candidate is full
+      }
+      if (best < 0 || load[c] < load[best]) {
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) {
+      return Action{};  // nowhere with capacity: let the legacy path decide
+    }
+    ++load[best];
+    ++counts[best];
+  }
+
+  // Pass 2 — minimal reassignment distance (the Avin-style swap step): of
+  // all assignments realizing those counts, keep as many VMs as possible
+  // on their legacy round-robin choice, then fill the rest in index order.
+  std::vector<int> assignment(obs.vm_count, -1);
+  for (std::size_t i = 0; i < obs.vm_count; ++i) {
+    const int legacy = static_cast<int>(i % c_count);
+    if (counts[legacy] > 0) {
+      assignment[i] = legacy;
+      --counts[legacy];
+    }
+  }
+  std::size_t next = 0;
+  for (auto& a : assignment) {
+    if (a >= 0) {
+      continue;
+    }
+    while (counts[next] == 0) {
+      ++next;
+    }
+    a = static_cast<int>(next);
+    --counts[next];
+  }
+  Action action;
+  action.assignment = std::move(assignment);
+  return action;
+}
+
+Action BlackoutShedPolicy::decide(Hook hook, const Observation& obs) {
+  if (hook != Hook::kAdmission || obs.migration == nullptr) {
+    return Action{};
+  }
+  Action action;
+  // A zero-length interval at the arrival instant classifies against the
+  // live phase boundaries: anything arriving mid-pause sheds.
+  action.reject =
+      obs.migration->phase_of(obs.now, obs.now) == vmm::MigrationPhase::kBlackout;
+  return action;
+}
+
+}  // namespace nm::policy

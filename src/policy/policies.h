@@ -1,0 +1,105 @@
+// The shipped policies. Each is a pure function of the Observation, its
+// own named Rng stream, and state it evolved at earlier (clocked) hook
+// invocations — see policy.h for the determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "policy/policy.h"
+
+namespace nm::policy {
+
+/// The migration guarantee: bit-identical to the pre-policy hardcoded
+/// behavior. Returns a default Action at every hook — legacy round-robin
+/// destinations, uncapped pre-copy, pause as soon as the estimate fits,
+/// admit everything. tests/policy_test.cpp pins this against pre-refactor
+/// golden digests.
+class StaticPolicy final : public Policy {
+ public:
+  StaticPolicy() : Policy("static") {}
+  [[nodiscard]] Action decide(Hook hook, const Observation& obs) override;
+};
+
+struct SloThrottleConfig {
+  /// Pre-copy p99 target. zero = derive as `deadline * target_fraction`
+  /// from the observed service (no throttle when no service observes).
+  Duration target_p99 = Duration::zero();
+  double target_fraction = 0.5;
+  /// Proportional aggressiveness: cap = line_rate * (target/p99)^gamma.
+  double gamma = 1.0;
+  /// Never throttle below this (bytes/s) — the pre-copy must stay ahead of
+  /// the guest's dirty rate or the migration cannot converge.
+  double floor_rate = 40e6;
+  /// Ignore a phase histogram with fewer samples than this (early-round
+  /// p99 over a handful of requests is noise).
+  std::uint64_t min_samples = 50;
+};
+
+/// Closes the SLO loop on pre-copy interference: before each round,
+/// compares the live pre-copy-phase p99 against the target and throttles
+/// the round's send bandwidth proportionally. The blackout is untouched
+/// (the engine never applies round caps to the estimator or the
+/// stop-and-copy drain), so max_downtime still holds.
+class SloThrottlePolicy final : public Policy {
+ public:
+  explicit SloThrottlePolicy(SloThrottleConfig config = {})
+      : Policy("slo-throttle"), config_(config) {}
+  [[nodiscard]] Action decide(Hook hook, const Observation& obs) override;
+  [[nodiscard]] const SloThrottleConfig& config() const { return config_; }
+
+ private:
+  SloThrottleConfig config_;
+};
+
+struct QuietPauseConfig {
+  /// Pause only while the service's in-flight request count is at or below
+  /// this (0 = a fully drained instant).
+  std::uint64_t quiet_in_flight = 0;
+  /// Give up waiting after this many deferred pauses per episode; the
+  /// engine's round cap bounds deferral regardless.
+  int max_extra_rounds = 4;
+};
+
+/// Picks the stop-and-copy instant off the observed arrival process: when
+/// the downtime estimate fits but requests are in flight, runs another
+/// pre-copy round and re-asks, so the blackout tends to land in an
+/// arrival gap instead of on top of queued work.
+class QuietPausePolicy final : public Policy {
+ public:
+  explicit QuietPausePolicy(QuietPauseConfig config = {})
+      : Policy("quiet-pause"), config_(config) {}
+  [[nodiscard]] Action decide(Hook hook, const Observation& obs) override;
+  [[nodiscard]] const QuietPauseConfig& config() const { return config_; }
+
+ private:
+  QuietPauseConfig config_;
+  /// Per-episode deferral budget, keyed on the episode's start instant
+  /// (evolves only at clocked kPauseDecision invocations).
+  TimePoint episode_start_ = TimePoint::origin();
+  int deferred_ = 0;
+};
+
+/// Avin-style greedy destination swap (arXiv:1309.5826): starts from the
+/// legacy round-robin assignment, greedily rebalances VMs onto the
+/// least-loaded candidates (load = resident VMs + incoming assignment,
+/// respecting free_slots where tracked), then maximizes retention of the
+/// legacy choice among assignments with equal balance — balanced placement
+/// at minimal reassignment distance. Fully deterministic: ties break on
+/// the lowest candidate index.
+class DestinationSwapPolicy final : public Policy {
+ public:
+  DestinationSwapPolicy() : Policy("dest-swap") {}
+  [[nodiscard]] Action decide(Hook hook, const Observation& obs) override;
+};
+
+/// Admission control during the blackout: fast-fails requests that arrive
+/// while the VM is paused (and would be queued into a guaranteed deadline
+/// miss) instead of letting them pile onto the frozen service.
+class BlackoutShedPolicy final : public Policy {
+ public:
+  BlackoutShedPolicy() : Policy("blackout-shed") {}
+  [[nodiscard]] Action decide(Hook hook, const Observation& obs) override;
+};
+
+}  // namespace nm::policy

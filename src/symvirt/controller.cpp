@@ -61,6 +61,12 @@ sim::Task Controller::device_attach(const std::string& host_pci, const std::stri
       [&](std::size_t) { return "device_add host=" + host_pci + ",id=" + tag; });
 }
 
+void Controller::set_migration_control(const vmm::MigrationControl* control) {
+  for (auto& agent : agents_) {
+    agent->monitor().set_migration_control(control);
+  }
+}
+
 sim::Task Controller::migration(const std::vector<std::string>& dst_hosts) {
   NM_CHECK(!dst_hosts.empty(), "migration needs a destination host list");
   co_await run_on_all(

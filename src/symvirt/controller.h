@@ -63,6 +63,10 @@ class Controller {
   /// no explicit signal.
   [[nodiscard]] sim::Task migration(const std::vector<std::string>& dst_hosts);
 
+  /// Routes every agent's `migrate` commands through a policy control
+  /// block (non-owning; must outlive the episode). Null = legacy loop.
+  void set_migration_control(const vmm::MigrationControl* control);
+
   /// Disconnects (no-op in the model; kept for script parity).
   void quit() {}
 

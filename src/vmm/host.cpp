@@ -131,8 +131,9 @@ sim::Task Host::device_del(Vm& vm, std::string tag) {
                      << vm.name();
 }
 
-sim::Task Host::migrate(Vm& vm, Host& dst, MigrationStats* stats, double bandwidth_cap) {
-  co_await migration_.migrate(vm, *this, dst, stats, bandwidth_cap);
+sim::Task Host::migrate(Vm& vm, Host& dst, MigrationStats* stats, double bandwidth_cap,
+                        const MigrationControl* control) {
+  co_await migration_.migrate(vm, *this, dst, stats, bandwidth_cap, control);
 }
 
 void Host::adopt(std::shared_ptr<Vm> vm) {

@@ -92,10 +92,13 @@ class Host {
   /// Hot-detaches device `tag`; a passthrough HCA returns to the host pool.
   [[nodiscard]] sim::Task device_del(Vm& vm, std::string tag);
   /// Pre-copy live migration of `vm` to `dst`. `bandwidth_cap` optionally
-  /// pins this one migration to a planned rate (see MigrationEngine).
+  /// pins this one migration to a planned rate; `control` optionally
+  /// routes the loop's decision points through a policy (see
+  /// MigrationEngine::migrate).
   [[nodiscard]] sim::Task migrate(
       Vm& vm, Host& dst, MigrationStats* stats = nullptr,
-      double bandwidth_cap = std::numeric_limits<double>::infinity());
+      double bandwidth_cap = std::numeric_limits<double>::infinity(),
+      const MigrationControl* control = nullptr);
 
  private:
   friend class MigrationEngine;

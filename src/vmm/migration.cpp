@@ -51,7 +51,7 @@ MigrationPhase MigrationStats::phase_of(TimePoint begin, TimePoint end) const {
 }
 
 sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats* stats_out,
-                                   double bandwidth_cap) {
+                                   double bandwidth_cap, const MigrationControl* control) {
   // --- Preconditions (what QEMU would refuse / what the paper works
   // around with SymVirt + hotplug) --------------------------------------
   if (!src.resident(vm)) {
@@ -89,8 +89,15 @@ sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats*
 
   // --- Iterative pre-copy ----------------------------------------------
   while (true) {
+    // A policy may throttle *this round's* drain; the downtime estimator
+    // and the stop-and-copy drain below stay at the uncapped rate (the
+    // throttle shapes pre-copy interference, never the blackout).
+    double round_cap = max_bandwidth;
+    if (control != nullptr && control->precopy_cap) {
+      round_cap = std::min(round_cap, control->precopy_cap(stats, stats.rounds));
+    }
     ++stats.rounds;
-    co_await drain_dirty(vm, src, dst, stats, stats_out, max_bandwidth);
+    co_await drain_dirty(vm, src, dst, stats, stats_out, round_cap);
     if (stats_out != nullptr) {
       *stats_out = stats;
     }
@@ -115,11 +122,26 @@ sim::Task MigrationEngine::migrate(Vm& vm, Host& src, Host& dst, MigrationStats*
     if (est_rate > 0.0 &&
         static_cast<double>(remaining_wire.count()) / est_rate <=
             config_.max_downtime.to_seconds()) {
+      // The estimate fits; a policy may still defer the pause (wait for a
+      // quieter instant), bounded by the round cap.
+      if (control != nullptr && control->allow_pause && stats.rounds < config_.max_rounds) {
+        const Duration est_downtime = Duration::seconds(
+            static_cast<double>(remaining_wire.count()) / est_rate);
+        if (!control->allow_pause(stats, est_downtime)) {
+          continue;
+        }
+      }
       break;
     }
     if (stats.rounds >= config_.max_rounds) {
       NM_LOG_WARN("migration") << vm.name() << ": round cap hit with " << remaining_wire
                                << " still dirty; forcing stop-and-copy";
+      break;
+    }
+    if (control != nullptr && control->force_stop &&
+        control->force_stop(stats, stats.rounds)) {
+      NM_LOG_WARN("migration") << vm.name() << ": policy forced stop-and-copy with "
+                               << remaining_wire << " still dirty";
       break;
     }
   }

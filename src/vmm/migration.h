@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -99,6 +100,29 @@ struct MigrationStats {
   [[nodiscard]] MigrationPhase phase_of(TimePoint begin, TimePoint end) const;
 };
 
+/// Clocked decision callbacks a policy layer injects into migrate() —
+/// the actuation half of the policy:: framework's narrow API, kept down
+/// here as plain std::functions so vmm stays below policy in the layering.
+/// Every member is optional; a null member (or a null control pointer)
+/// reproduces the legacy loop byte-for-byte. Callbacks run from the
+/// migration task at clocked instants and must be pure reads — they may
+/// not block or touch simulation state.
+struct MigrationControl {
+  /// Before pre-copy round `round` (0-based): extra bandwidth cap for that
+  /// round's drain (bytes/s; min'd with the administrative and per-call
+  /// caps). The downtime estimator and the stop-and-copy drain are NOT
+  /// subject to it — a throttle shapes pre-copy interference, never the
+  /// blackout.
+  std::function<double(const MigrationStats& live, int round)> precopy_cap;
+  /// After a round whose downtime estimate does not fit yet: force
+  /// stop-and-copy now anyway (accepting downtime > max_downtime).
+  std::function<bool(const MigrationStats& live, int round)> force_stop;
+  /// When the estimate finally fits: pause now (true) or run another
+  /// pre-copy round first (false)? Deferral is still bounded by the round
+  /// cap, so a policy cannot postpone the blackout forever.
+  std::function<bool(const MigrationStats& live, Duration estimated_downtime)> allow_pause;
+};
+
 class MigrationEngine {
  public:
   explicit MigrationEngine(MigrationConfig config) : config_(config) {}
@@ -113,9 +137,14 @@ class MigrationEngine {
   /// engine's max_bandwidth — evacuation planners pin each migration to
   /// its planned share so concurrent waves cannot oversubscribe a WAN
   /// edge (and the downtime estimator sees the rate it will actually get).
+  /// `control` optionally routes the loop's clocked decision points
+  /// (per-round cap, pause instant, forced stop) through a policy; null
+  /// keeps the legacy loop byte-for-byte. The pointee must outlive the
+  /// migration task.
   [[nodiscard]] sim::Task migrate(
       Vm& vm, Host& src, Host& dst, MigrationStats* stats_out = nullptr,
-      double bandwidth_cap = std::numeric_limits<double>::infinity());
+      double bandwidth_cap = std::numeric_limits<double>::infinity(),
+      const MigrationControl* control = nullptr);
 
   /// Checkpoints `vm` to the shared store: the VM is paused, its memory is
   /// scanned (dup pages compress) and the image written out; the VM is

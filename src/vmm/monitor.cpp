@@ -1,5 +1,6 @@
 #include "vmm/monitor.h"
 
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -97,7 +98,8 @@ sim::Task Monitor::dispatch(std::string command, MonitorResult& result) {
       result = {false, "unknown destination host '" + tokens[1] + "'"};
       co_return;
     }
-    co_await host.migrate(*vm_, *dst, &last_migration_);
+    co_await host.migrate(*vm_, *dst, &last_migration_,
+                          std::numeric_limits<double>::infinity(), migration_control_);
     result = {true, "migration to " + tokens[1] + " completed"};
   } else if (cmd == "stop") {
     vm_->pause();

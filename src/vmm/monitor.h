@@ -41,12 +41,20 @@ class Monitor {
 
   [[nodiscard]] const MigrationStats& last_migration() const { return last_migration_; }
 
+  /// Routes `migrate` commands through a policy control block (see
+  /// MigrationEngine::migrate). Non-owning; the pointee must outlive any
+  /// in-flight migrate command. Null restores the legacy loop.
+  void set_migration_control(const MigrationControl* control) {
+    migration_control_ = control;
+  }
+
  private:
   [[nodiscard]] sim::Task dispatch(std::string command, MonitorResult& result);
 
   std::shared_ptr<Vm> vm_;
   HostResolver resolver_;
   MigrationStats last_migration_;
+  const MigrationControl* migration_control_ = nullptr;
 };
 
 }  // namespace nm::vmm

@@ -81,6 +81,12 @@ void KvService::observe_migration(const vmm::MigrationStats* live) {
   observed_.push_back(live);
 }
 
+void KvService::set_admission(policy::PolicySet policies, std::uint64_t seed) {
+  policies.bind_seed(seed);
+  admission_ = std::move(policies);
+  has_admission_ = true;
+}
+
 void KvService::start() {
   NM_CHECK(!started_, "KvService::start called twice");
   NM_CHECK(!servers_.empty(), "KvService::start with no servers");
@@ -147,8 +153,33 @@ sim::Task KvService::fleet_task(FleetState* fleet) {
   }
 }
 
+const vmm::MigrationStats* KvService::dominant_migration(TimePoint now) const {
+  const vmm::MigrationStats* best = nullptr;
+  int best_severity = -1;
+  for (const auto* m : observed_) {
+    const int s = severity(m->phase_of(now, now));
+    if (s > best_severity) {
+      best_severity = s;
+      best = m;
+    }
+  }
+  return best;
+}
+
 void KvService::start_request(FleetState* fleet, std::uint64_t key, bool is_write) {
   ++generated_;
+  if (has_admission_) {
+    // Arrival instants are clocked (pre-drawn and posted by the fleets),
+    // so an admission decision here is deterministic at any worker count.
+    policy::Observation obs;
+    obs.now = testbed_->sim().now();
+    obs.migration = dominant_migration(obs.now);
+    obs.slo = slo_snapshot();
+    if (admission_.decide(policy::Hook::kAdmission, obs).reject) {
+      ++rejected_;  // fast-fail: never touches the fabric or a worker
+      return;
+    }
+  }
   (void)testbed_->sim().spawn(request_task(fleet, key, is_write));
 }
 
@@ -259,12 +290,46 @@ std::uint64_t KvService::digest() const {
   fold(generated_);
   fold(completed_);
   fold(deadline_misses_);
+  // Folded only when admission control shed something: digests of
+  // policy-free runs stay byte-identical to pre-policy builds.
+  if (rejected_ != 0) {
+    fold(rejected_);
+  }
   for (const auto& slo : phases_) {
     fold(slo.requests);
     fold(slo.deadline_misses);
     h = slo.latency.digest(h);
   }
   return h;
+}
+
+policy::SloSnapshot KvService::slo_snapshot() const {
+  policy::SloSnapshot snap;
+  snap.valid = true;
+  snap.generated = generated_;
+  snap.completed = completed_;
+  snap.in_flight = in_flight();
+  snap.deadline_misses = deadline_misses_;
+  snap.deadline = config_.deadline;
+  for (int p = 0; p < vmm::kMigrationPhases; ++p) {
+    const auto& slo = phases_[static_cast<std::size_t>(p)];
+    auto& view = snap.phases[static_cast<std::size_t>(p)];
+    view.requests = slo.requests;
+    view.deadline_misses = slo.deadline_misses;
+    if (slo.latency.count() > 0) {  // percentile() checks non-empty
+      view.p50 = slo.latency.percentile(0.5);
+      view.p99 = slo.latency.percentile(0.99);
+      view.p999 = slo.latency.percentile(0.999);
+    }
+  }
+  return snap;
+}
+
+policy::ObservationSource KvService::observation_source() const {
+  policy::ObservationSource source;
+  source.slo = [this] { return slo_snapshot(); };
+  source.now = [this] { return testbed_->sim().now(); };
+  return source;
 }
 
 }  // namespace nm::workloads

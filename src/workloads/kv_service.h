@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "net/fabric.h"
+#include "policy/policy.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "util/rng.h"
@@ -123,12 +124,22 @@ class KvService {
   /// episodes may be observed; the most severe overlap wins.
   void observe_migration(const vmm::MigrationStats* live);
 
+  /// Installs an admission-control PolicySet: its kAdmission hook is
+  /// consulted at every arrival instant (a clocked event) and may shed the
+  /// request before it touches the fabric. `seed` binds the policies' Rng
+  /// streams. Without this call, every request is admitted — and the
+  /// digest stays byte-identical to pre-policy builds.
+  void set_admission(policy::PolicySet policies, std::uint64_t seed = 0);
+
   /// Spawns the fleet generators at the current simulated time.
   void start();
 
   [[nodiscard]] std::uint64_t generated() const { return generated_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
-  [[nodiscard]] std::uint64_t in_flight() const { return generated_ - completed_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  [[nodiscard]] std::uint64_t in_flight() const {
+    return generated_ - completed_ - rejected_;
+  }
   [[nodiscard]] std::uint64_t deadline_misses() const { return deadline_misses_; }
 
   [[nodiscard]] const PhaseSlo& phase(vmm::MigrationPhase p) const {
@@ -139,8 +150,18 @@ class KvService {
   [[nodiscard]] LatencyHistogram overall() const;
 
   /// Deterministic digest over counters and every phase histogram; the
-  /// solve-worker bit-identity gates compare these across runs.
+  /// solve-worker bit-identity gates compare these across runs. (The
+  /// rejected counter folds in only when admission control actually shed
+  /// something, so policy-free digests match pre-policy builds.)
   [[nodiscard]] std::uint64_t digest() const;
+
+  /// The service's live SLO digest in the policy framework's vocabulary —
+  /// the Observation half of the narrow API.
+  [[nodiscard]] policy::SloSnapshot slo_snapshot() const;
+
+  /// Observation callbacks for EpisodeSpec::observe / NinjaConfig::source:
+  /// the policies see this service's live per-phase tails.
+  [[nodiscard]] policy::ObservationSource observation_source() const;
 
  private:
   struct ServerState {
@@ -165,6 +186,10 @@ class KvService {
   [[nodiscard]] vmm::MigrationPhase classify(TimePoint begin, TimePoint end) const;
   void record(TimePoint begin, TimePoint end);
 
+  /// The observed episode whose phase at [now, now] is most severe (null
+  /// when none observed) — what the admission Observation points at.
+  [[nodiscard]] const vmm::MigrationStats* dominant_migration(TimePoint now) const;
+
   core::Testbed* testbed_;
   KvServiceConfig config_;
   std::vector<std::unique_ptr<ServerState>> servers_;
@@ -172,9 +197,12 @@ class KvService {
   std::vector<const vmm::MigrationStats*> observed_;
   std::vector<double> zipf_cdf_;  // built at start()
   bool started_ = false;
+  bool has_admission_ = false;
+  policy::PolicySet admission_;
 
   std::uint64_t generated_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
   std::uint64_t deadline_misses_ = 0;
   std::array<PhaseSlo, vmm::kMigrationPhases> phases_;
 };

@@ -43,8 +43,10 @@ TEST_P(CalibrationProperty, PhaseAccountingIdentityHoldsForAnyTiming) {
   cfg.vm_template.base_os_footprint = Bytes::mib(512);
   MpiJob job(tb, cfg);
   // Override the coordinator's confirm constant through a custom migrator.
-  NinjaMigrator migrator(tb.sim(), job.runtime(), job.scheduler().resolver(),
-                         symvirt::CoordinatorTiming{Duration::seconds(timing.confirm)});
+  NinjaMigrator migrator(
+      tb.sim(), job.runtime(),
+      NinjaConfig{.resolver = job.scheduler().resolver(),
+                  .timing = symvirt::CoordinatorTiming{Duration::seconds(timing.confirm)}});
   job.init();  // installs the default coordinator ...
   migrator.install_coordinator();  // ... which this one replaces
 

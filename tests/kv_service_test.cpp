@@ -71,7 +71,8 @@ RunOutcome run_scenario(int solve_workers, bool migrate) {
   }
   service.start();
   if (migrate) {
-    (void)episode.start(vms[0], testbed.eth_host(kServers), kMigrateAt);
+    (void)episode.start(
+        core::EpisodeSpec(vms[0], testbed.eth_host(kServers)).after(kMigrateAt));
   }
 
   const TimePoint end = testbed.sim().run_for(kWindow + Duration::seconds(20));
