@@ -44,6 +44,12 @@
 //      worker count, offered load is conserved (every generated request
 //      completes), the overall p999 stays under a fixed ceiling, and every
 //      exchange converges (`--sweep10` emits the CI digest).
+//  11. oversubscribed Clos evacuation: the source site drains 24 VMs racked
+//      under three 4:1-oversubscribed leaves into two 2-leaf refuges, with
+//      the leaf-aware planner vs the topology-blind baseline. Four gates:
+//      the aware timeline is bit-identical at every worker count, the
+//      aware makespan is never worse than the blind one, every VM lands,
+//      and every exchange converges (`--sweep11` emits the CI digest).
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -770,6 +776,149 @@ int run_sweep10(bool json_only) {
   return diverged ? 1 : 0;
 }
 
+// --- Sweep 11: oversubscribed Clos evacuation, leaf-aware vs blind ----------
+
+struct ClosEvacResult {
+  std::int64_t final_ns = 0;
+  std::int64_t evac_done_ns = 0;
+  std::int64_t makespan_ns = 0;
+  int waves = 0;
+  std::size_t evacuated = 0;
+  std::size_t fleet = 0;
+  std::size_t unconverged = 0;
+  double wall_ms = 0.0;
+};
+
+ClosEvacResult run_clos_evacuation(int workers, bool topology_blind) {
+  // CI-sized cousin of `examples/mass_evacuation`'s Clos scenario: dc0
+  // drains 12 hosts racked 4-per-leaf under three 4:1-oversubscribed
+  // leaves into two 2-leaf 2:1 refuges. Equal VM sizes make the blind
+  // big-first order equal the boot order, so a topology-blind first wave
+  // piles onto leaf 0's single 1.25 GB/s uplink while the leaf-aware
+  // planner spreads sources across racks and caps refuge-leaf incast.
+  constexpr double kStreamCap = 500e6;  // bytes/s per migration thread
+  core::FederationConfig fcfg;
+  core::TestbedConfig source;
+  source.ib_nodes = 0;
+  source.eth_nodes = 12;
+  source.clos.leaves = 3;
+  source.clos.spines = 1;
+  source.clos.hosts_per_leaf = 4;
+  source.clos.oversubscription = 4.0;  // leaf uplink 1.25 GB/s vs 5 GB/s of hosts
+  source.migration.thread_send_rate = kStreamCap;
+  core::TestbedConfig refuge;
+  refuge.ib_nodes = 0;
+  refuge.eth_nodes = 4;
+  refuge.clos.leaves = 2;
+  refuge.clos.spines = 1;
+  refuge.clos.hosts_per_leaf = 2;
+  refuge.clos.oversubscription = 2.0;  // two 500 MB/s incast slots per leaf
+  refuge.migration.thread_send_rate = kStreamCap;
+  fcfg.sites = {{"dc0", source}, {"dc1", refuge}, {"dc2", refuge}};
+  sim::WanLinkConfig wan;
+  wan.line_rate = Bandwidth::gbps(40);
+  wan.rtt = Duration::millis(5);
+  wan.loss = 0.00001;
+  fcfg.edges = {{0, 1, wan}, {0, 2, wan}};
+  fcfg.uplink_rate = Bandwidth::gbps(100);  // WAN gateways are not the story
+  fcfg.solve_workers = workers;
+  core::Federation fed(fcfg);
+
+  ClosEvacResult res;
+  auto& src = fed.site(0);
+  for (int h = 0; h < src.eth_host_count(); ++h) {
+    for (int v = 0; v < 2; ++v) {
+      vmm::VmSpec spec;
+      spec.name = "vm" + std::to_string(h) + "_" + std::to_string(v);
+      spec.memory = Bytes::gib(1);
+      spec.base_os_footprint = Bytes::mib(128);
+      auto vm = src.boot_vm(src.eth_host(h), spec, /*with_hca=*/false);
+      vm->memory().write_data(Bytes::mib(128), Bytes::mib(768));
+      ++res.fleet;
+    }
+  }
+  fed.settle();
+
+  core::EvacuationConfig ecfg;
+  ecfg.source_site = 0;
+  ecfg.topology_blind = topology_blind;
+  ecfg.planner.stream_rate_cap = kStreamCap;
+  core::MassEvacuation evac(fed, ecfg);
+  core::EvacuationReport report;
+  const auto start = std::chrono::steady_clock::now();
+  fed.sim().spawn(evac.run(&report), "clos-evac");
+  res.final_ns = fed.sim().run().count_nanos();
+  res.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  res.evac_done_ns = report.done_ns;
+  res.makespan_ns = report.done_ns - report.started_ns;
+  res.waves = report.waves;
+  res.evacuated = report.evacuated;
+  res.unconverged = fed.unconverged_exchange_count();
+  return res;
+}
+
+void write_sweep11_json(const std::vector<std::array<std::int64_t, 3>>& rows,
+                        std::int64_t aware_makespan_ns, std::int64_t blind_makespan_ns) {
+  std::ofstream out("BENCH_scalability_sweep11.json");
+  out << "{\n";
+  for (const auto& row : rows) {
+    out << "  \"workers" << row[0] << "_evac_done_ns\": " << row[1] << ",\n"
+        << "  \"workers" << row[0] << "_final_ns\": " << row[2] << ",\n";
+  }
+  out << "  \"aware_makespan_ns\": " << aware_makespan_ns << ",\n"
+      << "  \"blind_makespan_ns\": " << blind_makespan_ns << "\n";
+  out << "}\n";
+}
+
+int run_sweep11(bool json_only) {
+  std::cout << "\n11. Oversubscribed Clos evacuation (3x4:1 source leaves, 2-leaf 2:1\n"
+               "    refuges, 24 VMs; leaf-aware planner vs topology-blind):\n";
+  TextTable t11({"workers", "wall [ms]", "makespan [s]", "waves", "evacuated",
+                 "timeline"});
+  std::vector<std::array<std::int64_t, 3>> json_rows;
+  bool diverged = false;
+  ClosEvacResult baseline;
+  for (const int workers : {0, 1, 2, 4}) {
+    const auto r = run_clos_evacuation(workers, /*topology_blind=*/false);
+    if (workers == 0) {
+      baseline = r;
+    }
+    diverged = diverged || r.final_ns != baseline.final_ns ||
+               r.evac_done_ns != baseline.evac_done_ns || r.waves != baseline.waves ||
+               r.evacuated != r.fleet || r.unconverged != 0;
+    t11.add_row({workers == 0 ? "0 (serial)" : std::to_string(workers),
+                 TextTable::num(r.wall_ms, 2),
+                 TextTable::num(static_cast<double>(r.makespan_ns) / 1e9, 3),
+                 std::to_string(r.waves),
+                 std::to_string(r.evacuated) + "/" + std::to_string(r.fleet),
+                 r.final_ns == baseline.final_ns && r.evac_done_ns == baseline.evac_done_ns
+                     ? (workers == 0 ? "baseline" : "bit-identical")
+                     : "DIVERGED"});
+    json_rows.push_back({workers, r.evac_done_ns, r.final_ns});
+  }
+  const auto blind = run_clos_evacuation(/*workers=*/0, /*topology_blind=*/true);
+  const bool aware_never_worse = baseline.makespan_ns <= blind.makespan_ns;
+  diverged = diverged || !aware_never_worse || blind.evacuated != blind.fleet ||
+             blind.unconverged != 0;
+  if (!json_only) {
+    t11.render(std::cout);
+    std::cout << "Topology-blind baseline: "
+              << TextTable::num(static_cast<double>(blind.makespan_ns) / 1e9, 3)
+              << " s; the leaf-aware plan "
+              << (aware_never_worse ? "wins" : "LOSES — GATE FAILED") << " ("
+              << TextTable::num(static_cast<double>(blind.makespan_ns) /
+                                    static_cast<double>(baseline.makespan_ns),
+                                2)
+              << "x). Wave grants re-run the leaf-aware max-min against the live\n"
+                 "fabric, ECMP picks are salted-hash deterministic, and the whole\n"
+                 "evacuation lands at the same nanosecond at every worker count.\n";
+  }
+  write_sweep11_json(json_rows, baseline.makespan_ns, blind.makespan_ns);
+  return diverged ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -793,6 +942,11 @@ int main(int argc, char** argv) {
   // its digest in BENCH_scalability_sweep10.json.
   if (argc > 1 && std::strcmp(argv[1], "--sweep10") == 0) {
     return run_sweep10(/*json_only=*/true);
+  }
+  // `--sweep11` likewise: only the oversubscribed Clos evacuation, with
+  // its digest in BENCH_scalability_sweep11.json.
+  if (argc > 1 && std::strcmp(argv[1], "--sweep11") == 0) {
+    return run_sweep11(/*json_only=*/true);
   }
   bench::print_header("Scalability", "episode cost sweeps (paper SS V discussion)");
 
@@ -905,5 +1059,10 @@ int main(int argc, char** argv) {
   const int sweep8 = run_sweep8(/*json_only=*/false);
   const int sweep9 = run_sweep9(/*json_only=*/false);
   const int sweep10 = run_sweep10(/*json_only=*/false);
-  return sweep7 != 0 ? sweep7 : sweep8 != 0 ? sweep8 : sweep9 != 0 ? sweep9 : sweep10;
+  const int sweep11 = run_sweep11(/*json_only=*/false);
+  return sweep7 != 0   ? sweep7
+         : sweep8 != 0 ? sweep8
+         : sweep9 != 0 ? sweep9
+         : sweep10 != 0 ? sweep10
+                        : sweep11;
 }

@@ -46,6 +46,17 @@ MassEvacuation::MassEvacuation(Federation& fed, EvacuationConfig config)
   config_.policies.bind_seed(config_.seed);
 }
 
+std::size_t MassEvacuation::leaf_base(std::size_t site) const {
+  std::size_t base = 0;
+  for (std::size_t s = 0; s < site; ++s) {
+    net::ClosFabric* clos = fed_->site(s).clos();
+    if (clos != nullptr) {
+      base += static_cast<std::size_t>(clos->leaf_count());
+    }
+  }
+  return base;
+}
+
 plan::SiteGraph MassEvacuation::current_graph(bool nominal) const {
   plan::SiteGraph graph = fed_->site_graph();
   if (!nominal) {
@@ -53,32 +64,70 @@ plan::SiteGraph MassEvacuation::current_graph(bool nominal) const {
       graph.edges[e].rate = fed_->wan_link(e).effective_rate();
     }
   }
+  // Leaf layer: each Clos site's leaves, in site order then leaf order —
+  // the layout leaf_base() assumes. A leaf's uplink/downlink capacity is
+  // its aggregate uplink bandwidth (both directions share the links), live
+  // or nominal to match the edge rates above.
+  for (std::size_t s = 0; s < fed_->site_count(); ++s) {
+    net::ClosFabric* clos = fed_->site(s).clos();
+    if (clos == nullptr) {
+      continue;
+    }
+    for (int l = 0; l < clos->leaf_count(); ++l) {
+      plan::LeafSpec leaf;
+      leaf.name = fed_->site_name(s) + ":leaf" + std::to_string(l);
+      leaf.site = s;
+      leaf.pod = clos->pod_of_leaf(l);
+      const double cap = clos->leaf_capacity(l, nominal);
+      leaf.uplink_rate = cap;
+      leaf.downlink_rate = cap;
+      leaf.free_vm_slots = 0;  // filled below; stays 0 at the source
+      graph.leaves.push_back(std::move(leaf));
+    }
+  }
   for (std::size_t s = 0; s < fed_->site_count(); ++s) {
     if (s == config_.source_site) {
       continue;
     }
+    Testbed& site = fed_->site(s);
+    const bool leafy = site.clos() != nullptr;
+    const std::size_t base = leafy ? leaf_base(s) : 0;
     int slots = 0;
-    std::vector<vmm::Host*> hosts = fed_->site(s).all_hosts();
+    std::vector<vmm::Host*> hosts = site.all_hosts();
     for (std::size_t h = 0; h < hosts.size(); ++h) {
       int reserved = 0;
       if (s < reserved_by_site_.size() && h < reserved_by_site_[s].size()) {
         reserved = reserved_by_site_[s][h];
       }
-      slots += std::max(0, config_.dst_slots_per_host -
-                               static_cast<int>(hosts[h]->vms().size()) - reserved);
+      const int free = std::max(0, config_.dst_slots_per_host -
+                                       static_cast<int>(hosts[h]->vms().size()) - reserved);
+      slots += free;
+      if (leafy) {
+        const int leaf = site.leaf_of(*hosts[h]);
+        if (leaf >= 0) {
+          graph.leaves[base + static_cast<std::size_t>(leaf)].free_vm_slots += free;
+        }
+      }
     }
     graph.sites[s].free_vm_slots = slots;
   }
   return graph;
 }
 
-std::pair<vmm::Host*, std::size_t> MassEvacuation::pick_dst_host(std::size_t site) {
+std::pair<vmm::Host*, std::size_t> MassEvacuation::pick_dst_host(std::size_t site,
+                                                                 std::size_t dst_leaf) {
   auto& hosts = hosts_by_site_[site];
   auto& reserved = reserved_by_site_[site];
+  const bool leaf_scoped = dst_leaf != plan::kNoLeaf && fed_->site(site).clos() != nullptr;
+  const int want_leaf =
+      leaf_scoped ? static_cast<int>(dst_leaf - leaf_base(site)) : net::ClosFabric::kSpineAttach;
   vmm::Host* best = nullptr;
   std::size_t best_index = 0;
   int best_free = 0;
   for (std::size_t h = 0; h < hosts.size(); ++h) {
+    if (leaf_scoped && fed_->site(site).leaf_of(*hosts[h]) != want_leaf) {
+      continue;
+    }
     const int free = config_.dst_slots_per_host - static_cast<int>(hosts[h]->vms().size()) -
                      reserved[h];
     if (free > best_free) {
@@ -86,6 +135,11 @@ std::pair<vmm::Host*, std::size_t> MassEvacuation::pick_dst_host(std::size_t sit
       best = hosts[h];
       best_index = h;
     }
+  }
+  if (best == nullptr && leaf_scoped) {
+    // The planned leaf filled since planning; place site-wide rather than
+    // stall the wave.
+    return pick_dst_host(site);
   }
   if (best != nullptr) {
     ++reserved[best_index];
@@ -112,13 +166,29 @@ sim::Task MassEvacuation::grant_wave(std::vector<Pending> members, int wave_inde
   // function of the links' current factors at the grant instant.
   fed_->recompute_routes();
   // Live mesh snapshot at the grant instant: effective rates decide both
-  // reachability and the wave's rate assignment.
+  // reachability and the wave's rate assignment. A topology-blind driver
+  // never looks at the leaf layer, so its rates may oversubscribe one.
   plan::SiteGraph live = current_graph(/*nominal=*/false);
+  if (config_.topology_blind) {
+    live = live.without_leaves();
+  }
   std::vector<Pending> runnable;
   std::vector<std::vector<std::size_t>> routes;
   for (Pending& member : members) {
     std::vector<std::size_t> route = live.route(config_.source_site, member.dst_site, 0.0);
-    if (route.empty()) {
+    // A dead source rack (every uplink down) or dead planned destination
+    // leaf defers the member like a dead WAN route: the replan pass picks
+    // a live leaf — or waits for the heal when none exists.
+    bool leaf_dead = false;
+    const std::size_t sl = moves_[member.vm_index].src_leaf;
+    if (sl < live.leaves.size() && live.leaves[sl].uplink_rate <= 0.0) {
+      leaf_dead = true;
+    }
+    if (member.dst_leaf < live.leaves.size() &&
+        live.leaves[member.dst_leaf].downlink_rate <= 0.0) {
+      leaf_dead = true;
+    }
+    if (route.empty() || leaf_dead) {
       ++report.vms[member.vm_index].deferrals;
       deferred.push_back(member.vm_index);
       continue;
@@ -140,7 +210,28 @@ sim::Task MassEvacuation::grant_wave(std::vector<Pending> members, int wave_inde
   for (std::size_t e = 0; e < live.edges.size(); ++e) {
     caps[e] = live.edges[e].rate;
   }
-  const std::vector<double> rates = rate_engine.wave_rates(route_ptrs, caps);
+  std::vector<double> rates;
+  if (!live.leaves.empty()) {
+    const std::size_t n_leaves = live.leaves.size();
+    std::vector<std::size_t> src_leaves;
+    std::vector<std::size_t> dst_leaves;
+    src_leaves.reserve(runnable.size());
+    dst_leaves.reserve(runnable.size());
+    for (const Pending& member : runnable) {
+      const std::size_t sl = moves_[member.vm_index].src_leaf;
+      src_leaves.push_back(sl < n_leaves ? sl : plan::kNoLeaf);
+      dst_leaves.push_back(member.dst_leaf < n_leaves ? member.dst_leaf : plan::kNoLeaf);
+    }
+    std::vector<double> leaf_up(n_leaves, 0.0);
+    std::vector<double> leaf_down(n_leaves, 0.0);
+    for (std::size_t l = 0; l < n_leaves; ++l) {
+      leaf_up[l] = std::max(0.0, live.leaves[l].uplink_rate);
+      leaf_down[l] = std::max(0.0, live.leaves[l].downlink_rate);
+    }
+    rates = rate_engine.wave_rates(route_ptrs, caps, src_leaves, dst_leaves, leaf_up, leaf_down);
+  } else {
+    rates = rate_engine.wave_rates(route_ptrs, caps);
+  }
 
   // kWaveGrant: ask the placement policy once per destination site for an
   // in-site host assignment (the site itself was fixed by the planner).
@@ -209,7 +300,8 @@ sim::Task MassEvacuation::grant_wave(std::vector<Pending> members, int wave_inde
                                                          << " to full host "
                                                          << hosts[host_index]->name());
     } else {
-      std::tie(dst, host_index) = pick_dst_host(member.dst_site);
+      std::tie(dst, host_index) = pick_dst_host(
+          member.dst_site, config_.topology_blind ? plan::kNoLeaf : member.dst_leaf);
     }
     NM_CHECK(dst != nullptr, "evacuation wave " << wave_index << " has no free slot on site "
                                                 << fed_->site_name(member.dst_site));
@@ -245,9 +337,12 @@ sim::Task MassEvacuation::run(EvacuationReport* report_out) {
   src_hosts_.clear();
   moves_.clear();
   Testbed& source = fed_->site(config_.source_site);
+  const std::size_t source_leaf_base =
+      source.clos() != nullptr ? leaf_base(config_.source_site) : 0;
   std::vector<vmm::Host*> source_hosts = source.all_hosts();
   for (std::size_t h = 0; h < source_hosts.size(); ++h) {
     const bool compress = source_hosts[h]->migration_engine().config().compress_dup_pages;
+    const int src_leaf = source.leaf_of(*source_hosts[h]);
     for (const auto& vm : source_hosts[h]->vms()) {
       auto& mem = vm->memory();
       plan::VmToMove move;
@@ -256,6 +351,9 @@ sim::Task MassEvacuation::run(EvacuationReport* report_out) {
       move.bytes = static_cast<double>(mem.wire_size(all, compress).count());
       move.scan_bytes = static_cast<double>(mem.size().count());
       move.src_host = h;
+      if (src_leaf >= 0) {
+        move.src_leaf = source_leaf_base + static_cast<std::size_t>(src_leaf);
+      }
       moves_.push_back(std::move(move));
       vms_.push_back(vm);
       src_hosts_.push_back(source_hosts[h]);
@@ -278,7 +376,11 @@ sim::Task MassEvacuation::run(EvacuationReport* report_out) {
   }
 
   // --- Plan against the nominal mesh. -----------------------------------
-  plan::EvacuationPlanner planner(current_graph(/*nominal=*/true), config_.planner);
+  plan::SiteGraph nominal_graph = current_graph(/*nominal=*/true);
+  if (config_.topology_blind) {
+    nominal_graph = nominal_graph.without_leaves();
+  }
+  plan::EvacuationPlanner planner(std::move(nominal_graph), config_.planner);
   const plan::Plan plan = config_.sequential
                               ? planner.plan_sequential(config_.source_site, moves_)
                               : planner.plan(config_.source_site, moves_);
@@ -295,7 +397,7 @@ sim::Task MassEvacuation::run(EvacuationReport* report_out) {
       deferred.push_back(a.vm);
     } else {
       waves[static_cast<std::size_t>(a.wave)].push_back(
-          Pending{a.vm, a.dst_site, a.planned_rate});
+          Pending{a.vm, a.dst_site, a.planned_rate, a.dst_leaf});
     }
   }
   for (auto& wave : waves) {
@@ -309,6 +411,9 @@ sim::Task MassEvacuation::run(EvacuationReport* report_out) {
   while (!deferred.empty()) {
     ++report.replans;
     plan::SiteGraph live = current_graph(/*nominal=*/false);
+    if (config_.topology_blind) {
+      live = live.without_leaves();
+    }
     plan::EvacuationPlanner replanner(std::move(live), config_.planner);
     std::vector<plan::VmToMove> subset;
     subset.reserve(deferred.size());
@@ -326,13 +431,19 @@ sim::Task MassEvacuation::run(EvacuationReport* report_out) {
       } else {
         scheduled_any = true;
         sub_waves[static_cast<std::size_t>(a.wave)].push_back(
-            Pending{vm_index, a.dst_site, a.planned_rate});
+            Pending{vm_index, a.dst_site, a.planned_rate, a.dst_leaf});
       }
     }
     if (!scheduled_any) {
       bool any_partitioned = false;
       for (std::size_t e = 0; e < fed_->edge_count(); ++e) {
         any_partitioned = any_partitioned || fed_->wan_link(e).partitioned();
+      }
+      // A dead intra-site link can make VMs unschedulable just like a
+      // partitioned WAN edge — keep retrying until the fabric heals.
+      for (std::size_t s = 0; s < fed_->site_count(); ++s) {
+        net::ClosFabric* clos = fed_->site(s).clos();
+        any_partitioned = any_partitioned || (clos != nullptr && clos->has_dead_link());
       }
       if (!any_partitioned) {
         NM_LOG_WARN("evacuation") << deferred.size()

@@ -44,6 +44,13 @@ struct EvacuationConfig {
   Duration retry_period = Duration::seconds(5);
   /// Execute the naive-sequential baseline instead of the batched plan.
   bool sequential = false;
+  /// Plan and place as if every site were flat: the planner sees the
+  /// leaf layer stripped (SiteGraph::without_leaves), wave rates ignore
+  /// leaf capacities, and destination hosts are picked site-wide. On a
+  /// Clos site the pinned rates can then oversubscribe leaf uplinks or a
+  /// destination leaf, so streams realize less than planned — the
+  /// topology-blind baseline the experiments compare against.
+  bool topology_blind = false;
   /// Decision plug-ins: the kWaveGrant hook assigns destination *hosts*
   /// within each wave member's planned destination site. The default
   /// (static) set keeps the driver's own most-free-slots pick.
@@ -102,6 +109,9 @@ class MassEvacuation {
     std::size_t vm_index = 0;        // into vms_/moves_/report order
     std::size_t dst_site = 0;
     double planned_rate = 0.0;
+    /// Planner-chosen destination leaf (index into the planning graph's
+    /// leaf list); kNoLeaf on flat sites or under topology_blind.
+    std::size_t dst_leaf = plan::kNoLeaf;
   };
 
   /// Grants one wave: live routes + rates, host selection, spawn + join.
@@ -111,8 +121,15 @@ class MassEvacuation {
                                      EvacuationReport& report,
                                      std::vector<std::size_t>& deferred);
   /// Destination host with the most free slots on `site` (tie: lowest
-  /// index); reserves one slot. {nullptr, 0} when the site is full.
-  [[nodiscard]] std::pair<vmm::Host*, std::size_t> pick_dst_host(std::size_t site);
+  /// index); reserves one slot. {nullptr, 0} when the site is full. With
+  /// a `dst_leaf`, only hosts racked under that leaf are considered
+  /// first, falling back to the whole site when the leaf has filled
+  /// since planning.
+  [[nodiscard]] std::pair<vmm::Host*, std::size_t> pick_dst_host(
+      std::size_t site, std::size_t dst_leaf = plan::kNoLeaf);
+  /// Index into the planning graph's leaf list where `site`'s leaves
+  /// start (current_graph appends each Clos site's leaves in site order).
+  [[nodiscard]] std::size_t leaf_base(std::size_t site) const;
 
   Federation* fed_;
   EvacuationConfig config_;

@@ -53,6 +53,14 @@ void Testbed::build() {
   }
   ib_fabric_ = std::make_unique<net::IbFabric>(*net_, prefix_ + "ib:m3601q", config_.ib);
   eth_fabric_ = std::make_unique<net::EthFabric>(*net_, prefix_ + "eth:m8024", config_.eth);
+  if (config_.clos.enabled()) {
+    clos_ = std::make_unique<net::ClosFabric>(zone_domain().scheduler(), prefix_ + "clos",
+                                              config_.clos);
+    NM_CHECK(clos_->host_ports() >= config_.ib_nodes + config_.eth_nodes,
+             prefix_ << "clos: " << clos_->host_ports() << " host ports < "
+                     << config_.ib_nodes + config_.eth_nodes << " blades");
+    eth_fabric_->set_topology(clos_.get());
+  }
 
   auto make_host = [&](hw::Cluster& cluster, const std::string& name, bool with_hca) {
     hw::NodeSpec spec = config_.blade_spec;
@@ -65,6 +73,11 @@ void Testbed::build() {
     // 10 GbE uplink on every blade.
     ports_.push_back(
         std::make_unique<net::NicPort>(node, name + ":eth", config_.eth.line_rate));
+    if (clos_ != nullptr) {
+      // Blade i racks under leaf i / hosts_per_leaf, in boot order.
+      clos_->assign_port(*ports_.back(),
+                         static_cast<int>(hosts_.size()) / clos_->hosts_per_leaf());
+    }
     host->connect_eth(*eth_fabric_, *ports_.back());
     if (with_hca) {
       ports_.push_back(
@@ -80,6 +93,13 @@ void Testbed::build() {
   for (int i = 0; i < config_.eth_nodes; ++i) {
     make_host(eth_cluster_, prefix_ + "eth" + std::to_string(i), /*with_hca=*/false);
   }
+}
+
+int Testbed::leaf_of(vmm::Host& host) {
+  if (clos_ == nullptr) {
+    return net::ClosFabric::kSpineAttach;
+  }
+  return clos_->leaf_of(host.eth_uplink());
 }
 
 vmm::Host& Testbed::ib_host(int i) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "hw/cluster.h"
+#include "net/clos_fabric.h"
 #include "net/eth_fabric.h"
 #include "net/ib_fabric.h"
 #include "net/port.h"
@@ -32,6 +33,14 @@ struct TestbedConfig {
   net::EthFabricConfig eth;
   vmm::HotplugTiming hotplug;
   vmm::MigrationConfig migration;
+  /// Intra-site Ethernet topology. Disabled (the default) keeps the flat
+  /// single-switch enclosure byte-identical to the seed; enabled builds a
+  /// net::ClosFabric behind the Ethernet fabric and assigns blade i to
+  /// leaf i / hosts_per_leaf in boot order (ib blades first). host_rate
+  /// should match eth.line_rate; the fabric must have at least
+  /// ib_nodes + eth_nodes host ports. The IB fabric stays flat — the
+  /// paper's M3601Q is a single non-blocking switch.
+  net::ClosConfig clos;
   /// SR-IOV virtual functions per HCA (1 = plain PCI passthrough).
   int hca_vfs = 1;
   /// Number of FluidDomain shards the testbed's FluidNet starts with. With
@@ -96,6 +105,11 @@ class Testbed {
   [[nodiscard]] sim::SolvePool* solve_pool() { return net_->pool(); }
   [[nodiscard]] net::IbFabric& ib_fabric() { return *ib_fabric_; }
   [[nodiscard]] net::EthFabric& eth_fabric() { return *eth_fabric_; }
+  /// The intra-site Clos topology behind the Ethernet fabric; nullptr for
+  /// the flat seed enclosure.
+  [[nodiscard]] net::ClosFabric* clos() { return clos_.get(); }
+  /// Leaf of `host`'s Ethernet uplink; ClosFabric::kSpineAttach when flat.
+  [[nodiscard]] int leaf_of(vmm::Host& host);
   [[nodiscard]] vmm::SharedStorage& storage() { return *storage_; }
   /// The domain holding this testbed's shared resources (fabrics, NFS):
   /// domain 0 standalone, this site's first domain under a federation. A
@@ -162,6 +176,7 @@ class Testbed {
   vmm::SharedStorage* storage_ = nullptr;
   std::unique_ptr<net::IbFabric> ib_fabric_;
   std::unique_ptr<net::EthFabric> eth_fabric_;
+  std::unique_ptr<net::ClosFabric> clos_;
   hw::Cluster ib_cluster_;
   hw::Cluster eth_cluster_;
   std::vector<std::unique_ptr<net::NicPort>> ports_;

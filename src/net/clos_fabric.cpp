@@ -1,0 +1,294 @@
+#include "net/clos_fabric.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "net/port.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace nm::net {
+namespace {
+
+// SplitMix64 finalizer over a fixed state — a stateless 64-bit mixer.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+}  // namespace
+
+ClosFabric::ClosFabric(sim::FluidScheduler& scheduler, std::string name, ClosConfig config)
+    : name_(std::move(name)), config_(config) {
+  NM_CHECK(config_.enabled(), name_ << ": ClosConfig selects no topology (k == 0, leaves == 0)");
+  if (config_.k > 0) {
+    NM_CHECK(config_.k >= 2 && config_.k % 2 == 0,
+             name_ << ": fat-tree k must be even and >= 2, got " << config_.k);
+    const int half = config_.k / 2;
+    pod_count_ = config_.k;
+    leaf_count_ = config_.k * half;
+    agg_count_ = config_.k * half;
+    top_count_ = half * half;
+    hosts_per_leaf_ = half;
+    uplinks_per_leaf_ = half;
+  } else {
+    NM_CHECK(config_.leaves >= 1 && config_.spines >= 1 && config_.hosts_per_leaf >= 1,
+             name_ << ": leaf-spine shape needs leaves/spines/hosts_per_leaf >= 1");
+    NM_CHECK(config_.leaves_per_pod >= 0, name_ << ": negative leaves_per_pod");
+    pod_count_ = config_.leaves_per_pod > 0
+                     ? (config_.leaves + config_.leaves_per_pod - 1) / config_.leaves_per_pod
+                     : config_.leaves;
+    leaf_count_ = config_.leaves;
+    agg_count_ = 0;
+    top_count_ = config_.spines;
+    hosts_per_leaf_ = config_.hosts_per_leaf;
+    uplinks_per_leaf_ = config_.spines;
+  }
+  NM_CHECK(config_.oversubscription > 0.0, name_ << ": oversubscription must be > 0");
+  host_rate_ = config_.host_rate.bytes_per_second();
+  NM_CHECK(host_rate_ > 0.0, name_ << ": host_rate must be > 0");
+  uplink_rate_ = config_.uplink_rate.is_zero()
+                     ? hosts_per_leaf_ * host_rate_ /
+                           (uplinks_per_leaf_ * config_.oversubscription)
+                     : config_.uplink_rate.bytes_per_second();
+  core_rate_ = config_.core_rate.is_zero() ? uplink_rate_ : config_.core_rate.bytes_per_second();
+
+  Rng ecmp = Rng::stream(config_.seed, "clos/" + name_ + "/ecmp");
+  salt_ = ecmp.next_u64();
+
+  // Leaf uplinks first (leaf-major), then (3-tier) core links (pod-major,
+  // aggregation-major). uplink_index/core_index mirror this layout.
+  auto add_link = [this](const std::string& link_name, double rate,
+                         sim::FluidScheduler& sched) { links_.emplace_back(sched, link_name, rate); };
+  for (int leaf = 0; leaf < leaf_count_; ++leaf) {
+    for (int up = 0; up < uplinks_per_leaf_; ++up) {
+      add_link(name_ + ":l" + std::to_string(leaf) + "-u" + std::to_string(up), uplink_rate_,
+               scheduler);
+    }
+  }
+  if (three_tier()) {
+    const int half = config_.k / 2;
+    for (int pod = 0; pod < pod_count_; ++pod) {
+      for (int a = 0; a < half; ++a) {
+        for (int j = 0; j < half; ++j) {
+          add_link(name_ + ":p" + std::to_string(pod) + "a" + std::to_string(a) + "-c" +
+                       std::to_string(a * half + j),
+                   core_rate_, scheduler);
+        }
+      }
+    }
+  }
+  NM_LOG_DEBUG("net") << name_ << ": " << (three_tier() ? "fat-tree" : "leaf-spine") << " with "
+                      << leaf_count_ << " leaves, " << top_count_ << " top-tier switches, "
+                      << links_.size() << " links, oversubscription " << oversubscription();
+}
+
+int ClosFabric::pod_of_leaf(int leaf) const {
+  NM_CHECK(leaf >= 0 && leaf < leaf_count_, name_ << ": leaf " << leaf << " out of range");
+  if (three_tier()) {
+    return leaf / (config_.k / 2);
+  }
+  return config_.leaves_per_pod > 0 ? leaf / config_.leaves_per_pod : leaf;
+}
+
+double ClosFabric::oversubscription() const {
+  return hosts_per_leaf_ * host_rate_ / (uplinks_per_leaf_ * uplink_rate_);
+}
+
+double ClosFabric::bisection_bandwidth() const {
+  if (three_tier()) {
+    // k^3/4 aggregation->core links at core_rate_.
+    const double half = config_.k / 2.0;
+    return config_.k * half * half * core_rate_ / 2.0;
+  }
+  return static_cast<double>(leaf_count_) * top_count_ * uplink_rate_ / 2.0;
+}
+
+std::size_t ClosFabric::uplink_index(int leaf, int up) const {
+  NM_CHECK(leaf >= 0 && leaf < leaf_count_ && up >= 0 && up < uplinks_per_leaf_,
+           name_ << ": uplink (" << leaf << ", " << up << ") out of range");
+  return static_cast<std::size_t>(leaf) * uplinks_per_leaf_ + up;
+}
+
+std::size_t ClosFabric::core_index(int pod, int a, int j) const {
+  const int half = config_.k / 2;
+  NM_CHECK(three_tier() && pod >= 0 && pod < pod_count_ && a >= 0 && a < half && j >= 0 &&
+               j < half,
+           name_ << ": core link (" << pod << ", " << a << ", " << j << ") out of range");
+  return static_cast<std::size_t>(leaf_count_) * uplinks_per_leaf_ +
+         (static_cast<std::size_t>(pod) * half + a) * half + j;
+}
+
+const std::string& ClosFabric::link_name(std::size_t link) const { return links_.at(link).name; }
+double ClosFabric::link_rate(std::size_t link) const { return links_.at(link).rate; }
+double ClosFabric::link_factor(std::size_t link) const { return links_.at(link).factor; }
+sim::FluidResource& ClosFabric::link_up(std::size_t link) { return links_.at(link).up; }
+sim::FluidResource& ClosFabric::link_down(std::size_t link) { return links_.at(link).down; }
+bool ClosFabric::has_dead_link() const { return dead_links_ > 0; }
+
+void ClosFabric::set_link_factor(std::size_t link, double factor) {
+  NM_CHECK(factor >= 0.0, name_ << ": negative link factor");
+  Link& l = links_.at(link);
+  if (l.factor == 0.0 && factor > 0.0) {
+    --dead_links_;
+  } else if (l.factor > 0.0 && factor == 0.0) {
+    ++dead_links_;
+  }
+  l.factor = factor;
+  l.up.set_capacity(l.rate * factor);
+  l.down.set_capacity(l.rate * factor);
+  NM_LOG_DEBUG("net") << name_ << ": link " << l.name << " factor -> " << factor;
+}
+
+void ClosFabric::assign_port(const NicPort& port, int leaf) {
+  NM_CHECK(leaf >= 0 && leaf < leaf_count_,
+           name_ << ": cannot assign " << port.name() << " to leaf " << leaf);
+  leaf_by_port_[&port] = leaf;
+}
+
+int ClosFabric::leaf_of(const NicPort& port) const {
+  auto it = leaf_by_port_.find(&port);
+  return it == leaf_by_port_.end() ? kSpineAttach : it->second;
+}
+
+std::vector<ClosFabric::Candidate> ClosFabric::candidates(int src_leaf, int dst_leaf) const {
+  std::vector<Candidate> out;
+  if (src_leaf == dst_leaf || (src_leaf == kSpineAttach && dst_leaf == kSpineAttach)) {
+    return out;
+  }
+  auto alive = [this](std::size_t link) { return links_[link].factor > 0.0; };
+  if (!three_tier()) {
+    out.reserve(static_cast<std::size_t>(top_count_));
+    for (int s = 0; s < top_count_; ++s) {
+      Candidate c;
+      bool ok = true;
+      if (src_leaf != kSpineAttach) {
+        const std::size_t l = uplink_index(src_leaf, s);
+        c.hops.push_back({l, true});
+        ok = ok && alive(l);
+      }
+      if (dst_leaf != kSpineAttach) {
+        const std::size_t l = uplink_index(dst_leaf, s);
+        c.hops.push_back({l, false});
+        ok = ok && alive(l);
+      }
+      c.alive = ok;
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+  const int half = config_.k / 2;
+  const int src_pod = src_leaf == kSpineAttach ? -1 : pod_of_leaf(src_leaf);
+  const int dst_pod = dst_leaf == kSpineAttach ? -1 : pod_of_leaf(dst_leaf);
+  if (src_pod == dst_pod && src_pod >= 0) {
+    // Same pod: bounce off any of the pod's aggregation switches.
+    for (int a = 0; a < half; ++a) {
+      Candidate c;
+      const std::size_t u = uplink_index(src_leaf, a);
+      const std::size_t d = uplink_index(dst_leaf, a);
+      c.hops = {{u, true}, {d, false}};
+      c.alive = alive(u) && alive(d);
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+  // Cross-pod (or gateway at the core tier): a core choice (a, j) pins
+  // the aggregation switch on both sides.
+  for (int a = 0; a < half; ++a) {
+    for (int j = 0; j < half; ++j) {
+      Candidate c;
+      bool ok = true;
+      if (src_leaf != kSpineAttach) {
+        const std::size_t u = uplink_index(src_leaf, a);
+        const std::size_t cu = core_index(src_pod, a, j);
+        c.hops.push_back({u, true});
+        c.hops.push_back({cu, true});
+        ok = ok && alive(u) && alive(cu);
+      }
+      if (dst_leaf != kSpineAttach) {
+        const std::size_t cd = core_index(dst_pod, a, j);
+        const std::size_t d = uplink_index(dst_leaf, a);
+        c.hops.push_back({cd, false});
+        c.hops.push_back({d, false});
+        ok = ok && alive(cd) && alive(d);
+      }
+      c.alive = ok;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+std::vector<ClosHop> ClosFabric::pick(int src_leaf, int dst_leaf, std::uint64_t key) const {
+  std::vector<Candidate> cands = candidates(src_leaf, dst_leaf);
+  if (cands.empty()) {
+    return {};
+  }
+  std::vector<std::size_t> alive;
+  alive.reserve(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].alive) {
+      alive.push_back(i);
+    }
+  }
+  // No alive candidate: keep the nominal pick — the flow freezes on the
+  // dead link (capacity 0) and resumes when it heals.
+  if (alive.empty()) {
+    return std::move(cands[key % cands.size()].hops);
+  }
+  return std::move(cands[alive[key % alive.size()]].hops);
+}
+
+std::vector<ClosHop> ClosFabric::pick_path(int src_leaf, int dst_leaf) {
+  const std::uint64_t key =
+      mix(salt_ ^ mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_leaf)) << 32) |
+                      static_cast<std::uint32_t>(dst_leaf)) ^
+          seq_++);
+  return pick(src_leaf, dst_leaf, key);
+}
+
+std::vector<ClosHop> ClosFabric::path_for_key(int src_leaf, int dst_leaf,
+                                              std::uint64_t key) const {
+  return pick(src_leaf, dst_leaf, key);
+}
+
+void ClosFabric::append_shares(const std::vector<ClosHop>& path,
+                               std::vector<sim::ResourceShare>& shares) {
+  for (const ClosHop& hop : path) {
+    shares.push_back({hop.up ? &links_[hop.link].up : &links_[hop.link].down, 1.0});
+  }
+}
+
+double ClosFabric::path_rate(int src_leaf, int dst_leaf) const {
+  const std::vector<Candidate> cands = candidates(src_leaf, dst_leaf);
+  if (cands.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double best = 0.0;
+  for (const Candidate& c : cands) {
+    if (!c.alive) {
+      continue;
+    }
+    double rate = std::numeric_limits<double>::infinity();
+    for (const ClosHop& hop : c.hops) {
+      const Link& l = links_[hop.link];
+      rate = std::min(rate, l.rate * l.factor);
+    }
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+double ClosFabric::leaf_capacity(int leaf, bool nominal) const {
+  NM_CHECK(leaf >= 0 && leaf < leaf_count_, name_ << ": leaf " << leaf << " out of range");
+  double sum = 0.0;
+  for (int up = 0; up < uplinks_per_leaf_; ++up) {
+    const Link& l = links_[uplink_index(leaf, up)];
+    sum += nominal ? l.rate : l.rate * l.factor;
+  }
+  return sum;
+}
+
+}  // namespace nm::net

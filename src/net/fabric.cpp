@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/clos_fabric.h"
 #include "sim/wan_link.h"
 #include "util/log.h"
 
@@ -72,7 +73,13 @@ double Fabric::path_rate(const AttachmentPtr& src, FabricAddress dst_addr) const
   NM_CHECK(src != nullptr, "path_rate from null attachment");
   const double src_rate = src->port_->line_rate().bytes_per_second();
   if (AttachmentPtr dst = find(dst_addr)) {
-    return std::min(src_rate, dst->port_->line_rate().bytes_per_second());
+    double rate = std::min(src_rate, dst->port_->line_rate().bytes_per_second());
+    if (topology_ != nullptr) {
+      rate = std::min(rate,
+                      topology_->path_rate(topology_->leaf_of(*src->port_),
+                                           topology_->leaf_of(*dst->port_)));
+    }
+    return rate;
   }
   auto [dst, route] = find_remote(dst_addr);
   if (dst != nullptr) {
@@ -80,6 +87,16 @@ double Fabric::path_rate(const AttachmentPtr& src, FabricAddress dst_addr) const
     for (const WanHop& hop : route->hops) {
       rate = std::min({rate, hop.egress->line_rate().bytes_per_second(),
                        hop.wan->effective_rate(), hop.ingress->line_rate().bytes_per_second()});
+    }
+    if (topology_ != nullptr) {
+      rate = std::min(rate, topology_->path_rate(topology_->leaf_of(*src->port_),
+                                                 net::ClosFabric::kSpineAttach));
+    }
+    const Fabric* landing = route->hops.back().to;
+    if (landing->topology_ != nullptr) {
+      rate = std::min(rate,
+                      landing->topology_->path_rate(net::ClosFabric::kSpineAttach,
+                                                    landing->topology_->leaf_of(*dst->port_)));
     }
     return rate;
   }
@@ -201,6 +218,22 @@ sim::Task Fabric::transfer(AttachmentPtr src, FabricAddress dst_addr, Bytes byte
   }
   std::vector<sim::ResourceShare> shares;
   shares.push_back({&src->port_->tx(), 1.0});
+  // Intra-site topology: the source fabric contributes the up-segment (or
+  // the full leaf-to-leaf path for a local destination); a cross-site
+  // transfer additionally crosses the landing fabric's down-segment to the
+  // destination leaf. Transit sites are crossed gateway-to-gateway at the
+  // top tier, so they contribute nothing.
+  if (topology_ != nullptr) {
+    const int src_leaf = topology_->leaf_of(*src->port_);
+    const int dst_leaf =
+        hops.empty() ? topology_->leaf_of(*dst->port_) : net::ClosFabric::kSpineAttach;
+    topology_->append_shares(topology_->pick_path(src_leaf, dst_leaf), shares);
+  }
+  if (!hops.empty() && hops.back().to->topology_ != nullptr) {
+    ClosFabric& landing = *hops.back().to->topology_;
+    landing.append_shares(
+        landing.pick_path(net::ClosFabric::kSpineAttach, landing.leaf_of(*dst->port_)), shares);
+  }
   for (const WanHop& hop : hops) {
     // Both WAN endpoints are crossed (shared medium), so exactly one of
     // them is always foreign to the flow's home domain and the link's

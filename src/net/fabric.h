@@ -29,6 +29,7 @@ class WanLink;
 
 namespace nm::net {
 
+class ClosFabric;
 class Fabric;
 
 /// One WAN hop of a cross-fabric route: leave the current site through
@@ -175,6 +176,17 @@ class Fabric {
   /// unknown address.
   [[nodiscard]] double path_rate(const AttachmentPtr& src, FabricAddress dst_addr) const;
 
+  /// Installs an intra-site Clos topology (net/clos_fabric.h): every local
+  /// transfer additionally crosses the deterministic-ECMP leaf/spine path
+  /// between the two ports' leaves, a cross-site transfer crosses the
+  /// source leaf's up-segment here and the destination leaf's down-segment
+  /// on the landing fabric, and path_rate folds the topology bottleneck.
+  /// Ports never assigned to a leaf (WAN gateway uplinks) attach at the
+  /// top tier. Null (the default) keeps the flat single-switch model
+  /// byte-identical to the seed.
+  void set_topology(ClosFabric* topology) { topology_ = topology; }
+  [[nodiscard]] ClosFabric* topology() const { return topology_; }
+
  protected:
   sim::FlowRouter* router_;
   FabricSpec spec_;
@@ -192,6 +204,7 @@ class Fabric {
   std::map<FabricAddress, std::weak_ptr<Attachment>> by_address_;
   std::uint64_t epoch_counter_ = 0;
   NicPort* uplink_ = nullptr;
+  ClosFabric* topology_ = nullptr;
   std::vector<Route> routes_;
 };
 

@@ -79,6 +79,27 @@ double SiteGraph::bottleneck(const std::vector<std::size_t>& route, double t) co
   return rate;
 }
 
+SiteGraph SiteGraph::without_leaves() const {
+  SiteGraph flat;
+  flat.sites = sites;
+  flat.edges = edges;
+  std::vector<bool> leafy(sites.size(), false);
+  std::vector<int> slots(sites.size(), 0);
+  for (const LeafSpec& leaf : leaves) {
+    if (leaf.site >= sites.size()) {
+      continue;
+    }
+    leafy[leaf.site] = true;
+    slots[leaf.site] += std::max(0, leaf.free_vm_slots);
+  }
+  for (std::size_t s = 0; s < flat.sites.size(); ++s) {
+    if (leafy[s]) {
+      flat.sites[s].free_vm_slots = slots[s];
+    }
+  }
+  return flat;
+}
+
 double SiteGraph::next_phase_after(double t) const {
   double next = kNever;
   for (const EdgeSpec& edge : edges) {
@@ -101,6 +122,24 @@ double stream_duration(const VmToMove& vm, double rate, const PlannerConfig& con
   // Pre-copy interleaves page walks with sends chunk by chunk, so both
   // terms are serial per stream.
   return config.per_vm_setup + vm.scan_bytes / config.scan_rate + vm.bytes / rate;
+}
+
+/// Streams a leaf uplink can feed at the full per-stream rate; admitting
+/// more would plan rates the fabric cannot realize, stretching blackouts.
+int uplink_slots(double capacity, const PlannerConfig& config) {
+  if (capacity <= 0.0) {
+    return 0;
+  }
+  return std::max(1, static_cast<int>(capacity / config.stream_rate_cap));
+}
+
+/// Concurrent inbound streams a destination leaf accepts per wave.
+int incast_slots(double capacity, const PlannerConfig& config) {
+  if (capacity <= 0.0) {
+    return 0;
+  }
+  return std::min(config.max_streams_per_dst_leaf,
+                  std::max(1, static_cast<int>(capacity / config.stream_rate_cap)));
 }
 
 }  // namespace
@@ -175,10 +214,174 @@ std::vector<double> EvacuationPlanner::wave_rates(
   return rate;
 }
 
+std::vector<double> EvacuationPlanner::wave_rates(
+    const std::vector<const std::vector<std::size_t>*>& routes,
+    const std::vector<double>& edge_capacity, const std::vector<std::size_t>& stream_src_leaf,
+    const std::vector<std::size_t>& stream_dst_leaf,
+    const std::vector<double>& leaf_uplink_capacity,
+    const std::vector<double>& leaf_downlink_capacity) const {
+  // Extend the capacity space: WAN edges, then one uplink and one downlink
+  // entry per leaf, and run the same progressive filling over it.
+  const std::size_t n_edges = edge_capacity.size();
+  const std::size_t n_leaves = leaf_uplink_capacity.size();
+  std::vector<double> caps = edge_capacity;
+  caps.insert(caps.end(), leaf_uplink_capacity.begin(), leaf_uplink_capacity.end());
+  caps.insert(caps.end(), leaf_downlink_capacity.begin(), leaf_downlink_capacity.end());
+  std::vector<std::vector<std::size_t>> ext(routes.size());
+  std::vector<const std::vector<std::size_t>*> ptrs(routes.size());
+  for (std::size_t s = 0; s < routes.size(); ++s) {
+    ext[s] = *routes[s];
+    // A routeless stream stays routeless (rate 0) — leaf entries would
+    // make it look schedulable.
+    if (!ext[s].empty()) {
+      if (s < stream_src_leaf.size() && stream_src_leaf[s] < n_leaves) {
+        ext[s].push_back(n_edges + stream_src_leaf[s]);
+      }
+      if (s < stream_dst_leaf.size() && stream_dst_leaf[s] < n_leaves) {
+        ext[s].push_back(n_edges + n_leaves + stream_dst_leaf[s]);
+      }
+    }
+    ptrs[s] = &ext[s];
+  }
+  return wave_rates(ptrs, caps);
+}
+
+Plan EvacuationPlanner::evaluate(std::size_t src_site, const std::vector<VmToMove>& vms,
+                                 const Plan& shape, double now) const {
+  const std::size_t n_leaves = graph_.leaves.size();
+  Plan out;
+  out.assignments.resize(vms.size());
+  for (std::size_t i = 0; i < out.assignments.size(); ++i) {
+    out.assignments[i].vm = i;
+  }
+  int max_wave = -1;
+  for (const Assignment& a : shape.assignments) {
+    max_wave = std::max(max_wave, a.wave);
+  }
+  std::vector<std::vector<std::size_t>> waves(static_cast<std::size_t>(max_wave + 1));
+  for (std::size_t i = 0; i < shape.assignments.size() && i < vms.size(); ++i) {
+    if (shape.assignments[i].wave >= 0) {
+      waves[static_cast<std::size_t>(shape.assignments[i].wave)].push_back(i);
+    } else {
+      ++out.unscheduled;
+    }
+  }
+  std::vector<std::vector<std::size_t>> site_leaves(graph_.sites.size());
+  std::vector<int> leaf_slots_left(n_leaves, 0);
+  std::vector<double> leaf_up(n_leaves, 0.0);
+  std::vector<double> leaf_down(n_leaves, 0.0);
+  for (std::size_t l = 0; l < n_leaves; ++l) {
+    const LeafSpec& leaf = graph_.leaves[l];
+    if (leaf.site < graph_.sites.size()) {
+      site_leaves[leaf.site].push_back(l);
+    }
+    leaf_slots_left[l] = std::max(0, leaf.free_vm_slots);
+    leaf_up[l] = std::max(0.0, leaf.uplink_rate);
+    leaf_down[l] = std::max(0.0, leaf.downlink_rate);
+  }
+
+  double t = now;
+  int w_out = 0;
+  for (const std::vector<std::size_t>& members : waves) {
+    std::vector<double> caps(graph_.edges.size());
+    for (std::size_t e = 0; e < graph_.edges.size(); ++e) {
+      caps[e] = graph_.edges[e].capacity_at(t);
+    }
+    std::vector<std::size_t> admitted;
+    for (std::size_t i : members) {
+      Assignment& a = out.assignments[i];
+      const std::size_t s = shape.assignments[i].dst_site;
+      std::vector<std::size_t> r;
+      if (s < graph_.sites.size() && s != src_site) {
+        r = graph_.route(src_site, s, t);
+      }
+      std::size_t dl = kNoLeaf;
+      if (!r.empty() && !site_leaves[s].empty()) {
+        // A topology-blind driver places on the emptiest host, which
+        // lands on the leaf with the most free slots (ties: lowest index).
+        for (std::size_t l : site_leaves[s]) {
+          if (leaf_slots_left[l] > 0 && (dl == kNoLeaf || leaf_slots_left[l] > leaf_slots_left[dl])) {
+            dl = l;
+          }
+        }
+        if (dl == kNoLeaf) {
+          r.clear();
+        }
+      }
+      if (r.empty()) {
+        a.wave = -1;
+        ++out.unscheduled;
+        continue;
+      }
+      if (dl != kNoLeaf) {
+        --leaf_slots_left[dl];
+      }
+      a.dst_site = s;
+      a.dst_leaf = dl;
+      a.route_edges = std::move(r);
+      admitted.push_back(i);
+    }
+    if (admitted.empty()) {
+      continue;
+    }
+    std::vector<const std::vector<std::size_t>*> routes;
+    std::vector<std::size_t> src_leaves;
+    std::vector<std::size_t> dst_leaves;
+    routes.reserve(admitted.size());
+    for (std::size_t i : admitted) {
+      routes.push_back(&out.assignments[i].route_edges);
+      src_leaves.push_back(vms[i].src_leaf < n_leaves ? vms[i].src_leaf : kNoLeaf);
+      dst_leaves.push_back(out.assignments[i].dst_leaf);
+    }
+    std::vector<double> rates =
+        n_leaves > 0 ? wave_rates(routes, caps, src_leaves, dst_leaves, leaf_up, leaf_down)
+                     : wave_rates(routes, caps);
+    double wave_end = t;
+    bool any = false;
+    for (std::size_t k = 0; k < admitted.size(); ++k) {
+      Assignment& a = out.assignments[admitted[k]];
+      if (rates[k] <= 0.0) {
+        // Unrealizable at this instant (a dead leaf or edge on the path):
+        // the shape cannot schedule this VM — count it out instead of
+        // letting an infinite finish poison the comparison.
+        if (a.dst_leaf != kNoLeaf) {
+          ++leaf_slots_left[a.dst_leaf];
+        }
+        a.wave = -1;
+        a.route_edges.clear();
+        a.dst_leaf = kNoLeaf;
+        ++out.unscheduled;
+        continue;
+      }
+      a.wave = w_out;
+      a.planned_rate = rates[k];
+      a.start = t;
+      a.finish = t + stream_duration(vms[admitted[k]], rates[k], config_);
+      wave_end = std::max(wave_end, a.finish);
+      any = true;
+    }
+    if (!any) {
+      continue;
+    }
+    ++w_out;
+    t = wave_end;
+    out.makespan = std::max(out.makespan, wave_end - now);
+  }
+  out.wave_count = w_out;
+  return out;
+}
+
 Plan EvacuationPlanner::plan_sequential(std::size_t src_site, const std::vector<VmToMove>& vms,
                                         double now) const {
   Plan out;
   out.assignments.resize(vms.size());
+  const std::size_t n_leaves = graph_.leaves.size();
+  std::vector<std::vector<std::size_t>> site_leaves(graph_.sites.size());
+  for (std::size_t l = 0; l < n_leaves; ++l) {
+    if (graph_.leaves[l].site < graph_.sites.size()) {
+      site_leaves[graph_.leaves[l].site].push_back(l);
+    }
+  }
   double t = now;
   int wave = 0;
   for (std::size_t i = 0; i < vms.size(); ++i) {
@@ -186,24 +389,58 @@ Plan EvacuationPlanner::plan_sequential(std::size_t src_site, const std::vector<
     a.vm = i;
     // First reachable site with a free slot, preferring the fastest drain.
     std::size_t best = graph_.sites.size();
+    std::size_t best_leaf = kNoLeaf;
     std::vector<std::size_t> best_route;
     double best_rate = 0.0;
     double grant = t;
     std::vector<int> used(graph_.sites.size(), 0);
+    std::vector<int> used_leaf(n_leaves, 0);
     for (std::size_t j = 0; j < i; ++j) {
       if (out.assignments[j].wave >= 0) {
         ++used[out.assignments[j].dst_site];
+        if (out.assignments[j].dst_leaf != kNoLeaf) {
+          ++used_leaf[out.assignments[j].dst_leaf];
+        }
       }
     }
+    const std::size_t src_leaf = vms[i].src_leaf < n_leaves ? vms[i].src_leaf : kNoLeaf;
     for (;;) {
       for (std::size_t s = 0; s < graph_.sites.size(); ++s) {
-        if (s == src_site || graph_.sites[s].free_vm_slots - used[s] <= 0) {
+        if (s == src_site) {
+          continue;
+        }
+        // A site with leaves intakes through them: the VM needs a leaf
+        // with a free slot and pays that leaf's downlink on top of the
+        // WAN bottleneck (one stream at a time, so no incast contention).
+        std::size_t leaf = kNoLeaf;
+        if (!site_leaves[s].empty()) {
+          double leaf_down = 0.0;
+          for (std::size_t l : site_leaves[s]) {
+            if (graph_.leaves[l].free_vm_slots - used_leaf[l] <= 0) {
+              continue;
+            }
+            if (leaf == kNoLeaf || graph_.leaves[l].downlink_rate > leaf_down) {
+              leaf = l;
+              leaf_down = graph_.leaves[l].downlink_rate;
+            }
+          }
+          if (leaf == kNoLeaf) {
+            continue;
+          }
+        } else if (graph_.sites[s].free_vm_slots - used[s] <= 0) {
           continue;
         }
         std::vector<std::size_t> r = graph_.route(src_site, s, grant);
         double rate = std::min(graph_.bottleneck(r, grant), config_.stream_rate_cap);
+        if (src_leaf != kNoLeaf) {
+          rate = std::min(rate, graph_.leaves[src_leaf].uplink_rate);
+        }
+        if (leaf != kNoLeaf) {
+          rate = std::min(rate, graph_.leaves[leaf].downlink_rate);
+        }
         if (!r.empty() && rate > best_rate) {
           best = s;
+          best_leaf = leaf;
           best_route = std::move(r);
           best_rate = rate;
         }
@@ -221,6 +458,7 @@ Plan EvacuationPlanner::plan_sequential(std::size_t src_site, const std::vector<
       continue;
     }
     a.dst_site = best;
+    a.dst_leaf = best_leaf;
     a.route_edges = std::move(best_route);
     a.wave = wave++;
     a.planned_rate = best_rate;
@@ -242,10 +480,21 @@ Plan EvacuationPlanner::plan_batched(std::size_t src_site, const std::vector<VmT
     out.assignments[i].vm = i;
   }
 
+  const std::size_t n_leaves = graph_.leaves.size();
+  std::vector<std::vector<std::size_t>> site_leaves(n_sites);
+  std::vector<int> leaf_slots_left(n_leaves, 0);
+  for (std::size_t l = 0; l < n_leaves; ++l) {
+    if (graph_.leaves[l].site < n_sites) {
+      site_leaves[graph_.leaves[l].site].push_back(l);
+    }
+    leaf_slots_left[l] = std::max(0, graph_.leaves[l].free_vm_slots);
+  }
+
   // --- 1. Destination selection: LPT list scheduling on drain speed. ---
   // A site's drain speed approximates how fast it can absorb load:
   // bottleneck of its route from the source, widened by the streams the
-  // edge slot policy would admit, capped per stream.
+  // edge slot policy would admit, capped per stream — and, for a site with
+  // leaves, never more than its aggregate leaf downlink intake.
   std::vector<double> speed(n_sites, 0.0);
   std::vector<int> slots_left(n_sites, 0);
   for (std::size_t s = 0; s < n_sites; ++s) {
@@ -260,7 +509,22 @@ Plan EvacuationPlanner::plan_batched(std::size_t src_site, const std::vector<VmT
     int streams = std::clamp(static_cast<int>(bw / config_.min_stream_rate), 1,
                              config_.max_streams_per_edge);
     speed[s] = std::min(bw, config_.stream_rate_cap * streams);
-    slots_left[s] = std::max(0, graph_.sites[s].free_vm_slots);
+    if (!site_leaves[s].empty()) {
+      int leaf_slots = 0;
+      double down = 0.0;
+      for (std::size_t l : site_leaves[s]) {
+        // Slots behind a dead downlink are not admissible — counting them
+        // would strand VMs on a site the waves can never drain into.
+        if (incast_slots(graph_.leaves[l].downlink_rate, config_) > 0) {
+          leaf_slots += leaf_slots_left[l];
+        }
+        down += std::max(0.0, graph_.leaves[l].downlink_rate);
+      }
+      speed[s] = std::min(speed[s], down);
+      slots_left[s] = leaf_slots;
+    } else {
+      slots_left[s] = std::max(0, graph_.sites[s].free_vm_slots);
+    }
   }
 
   std::vector<std::size_t> order(vms.size());
@@ -376,6 +640,46 @@ Plan EvacuationPlanner::plan_batched(std::size_t src_site, const std::vector<VmT
       }
       return host_streams[host];
     };
+    // Per-wave leaf admission state: uplink slots per source leaf (streams
+    // the rack can feed at full per-stream rate) and an incast cap per
+    // destination leaf.
+    std::vector<int> src_leaf_streams(n_leaves, 0);
+    std::vector<int> src_leaf_slots(n_leaves, 0);
+    std::vector<int> leaf_in_streams(n_leaves, 0);
+    std::vector<int> leaf_in_slots(n_leaves, 0);
+    for (std::size_t l = 0; l < n_leaves; ++l) {
+      src_leaf_slots[l] = uplink_slots(graph_.leaves[l].uplink_rate, config_);
+      leaf_in_slots[l] = incast_slots(graph_.leaves[l].downlink_rate, config_);
+    }
+    // Destination-leaf pick for one admitted stream to site s: spread
+    // across pods first (fewest wave streams into the pod), then the
+    // least-loaded leaf, then the most free slots.
+    auto pick_dst_leaf = [&](std::size_t s) -> std::size_t {
+      std::size_t best_leaf = kNoLeaf;
+      int best_pod_load = 0;
+      for (std::size_t l : site_leaves[s]) {
+        if (leaf_slots_left[l] <= 0 || leaf_in_streams[l] >= leaf_in_slots[l]) {
+          continue;
+        }
+        int pod_load = 0;
+        for (std::size_t m : site_leaves[s]) {
+          if (graph_.leaves[m].pod == graph_.leaves[l].pod) {
+            pod_load += leaf_in_streams[m];
+          }
+        }
+        const bool wins =
+            best_leaf == kNoLeaf || pod_load < best_pod_load ||
+            (pod_load == best_pod_load &&
+             (leaf_in_streams[l] < leaf_in_streams[best_leaf] ||
+              (leaf_in_streams[l] == leaf_in_streams[best_leaf] &&
+               leaf_slots_left[l] > leaf_slots_left[best_leaf])));
+        if (wins) {
+          best_leaf = l;
+          best_pod_load = pod_load;
+        }
+      }
+      return best_leaf;
+    };
     // The live route to a site is a function of (site, t) only — compute
     // each once per wave.
     std::vector<std::vector<std::size_t>> site_route(n_sites);
@@ -400,6 +704,10 @@ Plan EvacuationPlanner::plan_batched(std::size_t src_site, const std::vector<VmT
           if (host_count(vms[i].src_host) >= config_.max_streams_per_src_host) {
             continue;
           }
+          const std::size_t src_leaf = vms[i].src_leaf < n_leaves ? vms[i].src_leaf : kNoLeaf;
+          if (src_leaf != kNoLeaf && src_leaf_streams[src_leaf] >= src_leaf_slots[src_leaf]) {
+            continue;
+          }
           const std::vector<std::size_t>& r = site_route[s];
           bool fits = !r.empty();
           for (std::size_t e : r) {
@@ -411,11 +719,26 @@ Plan EvacuationPlanner::plan_batched(std::size_t src_site, const std::vector<VmT
           if (!fits) {
             continue;
           }
+          std::size_t dst_leaf = kNoLeaf;
+          if (!site_leaves[s].empty()) {
+            dst_leaf = pick_dst_leaf(s);
+            if (dst_leaf == kNoLeaf) {
+              continue;  // every leaf full or incast-capped this wave
+            }
+          }
           out.assignments[i].route_edges = r;
           for (std::size_t e : out.assignments[i].route_edges) {
             ++edge_streams[e];
           }
           ++host_count(vms[i].src_host);
+          if (src_leaf != kNoLeaf) {
+            ++src_leaf_streams[src_leaf];
+          }
+          if (dst_leaf != kNoLeaf) {
+            ++leaf_in_streams[dst_leaf];
+            --leaf_slots_left[dst_leaf];
+            out.assignments[i].dst_leaf = dst_leaf;
+          }
           taken[p] = true;
           admitted.push_back(i);
           progress = true;
@@ -444,10 +767,25 @@ Plan EvacuationPlanner::plan_batched(std::size_t src_site, const std::vector<VmT
       caps[e] = graph_.edges[e].capacity_at(t);
     }
     routes.reserve(admitted.size());
+    std::vector<std::size_t> src_leaves;
+    std::vector<std::size_t> dst_leaves;
     for (std::size_t i : admitted) {
       routes.push_back(&out.assignments[i].route_edges);
+      src_leaves.push_back(vms[i].src_leaf < n_leaves ? vms[i].src_leaf : kNoLeaf);
+      dst_leaves.push_back(out.assignments[i].dst_leaf);
     }
-    std::vector<double> rates = wave_rates(routes, caps);
+    std::vector<double> rates;
+    if (n_leaves > 0) {
+      std::vector<double> leaf_up(n_leaves, 0.0);
+      std::vector<double> leaf_down(n_leaves, 0.0);
+      for (std::size_t l = 0; l < n_leaves; ++l) {
+        leaf_up[l] = std::max(0.0, graph_.leaves[l].uplink_rate);
+        leaf_down[l] = std::max(0.0, graph_.leaves[l].downlink_rate);
+      }
+      rates = wave_rates(routes, caps, src_leaves, dst_leaves, leaf_up, leaf_down);
+    } else {
+      rates = wave_rates(routes, caps);
+    }
     double wave_end = t;
     for (std::size_t k = 0; k < admitted.size(); ++k) {
       Assignment& a = out.assignments[admitted[k]];
@@ -472,17 +810,41 @@ Plan EvacuationPlanner::plan_batched(std::size_t src_site, const std::vector<VmT
   return out;
 }
 
+bool EvacuationPlanner::better(const Plan& candidate, const Plan& incumbent) {
+  if (candidate.unscheduled != incumbent.unscheduled) {
+    return candidate.unscheduled < incumbent.unscheduled;
+  }
+  return candidate.makespan < incumbent.makespan;
+}
+
 Plan EvacuationPlanner::plan(std::size_t src_site, const std::vector<VmToMove>& vms,
                              double now) const {
-  Plan batched = plan_batched(src_site, vms, now);
+  Plan best = plan_batched(src_site, vms, now);
+  if (!graph_.leaves.empty()) {
+    // Fold in what a topology-blind plan would actually cost on this
+    // topology: re-cost the blind shapes with evaluate() so the returned
+    // plan is never worse than executing the blind one (the property suite
+    // pins this). The leaf-aware batching usually wins; these candidates
+    // make it unconditional.
+    EvacuationPlanner blind(graph_.without_leaves(), config_);
+    Plan blind_batched = evaluate(src_site, vms, blind.plan_batched(src_site, vms, now), now);
+    blind_batched.topology_blind = true;
+    if (better(blind_batched, best)) {
+      best = std::move(blind_batched);
+    }
+    Plan blind_seq = evaluate(src_site, vms, blind.plan_sequential(src_site, vms, now), now);
+    blind_seq.topology_blind = true;
+    blind_seq.sequential_fallback = true;
+    if (better(blind_seq, best)) {
+      best = std::move(blind_seq);
+    }
+  }
   Plan sequential = plan_sequential(src_site, vms, now);
-  if (sequential.unscheduled < batched.unscheduled ||
-      (sequential.unscheduled == batched.unscheduled &&
-       sequential.makespan < batched.makespan)) {
+  if (better(sequential, best)) {
     sequential.sequential_fallback = true;
     return sequential;
   }
-  return batched;
+  return best;
 }
 
 }  // namespace nm::plan

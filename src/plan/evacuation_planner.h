@@ -10,6 +10,15 @@
 // chosen destination site along a fewest-hops route; it consumes its
 // planned rate on *every* edge of the route.
 //
+// Intra-site topology (optional): a site built on a net::ClosFabric
+// additionally exposes its leaf switches as LeafSpecs — each an uplink
+// capacity (egress toward the WAN) and a downlink capacity (ingress
+// toward the hosts). A stream then also consumes its rate on the source
+// VM's leaf uplink and the destination leaf's downlink; wave admission
+// respects leaf-uplink stream slots and a destination-leaf incast limit,
+// and destination leaves are spread across pods. When `leaves` is empty
+// the planner behaves exactly as before (WAN edges only).
+//
 // The planner answers three questions, in the shapes studied by "Virtual
 // Machine Migration Planning in Software-Defined Networks" (ordering and
 // bandwidth-aware batching decide makespan) and "Simple Destination-Swap
@@ -38,6 +47,8 @@
 namespace nm::plan {
 
 inline constexpr double kNever = std::numeric_limits<double>::infinity();
+/// "No leaf": a flat site, or a VM whose source rack is unknown.
+inline constexpr std::size_t kNoLeaf = static_cast<std::size_t>(-1);
 
 /// One step of an edge's capacity schedule (mirrors sim::WanLinkPhase at
 /// the planning layer). `at` is in seconds from plan origin.
@@ -63,13 +74,40 @@ struct EdgeSpec {
 
 struct SiteSpec {
   std::string name;
-  /// VM slots this site can accept (0 for the evacuating source).
+  /// VM slots this site can accept (0 for the evacuating source). For a
+  /// site with leaves the planner uses the sum of its leaves' slots
+  /// instead.
+  int free_vm_slots = 0;
+};
+
+/// One leaf (top-of-rack) switch of a site's internal Clos fabric: the
+/// planner sees it as two capacitated intra-site edges, an aggregate
+/// uplink (toward the spine/WAN) and an aggregate downlink (toward the
+/// hosts racked under it).
+struct LeafSpec {
+  std::string name;
+  std::size_t site = 0;
+  /// Pod grouping: destination selection spreads incast across pods.
+  int pod = 0;
+  /// Aggregate leaf->spine capacity, bytes/s; 0 = every uplink dead.
+  double uplink_rate = 0.0;
+  /// Aggregate spine->leaf capacity, bytes/s.
+  double downlink_rate = 0.0;
+  /// VM slots on hosts under this leaf (0 at the evacuating source).
   int free_vm_slots = 0;
 };
 
 struct SiteGraph {
   std::vector<SiteSpec> sites;
   std::vector<EdgeSpec> edges;
+  /// Intra-site leaf switches, any order; empty = every site is flat.
+  std::vector<LeafSpec> leaves;
+
+  /// This graph with the leaf layer stripped: sites that had leaves get
+  /// the sum of their leaves' slots as free_vm_slots. The topology-blind
+  /// baseline plans against this view (and both plan() and the property
+  /// suite must build it the same way — hence a member).
+  [[nodiscard]] SiteGraph without_leaves() const;
 
   /// Fewest-hops route `from` -> `to` over edges alive at time `t`
   /// (capacity_at(t) > 0), as edge indices in traversal order. BFS visits
@@ -93,6 +131,9 @@ struct VmToMove {
   /// Opaque source-host key; waves admit at most
   /// PlannerConfig::max_streams_per_src_host streams per key.
   std::size_t src_host = 0;
+  /// Index into SiteGraph::leaves of the rack the VM drains through, or
+  /// kNoLeaf when the source site is flat.
+  std::size_t src_leaf = kNoLeaf;
 };
 
 struct PlannerConfig {
@@ -110,6 +151,10 @@ struct PlannerConfig {
   double scan_rate = 734.0e6;
   /// Run the destination-swap refinement after list scheduling.
   bool swap_pass = true;
+  /// Incast limit: concurrent inbound streams a wave may aim at one
+  /// destination leaf (further tightened by the leaf's downlink capacity
+  /// in stream_rate_cap units).
+  int max_streams_per_dst_leaf = 4;
 };
 
 struct Assignment {
@@ -123,6 +168,10 @@ struct Assignment {
   /// Wave grant time and estimated completion, seconds from plan origin.
   double start = 0.0;
   double finish = 0.0;
+  /// Destination leaf (index into SiteGraph::leaves) when the chosen site
+  /// has leaves; kNoLeaf otherwise. The driver places the VM on a host
+  /// racked under it.
+  std::size_t dst_leaf = kNoLeaf;
 };
 
 struct Plan {
@@ -134,6 +183,12 @@ struct Plan {
   std::size_t unscheduled = 0;
   /// True when the naive-sequential order beat batching and was returned.
   bool sequential_fallback = false;
+  /// True when the returned plan is a re-costed topology-blind shape
+  /// (evaluate() of a without_leaves() plan beat the leaf-aware batching):
+  /// its rates respect every leaf capacity, but its admission ignores the
+  /// leaf slot/incast limits and its re-routed waves may exceed the
+  /// per-edge/per-host stream slots the batching would have enforced.
+  bool topology_blind = false;
 };
 
 class EvacuationPlanner {
@@ -163,9 +218,37 @@ class EvacuationPlanner {
       const std::vector<const std::vector<std::size_t>*>& routes,
       const std::vector<double>& edge_capacity) const;
 
+  /// Leaf-aware overload: stream s additionally takes one unit of leaf
+  /// uplink `stream_src_leaf[s]` and leaf downlink `stream_dst_leaf[s]`
+  /// (kNoLeaf entries skip the respective side). Capacities are indexed
+  /// like graph().leaves.
+  [[nodiscard]] std::vector<double> wave_rates(
+      const std::vector<const std::vector<std::size_t>*>& routes,
+      const std::vector<double>& edge_capacity,
+      const std::vector<std::size_t>& stream_src_leaf,
+      const std::vector<std::size_t>& stream_dst_leaf,
+      const std::vector<double>& leaf_uplink_capacity,
+      const std::vector<double>& leaf_downlink_capacity) const;
+
+  /// Re-costs another plan's shape (wave membership + destination sites)
+  /// under *this* planner's graph: routes are recomputed per wave,
+  /// destination leaves are picked the way a topology-blind driver would
+  /// (most free slots, lowest index — no pod spreading, no incast cap),
+  /// and each wave's rates are re-run max-min against the full topology,
+  /// leaf capacities included. This is what actually executing a
+  /// topology-blind plan against a Clos site costs; plan() folds the
+  /// evaluated blind candidates into its best-of so the topology-aware
+  /// result is never worse (the property suite pins plan() <=
+  /// evaluate(without_leaves() plan)).
+  [[nodiscard]] Plan evaluate(std::size_t src_site, const std::vector<VmToMove>& vms,
+                              const Plan& shape, double now = 0.0) const;
+
  private:
   [[nodiscard]] Plan plan_batched(std::size_t src_site, const std::vector<VmToMove>& vms,
                                   double now) const;
+  /// True when `candidate` strictly beats `incumbent` (fewer unscheduled,
+  /// or equal and a smaller makespan).
+  [[nodiscard]] static bool better(const Plan& candidate, const Plan& incumbent);
 
   SiteGraph graph_;
   PlannerConfig config_;

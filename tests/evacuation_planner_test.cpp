@@ -16,6 +16,13 @@
 //      VM is scheduled.
 //   5. Replanning after an edge partition schedules every VM that still
 //      has a reachable destination, and never routes over the dead edge.
+//   6. Leaf layer (Clos sites): per-wave rates crossing a leaf uplink or
+//      downlink never exceed its capacity; destination leaves respect
+//      their VM slots; leaf-aware admission (uplink stream slots, incast
+//      limit) holds for plans produced by the leaf-aware batching (not
+//      for re-costed blind shapes, which ignore it by construction);
+//      plan() on a leafy graph is never worse than executing the
+//      topology-blind plan (evaluate() of a without_leaves() plan).
 //
 // wave_rates() is additionally pinned max-min: feasible, capped, and
 // maximal (no stream below its cap has headroom on every edge it uses).
@@ -41,7 +48,7 @@ struct Case {
   PlannerConfig config;
 };
 
-Case random_case(std::mt19937& rng, bool with_schedules) {
+Case random_case(std::mt19937& rng, bool with_schedules, bool with_leaves = false) {
   Case c;
   std::uniform_real_distribution<double> rate_dist(8e6, 4e8);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
@@ -85,6 +92,35 @@ Case random_case(std::mt19937& rng, bool with_schedules) {
     }
   }
 
+  if (with_leaves) {
+    // Give a random subset of sites a leaf layer (the source included so
+    // src_leaf constraints are exercised). ~1 in 12 leaves is dead on one
+    // side, covering the replan-around-dead-rack paths.
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      if (unit(rng) < 0.35) {
+        continue;
+      }
+      const std::size_t n_leaves = 1 + rng() % 4;
+      for (std::size_t l = 0; l < n_leaves; ++l) {
+        LeafSpec leaf;
+        leaf.name = std::to_string(s) + "." + std::to_string(l);
+        leaf.site = s;
+        leaf.pod = static_cast<int>(rng() % 2);
+        leaf.uplink_rate = unit(rng) < 0.08 ? 0.0 : rate_dist(rng);
+        leaf.downlink_rate = unit(rng) < 0.08 ? 0.0 : rate_dist(rng);
+        leaf.free_vm_slots = s == c.src ? 0 : static_cast<int>(rng() % 26);
+        c.graph.leaves.push_back(leaf);
+      }
+    }
+  }
+
+  std::vector<std::size_t> src_leaves;
+  for (std::size_t l = 0; l < c.graph.leaves.size(); ++l) {
+    if (c.graph.leaves[l].site == c.src) {
+      src_leaves.push_back(l);
+    }
+  }
+
   const std::size_t n_vms = 1 + rng() % 80;
   for (std::size_t i = 0; i < n_vms; ++i) {
     VmToMove vm;
@@ -92,6 +128,9 @@ Case random_case(std::mt19937& rng, bool with_schedules) {
     vm.bytes = 64e6 + unit(rng) * 2e9;
     vm.scan_bytes = vm.bytes * 2.0;
     vm.src_host = rng() % 8;
+    if (!src_leaves.empty()) {
+      vm.src_leaf = src_leaves[rng() % src_leaves.size()];
+    }
     c.vms.push_back(vm);
   }
 
@@ -102,15 +141,39 @@ Case random_case(std::mt19937& rng, bool with_schedules) {
   return c;
 }
 
-// Slots summed over sites reachable from the source at time `t`.
+// Slots summed over sites reachable from the source at time `t`. A site
+// with leaves intakes only through leaves that are alive on both sides.
 int reachable_slots(const SiteGraph& graph, std::size_t src, double t) {
   int slots = 0;
   for (std::size_t s = 0; s < graph.sites.size(); ++s) {
-    if (s != src && !graph.route(src, s, t).empty()) {
-      slots += std::max(0, graph.sites[s].free_vm_slots);
+    if (s == src || graph.route(src, s, t).empty()) {
+      continue;
     }
+    bool leafy = false;
+    int leaf_slots = 0;
+    for (const LeafSpec& leaf : graph.leaves) {
+      if (leaf.site != s) {
+        continue;
+      }
+      leafy = true;
+      if (leaf.uplink_rate > 0.0 && leaf.downlink_rate > 0.0) {
+        leaf_slots += std::max(0, leaf.free_vm_slots);
+      }
+    }
+    slots += leafy ? leaf_slots : std::max(0, graph.sites[s].free_vm_slots);
   }
   return slots;
+}
+
+// True when every source VM drains through a leaf with a live uplink (or
+// the source is flat) — a dead source rack legitimately strands its VMs.
+bool source_racks_alive(const Case& c) {
+  for (const VmToMove& vm : c.vms) {
+    if (vm.src_leaf != kNoLeaf && c.graph.leaves[vm.src_leaf].uplink_rate <= 0.0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 // Checks properties 1 and 2 on any plan (batched or sequential).
@@ -142,9 +205,34 @@ void check_shape_and_feasibility(const Case& c, const Plan& plan, const char* la
       at = edge.a == at ? edge.b : edge.a;
     }
     EXPECT_EQ(at, a.dst_site) << label << ": route does not end at the destination";
+    // Destination-leaf validity: a scheduled VM landing on a leafy site
+    // names one of that site's leaves; flat sites leave it kNoLeaf.
+    bool dst_leafy = false;
+    for (const LeafSpec& leaf : c.graph.leaves) {
+      dst_leafy = dst_leafy || leaf.site == a.dst_site;
+    }
+    if (dst_leafy) {
+      ASSERT_NE(a.dst_leaf, kNoLeaf) << label;
+      ASSERT_LT(a.dst_leaf, c.graph.leaves.size()) << label;
+      EXPECT_EQ(c.graph.leaves[a.dst_leaf].site, a.dst_site) << label;
+    } else {
+      EXPECT_EQ(a.dst_leaf, kNoLeaf) << label;
+    }
     waves[a.wave].push_back(&a);
   }
   EXPECT_EQ(unscheduled, plan.unscheduled) << label;
+
+  // Destination-leaf slots are plan-wide, not per-wave.
+  std::vector<int> leaf_used(c.graph.leaves.size(), 0);
+  for (const Assignment& a : plan.assignments) {
+    if (a.wave >= 0 && a.dst_leaf != kNoLeaf) {
+      ++leaf_used[a.dst_leaf];
+    }
+  }
+  for (std::size_t l = 0; l < c.graph.leaves.size(); ++l) {
+    EXPECT_LE(leaf_used[l], std::max(0, c.graph.leaves[l].free_vm_slots))
+        << label << ": leaf " << l << " over its VM slots";
+  }
 
   for (const auto& [wave, members] : waves) {
     // One grant instant per wave; all rate math is pinned to it.
@@ -164,13 +252,55 @@ void check_shape_and_feasibility(const Case& c, const Plan& plan, const char* la
       EXPECT_LE(edge_load[e], c.graph.edges[e].capacity_at(grant) + kRateEps)
           << label << ": wave " << wave << " oversubscribes edge " << e;
     }
-    if (!plan.sequential_fallback) {
+    // Leaf rate feasibility holds for every plan shape — evaluate() runs
+    // even blind shapes through the leaf-aware max-min allocation.
+    std::vector<double> up_load(c.graph.leaves.size(), 0.0);
+    std::vector<double> down_load(c.graph.leaves.size(), 0.0);
+    std::vector<int> up_streams(c.graph.leaves.size(), 0);
+    std::vector<int> down_streams(c.graph.leaves.size(), 0);
+    for (const Assignment* a : members) {
+      const std::size_t sl = c.vms[a->vm].src_leaf;
+      if (sl != kNoLeaf) {
+        up_load[sl] += a->planned_rate;
+        ++up_streams[sl];
+      }
+      if (a->dst_leaf != kNoLeaf) {
+        down_load[a->dst_leaf] += a->planned_rate;
+        ++down_streams[a->dst_leaf];
+      }
+    }
+    for (std::size_t l = 0; l < c.graph.leaves.size(); ++l) {
+      EXPECT_LE(up_load[l], std::max(0.0, c.graph.leaves[l].uplink_rate) + kRateEps)
+          << label << ": wave " << wave << " oversubscribes leaf " << l << " uplink";
+      EXPECT_LE(down_load[l], std::max(0.0, c.graph.leaves[l].downlink_rate) + kRateEps)
+          << label << ": wave " << wave << " oversubscribes leaf " << l << " downlink";
+    }
+    if (!plan.sequential_fallback && !plan.topology_blind) {
+      // Admission limits bind only plans the leaf-aware batching built
+      // itself. Re-costed blind shapes (topology_blind) fixed their wave
+      // membership on the flat view — evaluate() re-routes them at
+      // different grant times, so a wave may cross an edge more often
+      // than the slot policy would admit; its *rates* above still
+      // respect every capacity.
       for (std::size_t e = 0; e < c.graph.edges.size(); ++e) {
         EXPECT_LE(edge_streams[e], c.config.max_streams_per_edge) << label;
       }
       for (const auto& [host, streams] : host_streams) {
         EXPECT_LE(streams, c.config.max_streams_per_src_host)
             << label << ": source host " << host;
+      }
+      // Leaf-aware admission: uplink stream slots and the incast limit.
+      for (std::size_t l = 0; l < c.graph.leaves.size(); ++l) {
+        const double up = c.graph.leaves[l].uplink_rate;
+        const double down = c.graph.leaves[l].downlink_rate;
+        const int up_slots =
+            up <= 0.0 ? 0 : std::max(1, static_cast<int>(up / c.config.stream_rate_cap));
+        const int in_slots =
+            down <= 0.0 ? 0
+                        : std::min(c.config.max_streams_per_dst_leaf,
+                                   std::max(1, static_cast<int>(down / c.config.stream_rate_cap)));
+        EXPECT_LE(up_streams[l], up_slots) << label << ": wave " << wave << " leaf " << l;
+        EXPECT_LE(down_streams[l], in_slots) << label << ": wave " << wave << " leaf " << l;
       }
     }
   }
@@ -229,6 +359,57 @@ TEST(EvacuationPlannerProperty, ReplanAfterPartitionCoversEveryReachableVm) {
   }
   // The generator must actually exercise the interesting regime.
   EXPECT_GT(partitions_with_full_coverage, 20);
+}
+
+TEST(EvacuationPlannerProperty, LeafyGraphsAreFeasibleAndComplete) {
+  std::mt19937 rng(20260809);
+  int complete_cases = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const Case c = random_case(rng, /*with_schedules=*/iter % 4 == 3, /*with_leaves=*/true);
+    EvacuationPlanner planner(c.graph, c.config);
+    const Plan plan = planner.plan(c.src, c.vms);
+    const Plan sequential = planner.plan_sequential(c.src, c.vms);
+    ASSERT_NO_FATAL_FAILURE(check_shape_and_feasibility(c, plan, "leafy-plan"));
+    ASSERT_NO_FATAL_FAILURE(check_shape_and_feasibility(c, sequential, "leafy-sequential"));
+
+    EXPECT_LE(plan.unscheduled, sequential.unscheduled) << "iter " << iter;
+    if (plan.unscheduled == sequential.unscheduled) {
+      EXPECT_LE(plan.makespan, sequential.makespan + 1e-9) << "iter " << iter;
+    }
+
+    // Completeness: static mesh, every source rack alive, enough slots on
+    // live leaves — nobody is left behind.
+    if (iter % 4 != 3 && source_racks_alive(c) &&
+        reachable_slots(c.graph, c.src, 0.0) >= static_cast<int>(c.vms.size())) {
+      EXPECT_EQ(plan.unscheduled, 0u) << "iter " << iter;
+      ++complete_cases;
+    }
+  }
+  EXPECT_GT(complete_cases, 20);
+}
+
+TEST(EvacuationPlannerProperty, TopologyAwareNeverWorseThanBlind) {
+  std::mt19937 rng(31337);
+  int leafy_cases = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const Case c = random_case(rng, /*with_schedules=*/false, /*with_leaves=*/true);
+    if (c.graph.leaves.empty()) {
+      continue;
+    }
+    ++leafy_cases;
+    EvacuationPlanner aware(c.graph, c.config);
+    EvacuationPlanner blind(c.graph.without_leaves(), c.config);
+    const Plan aware_plan = aware.plan(c.src, c.vms);
+    // What the blind plan actually costs when executed on the real
+    // topology: plan() folds this exact candidate into its best-of, so
+    // aware can never lose.
+    const Plan blind_cost = aware.evaluate(c.src, c.vms, blind.plan(c.src, c.vms));
+    EXPECT_LE(aware_plan.unscheduled, blind_cost.unscheduled) << "iter " << iter;
+    if (aware_plan.unscheduled == blind_cost.unscheduled) {
+      EXPECT_LE(aware_plan.makespan, blind_cost.makespan + 1e-9) << "iter " << iter;
+    }
+  }
+  EXPECT_GT(leafy_cases, 100);
 }
 
 TEST(EvacuationPlannerProperty, WaveRatesAreMaxMin) {

@@ -399,5 +399,119 @@ TEST(FailureInjection, PartitionedEdgeWithDetourReroutesEvacuationThroughThirdSi
   EXPECT_EQ(fed.unconverged_exchange_count(), 0u);
 }
 
+// --- Intra-site fabric failures mid-evacuation ------------------------------
+
+// Triangle mesh whose source site sits behind a 2-leaf Clos fabric. The
+// leaf tier is non-blocking (oversubscription 1) so the 1 Gbps WAN edges
+// stay the planned bottleneck and dead-link behaviour is isolated from
+// rate effects.
+FederationConfig clos_triangle(int spines) {
+  FederationConfig cfg;
+  FederationSiteConfig site;
+  site.testbed.ib_nodes = 0;
+  site.testbed.eth_nodes = 4;
+  site.testbed.clos.leaves = 2;
+  site.testbed.clos.spines = spines;
+  site.testbed.clos.hosts_per_leaf = 2;
+  site.testbed.clos.oversubscription = 1.0;
+  site.name = "a";
+  cfg.sites.push_back(site);
+  site.testbed.eth_nodes = 2;
+  site.testbed.clos = {};
+  site.name = "b";
+  cfg.sites.push_back(site);
+  site.name = "c";
+  cfg.sites.push_back(site);
+  cfg.edges = {{0, 1, {}}, {0, 2, {}}, {1, 2, {}}};
+  return cfg;
+}
+
+TEST(FailureInjection, ClosUplinkCutMidEvacuationStallsWithoutDowntimeThenCompletes) {
+  // The single uplink of source leaf 0 dies 2 s into the evacuation —
+  // pre-copies out of that rack freeze in place (capacity 0), the VMs
+  // keep running, and everything drains after the +200 s heal with every
+  // blackout still inside max_downtime.
+  Federation fed(clos_triangle(/*spines=*/1));
+  auto vms = boot_evac_fleet(fed, 2);
+
+  MassEvacuation evac(fed, {});
+  EvacuationReport report;
+  fed.sim().spawn(evac.run(&report), "evacuation");
+  const Duration heal_after = Duration::seconds(200.0);
+  fed.sim().spawn([](Federation& f, Duration heal) -> sim::Task {
+    net::ClosFabric& clos = *f.site(0).clos();
+    co_await f.sim().delay(Duration::seconds(2.0));
+    clos.set_link_factor(clos.uplink_index(0, 0), 0.0);
+    co_await f.sim().delay(heal - Duration::seconds(2.0));
+    clos.set_link_factor(clos.uplink_index(0, 0), 1.0);
+  }(fed, heal_after));
+
+  fed.sim().run();
+
+  EXPECT_EQ(report.evacuated, vms.size());
+  // Rack 0's migrations could not finish while its only uplink was dead,
+  // so the evacuation outlives the heal.
+  EXPECT_GT(report.makespan(), heal_after);
+  const Duration bound = fed.site(0).eth_host(0).migration_engine().config().max_downtime;
+  for (const VmOutcome& vm : report.vms) {
+    EXPECT_LE(vm.downtime, bound) << vm.vm;
+  }
+  EXPECT_FALSE(fed.site(0).clos()->has_dead_link());
+  EXPECT_EQ(fed.unconverged_exchange_count(), 0u);
+}
+
+TEST(FailureInjection, ClosSpineLinkCutWithEcmpAlternativeCompletesWithoutHeal) {
+  // Two spines, one uplink of leaf 0 dead before the first grant and never
+  // healed: the deterministic ECMP pick filters the dead candidate, leaf
+  // capacity stays positive, and the evacuation must complete while the
+  // link is still down — no stall, no deferral.
+  Federation fed(clos_triangle(/*spines=*/2));
+  auto vms = boot_evac_fleet(fed, 2);
+  net::ClosFabric& clos = *fed.site(0).clos();
+  clos.set_link_factor(clos.uplink_index(0, 1), 0.0);
+
+  MassEvacuation evac(fed, {});
+  EvacuationReport report;
+  fed.sim().spawn(evac.run(&report), "evacuation");
+  fed.sim().run();
+
+  EXPECT_EQ(report.evacuated, vms.size());
+  EXPECT_TRUE(clos.has_dead_link());  // never healed
+  const Duration bound = fed.site(0).eth_host(0).migration_engine().config().max_downtime;
+  for (const VmOutcome& vm : report.vms) {
+    EXPECT_LE(vm.downtime, bound) << vm.vm;
+  }
+  EXPECT_EQ(fed.unconverged_exchange_count(), 0u);
+}
+
+TEST(FailureInjection, ClosDeadSourceLeafAtPlanTimeDefersThenDrainsAfterHeal) {
+  // Rack 0's only uplink is already dead when the evacuation plans: the
+  // planner sees a zero-capacity source leaf, so its VMs are deferred
+  // while rack 1 evacuates. After the +120 s heal the driver replans and
+  // drains the deferred rack; nothing is lost and no blackout grows.
+  Federation fed(clos_triangle(/*spines=*/1));
+  auto vms = boot_evac_fleet(fed, 2);
+  net::ClosFabric& clos = *fed.site(0).clos();
+  clos.set_link_factor(clos.uplink_index(0, 0), 0.0);
+
+  MassEvacuation evac(fed, {});
+  EvacuationReport report;
+  fed.sim().spawn(evac.run(&report), "evacuation");
+  const Duration heal_after = Duration::seconds(120.0);
+  fed.sim().spawn([](Federation& f, net::ClosFabric& c, Duration heal) -> sim::Task {
+    co_await f.sim().delay(heal);
+    c.set_link_factor(c.uplink_index(0, 0), 1.0);
+  }(fed, clos, heal_after));
+  fed.sim().run();
+
+  EXPECT_EQ(report.evacuated, vms.size());
+  EXPECT_GT(report.makespan(), heal_after);
+  const Duration bound = fed.site(0).eth_host(0).migration_engine().config().max_downtime;
+  for (const VmOutcome& vm : report.vms) {
+    EXPECT_LE(vm.downtime, bound) << vm.vm;
+  }
+  EXPECT_EQ(fed.unconverged_exchange_count(), 0u);
+}
+
 }  // namespace
 }  // namespace nm::core

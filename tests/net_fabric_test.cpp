@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hw/node.h"
+#include "net/clos_fabric.h"
 #include "net/eth_fabric.h"
 #include "net/fabric.h"
 #include "net/ib_fabric.h"
@@ -319,6 +320,158 @@ TEST(Fabric, ConcurrentTransfersShareNicFairly) {
   const double single = 1073741824.0 / 1.25e9;
   EXPECT_NEAR(done[0], 2 * single, 1e-3);
   EXPECT_NEAR(done[1], 2 * single, 1e-3);
+}
+
+TEST(ClosTopology, IncastSharesLeafDownlinkFairly) {
+  // 4 senders on 4 distinct leaves, 4 receivers racked under one leaf:
+  // with a single spine every flow crosses the destination leaf's one
+  // downlink (1.25e9 B/s), so max-min gives each exactly a quarter of it.
+  // Brute force: share = downlink / 4; per-flow uplinks (one flow each)
+  // and 10 GbE NICs are strictly faster and never bind.
+  TestBed tb;
+  EthFabricConfig cfg;
+  cfg.latency = Duration::micros(10);
+  EthFabric eth(tb.sched, "eth0", cfg);
+  ClosConfig ccfg;
+  ccfg.leaves = 5;
+  ccfg.spines = 1;
+  ccfg.hosts_per_leaf = 4;
+  ccfg.oversubscription = 4.0;  // uplink = 4 * 1.25e9 / 4 = 1.25e9 B/s
+  ClosFabric clos(tb.sched, "clos0", ccfg);
+  eth.set_topology(&clos);
+
+  std::vector<AttachmentPtr> senders;
+  std::vector<AttachmentPtr> receivers;
+  for (int i = 0; i < 4; ++i) {
+    auto& sn = tb.add_node("s" + std::to_string(i));
+    auto& sp = tb.add_port(sn, "s" + std::to_string(i) + "-eth", Bandwidth::gbps(10));
+    clos.assign_port(sp, i);
+    senders.push_back(eth.attach(sp));
+    auto& rn = tb.add_node("r" + std::to_string(i));
+    auto& rp = tb.add_port(rn, "r" + std::to_string(i) + "-eth", Bandwidth::gbps(10));
+    clos.assign_port(rp, 4);
+    receivers.push_back(eth.attach(rp));
+  }
+  tb.sim.run();
+
+  std::vector<double> done(4, -1);
+  auto sender = [](sim::Simulation& s, EthFabric& f, AttachmentPtr src, FabricAddress dst,
+                   double& t) -> sim::Task {
+    co_await f.transfer(src, dst, Bytes::gib(1));
+    t = s.now().to_seconds();
+  };
+  for (int i = 0; i < 4; ++i) {
+    tb.sim.spawn(sender(tb.sim, eth, senders[i], receivers[i]->address(), done[i]));
+  }
+  tb.sim.run();
+  const double share = 1.25e9 / 4.0;
+  const double expect = 1073741824.0 / share + 10e-6;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(done[i], expect, 1e-9) << "flow " << i;
+  }
+}
+
+TEST(ClosTopology, IncastMaxMinRedistributesAroundCappedFlow) {
+  // Same incast, but flow 0 is rate-capped at 1e8 B/s — far below its
+  // fair quarter. Max-min hands its slack to the other three: brute
+  // force share = (downlink - cap) / 3 each, and those three rates are
+  // constant until they finish (flow 0 stays at its cap throughout), so
+  // the completion times are exact.
+  TestBed tb;
+  EthFabricConfig cfg;
+  cfg.latency = Duration::micros(10);
+  EthFabric eth(tb.sched, "eth0", cfg);
+  ClosConfig ccfg;
+  ccfg.leaves = 5;
+  ccfg.spines = 1;
+  ccfg.hosts_per_leaf = 4;
+  ccfg.oversubscription = 4.0;
+  ClosFabric clos(tb.sched, "clos0", ccfg);
+  eth.set_topology(&clos);
+
+  std::vector<AttachmentPtr> senders;
+  std::vector<AttachmentPtr> receivers;
+  for (int i = 0; i < 4; ++i) {
+    auto& sn = tb.add_node("s" + std::to_string(i));
+    auto& sp = tb.add_port(sn, "s" + std::to_string(i) + "-eth", Bandwidth::gbps(10));
+    clos.assign_port(sp, i);
+    senders.push_back(eth.attach(sp));
+    auto& rn = tb.add_node("r" + std::to_string(i));
+    auto& rp = tb.add_port(rn, "r" + std::to_string(i) + "-eth", Bandwidth::gbps(10));
+    clos.assign_port(rp, 4);
+    receivers.push_back(eth.attach(rp));
+  }
+  tb.sim.run();
+
+  const double cap = 1e8;
+  std::vector<double> done(4, -1);
+  auto sender = [](sim::Simulation& s, EthFabric& f, AttachmentPtr src, FabricAddress dst,
+                   TransferOptions o, double& t) -> sim::Task {
+    co_await f.transfer(src, dst, Bytes::gib(1), o);
+    t = s.now().to_seconds();
+  };
+  for (int i = 0; i < 4; ++i) {
+    TransferOptions opts;
+    if (i == 0) {
+      opts.max_rate = cap;
+    }
+    tb.sim.spawn(sender(tb.sim, eth, senders[i], receivers[i]->address(), opts, done[i]));
+  }
+  tb.sim.run();
+  const double fast_share = (1.25e9 - cap) / 3.0;
+  EXPECT_NEAR(done[0], 1073741824.0 / cap + 10e-6, 1e-9);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_NEAR(done[i], 1073741824.0 / fast_share + 10e-6, 1e-9) << "flow " << i;
+  }
+}
+
+TEST(ClosTopology, CapsCrossLeafButNotIntraLeaf) {
+  // 4:1 oversubscription with 2 hosts per leaf: the single uplink is
+  // 6.25e8 B/s, half the 10 GbE NIC rate. A cross-leaf transfer is
+  // fabric-bound at the uplink; a same-leaf transfer never crosses the
+  // fabric and runs at full NIC line rate.
+  TestBed tb;
+  EthFabricConfig cfg;
+  cfg.latency = Duration::micros(10);
+  EthFabric eth(tb.sched, "eth0", cfg);
+  ClosConfig ccfg;
+  ccfg.leaves = 2;
+  ccfg.spines = 1;
+  ccfg.hosts_per_leaf = 2;
+  ccfg.oversubscription = 4.0;  // uplink = 2 * 1.25e9 / 4 = 6.25e8 B/s
+  ClosFabric clos(tb.sched, "clos0", ccfg);
+  eth.set_topology(&clos);
+  EXPECT_DOUBLE_EQ(clos.uplink_rate(), 6.25e8);
+
+  auto& a = tb.add_node("a");
+  auto& b = tb.add_node("b");
+  auto& c = tb.add_node("c");
+  auto& pa = tb.add_port(a, "a-eth", Bandwidth::gbps(10));
+  auto& pb = tb.add_port(b, "b-eth", Bandwidth::gbps(10));
+  auto& pc = tb.add_port(c, "c-eth", Bandwidth::gbps(10));
+  clos.assign_port(pa, 0);
+  clos.assign_port(pb, 0);  // same leaf as a
+  clos.assign_port(pc, 1);  // across the fabric
+  auto aa = eth.attach(pa);
+  auto ab = eth.attach(pb);
+  auto ac = eth.attach(pc);
+  tb.sim.run();
+
+  double cross_done = -1;
+  double intra_done = -1;
+  auto sender = [](sim::Simulation& s, EthFabric& f, AttachmentPtr src, FabricAddress dst,
+                   double& t) -> sim::Task {
+    co_await f.transfer(src, dst, Bytes::gib(1));
+    t = s.now().to_seconds();
+  };
+  tb.sim.spawn(sender(tb.sim, eth, aa, ac->address(), cross_done));
+  tb.sim.run();
+  tb.sim.spawn(sender(tb.sim, eth, aa, ab->address(), intra_done));
+  tb.sim.run();
+
+  const double start = cross_done;  // intra transfer started when cross finished
+  EXPECT_NEAR(cross_done, 1073741824.0 / 6.25e8 + 10e-6, 1e-9);
+  EXPECT_NEAR(intra_done - start, 1073741824.0 / 1.25e9 + 10e-6, 1e-9);
 }
 
 }  // namespace
